@@ -1,0 +1,39 @@
+"""Shared plumbing for the experiment benchmarks (imported by bench files)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def print_rows(title: str, header: list[str], rows: list[list]) -> None:
+    """Print an aligned text table (the benchmark's 'figure')."""
+    print(f"\n=== {title} ===")
+    widths = [max(len(str(header[i])), max((len(_fmt(row[i])) for row in rows), default=0))
+              for i in range(len(header))]
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(_fmt(cell).ljust(w) for cell, w in zip(row, widths)))
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def empirical_counts(factory, stream, n, draws):
+    """Draw ``draws`` one-shot samples from fresh sampler instances."""
+    counts = np.zeros(n)
+    failures = 0
+    for seed in range(draws):
+        sampler = factory(seed)
+        sampler.update_stream(stream)
+        drawn = sampler.sample()
+        if drawn is None:
+            failures += 1
+        else:
+            counts[drawn.index] += 1
+    return counts, failures
+
+
+EXPERIMENT_SEED = 20250614

@@ -1,0 +1,66 @@
+"""E10 — ablation of the Lemma 2.7 truncated Taylor estimator.
+
+Paper artifact: Lemma 2.7, the engine of Algorithm 2 (fractional p) and
+Algorithm 3 (polynomials).  The benchmark sweeps the number of series terms
+Q and the quality of the pivot y, and reports the bias and RMS relative
+error of the estimate of x^{p-2} under noisy, unbiased coordinate estimates.
+
+Expected shape: with a pivot within a few percent of x the estimator is
+unbiased to within sampling noise and its error decays rapidly with Q
+(a handful of terms suffice, matching Q = O(log n)); a badly mis-scaled
+pivot (outside the convergence region) makes the error blow up, which is
+why the algorithm feeds the estimator a constant-factor approximation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _harness import EXPERIMENT_SEED, print_rows
+from repro.utils.taylor import taylor_power_estimate
+
+
+def run_experiment(trials: int = 1500):
+    rng = np.random.default_rng(EXPERIMENT_SEED)
+    x = 100.0
+    noise_scale = 1.0  # relative 1% noise on each coordinate estimate
+
+    rows = []
+    for p in (2.5, 3.5):
+        exponent = p - 2.0
+        truth = x**exponent
+        for pivot_error in (0.01, 0.1):
+            pivot = x * (1.0 - pivot_error)
+            for num_terms in (2, 5, 10, 20):
+                estimates = []
+                for _ in range(trials):
+                    noisy = x + rng.normal(scale=noise_scale, size=num_terms)
+                    estimates.append(
+                        taylor_power_estimate(noisy, pivot, exponent, num_terms)
+                    )
+                estimates = np.asarray(estimates)
+                bias = float(np.mean(estimates) - truth) / truth
+                rms = float(np.sqrt(np.mean((estimates - truth) ** 2))) / truth
+                rows.append([p, pivot_error, num_terms, round(bias, 5), round(rms, 5)])
+    return rows
+
+
+def test_e10_taylor_ablation(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_rows(
+        "E10: Taylor estimator of x^{p-2} — bias / RMS relative error",
+        ["p", "pivot rel. error", "terms Q", "bias", "RMS rel. error"],
+        rows,
+    )
+    for row in rows:
+        p, pivot_error, num_terms, bias, rms = row
+        if num_terms >= 10:
+            # With Q >= 10 terms the estimator is essentially unbiased and
+            # tight even for a 10%-off pivot.
+            assert abs(bias) < 0.02
+            assert rms < 0.1
+    # Error does not grow with the number of terms for the hard (10% pivot)
+    # case (the deterministic truncation bias vanishes; what remains is the
+    # irreducible noise of the coordinate estimates).
+    hard = [row for row in rows if row[0] == 3.5 and row[1] == 0.1]
+    assert hard[-1][4] <= 1.5 * hard[0][4]

@@ -1,0 +1,65 @@
+"""E11 — perfect L_0 sampler: uniformity and exact recovery under churn.
+
+Paper artifact: Theorem 5.4 ([JST11]), the substrate of Algorithms 6-8.
+The benchmark builds a turnstile stream in which half of the inserted mass
+is later deleted (and several coordinates are cancelled entirely), then
+measures the uniformity of the sampler over the surviving support, the rate
+of exact value recovery, and the failure rate.
+
+Expected shape: the chi-square statistic of the draws over the support is
+consistent with the uniform law, every successful draw reports the exact
+coordinate value, and failures are rare.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from _harness import EXPERIMENT_SEED, print_rows
+from repro.samplers.l0_sampler import PerfectL0Sampler
+from repro.streams.generators import turnstile_stream_with_cancellations
+
+
+def run_experiment(draws: int = 300):
+    n = 128
+    rng = np.random.default_rng(EXPERIMENT_SEED)
+    vector = rng.integers(1, 1000, size=n).astype(float)
+    cancelled = rng.choice(n, size=n // 2, replace=False)
+    vector[cancelled] = 0.0
+    stream = turnstile_stream_with_cancellations(vector, churn=1.0,
+                                                 seed=EXPERIMENT_SEED + 1)
+    support = np.flatnonzero(vector)
+
+    counts = np.zeros(n)
+    failures = 0
+    exact_recoveries = 0
+    for seed in range(draws):
+        sampler = PerfectL0Sampler(n, sparsity=12, seed=seed)
+        sampler.update_stream(stream)
+        drawn = sampler.sample()
+        if drawn is None:
+            failures += 1
+            continue
+        counts[drawn.index] += 1
+        if drawn.exact_value is not None and abs(drawn.exact_value - vector[drawn.index]) < 1e-9:
+            exact_recoveries += 1
+    successes = int(counts.sum())
+    observed = counts[support]
+    _, p_value = stats.chisquare(observed)
+    return [[n, len(support), successes, failures, exact_recoveries,
+             round(float(p_value), 4)]]
+
+
+def test_e11_l0_sampler(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_rows(
+        "E11: perfect L_0 sampler under heavy cancellation",
+        ["n", "support size", "draws", "failures", "exact value recoveries",
+         "chi-square p-value (uniformity)"],
+        rows,
+    )
+    _n, _support, successes, failures, exact_recoveries, p_value = rows[0]
+    assert failures < 0.15 * (successes + failures)
+    assert exact_recoveries == successes
+    assert p_value > 1e-4

@@ -1,0 +1,93 @@
+"""E12 — the perfect L_2 sampler substrate ([JW18], Theorem 1.10).
+
+Paper artifact: Theorem 1.10, the black box Algorithms 1-3 consume.  The
+benchmark validates the substrate on its own: distributional correctness of
+the exponential-scaling law (oracle recovery), the behaviour of the fully
+sketched sampler on skewed and flat workloads (heavy-mass hit rate, failure
+rate of the gap test), and the accuracy of the attached value estimate.
+
+Expected shape: oracle-mode TVD at the noise floor; the sketched sampler
+almost always returns a heavy coordinate on skewed inputs, fails more often
+on flat inputs (the gap test is doing its job), and estimates the sampled
+value within ~10-20%.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _harness import EXPERIMENT_SEED, empirical_counts, print_rows
+from repro.samplers.jw18_lp_sampler import JW18LpSampler, PerfectL2Sampler
+from repro.streams.generators import stream_from_vector, zipfian_frequency_vector
+from repro.utils.stats import expected_tvd_noise_floor, total_variation_distance
+
+
+def run_experiment():
+    rows = []
+
+    # (a) Oracle-mode distributional correctness.
+    n = 48
+    vector = zipfian_frequency_vector(n, skew=1.2, scale=120.0, seed=EXPERIMENT_SEED)
+    stream = stream_from_vector(vector, updates_per_unit=2, seed=EXPERIMENT_SEED + 1)
+    target = vector**2 / np.sum(vector**2)
+    counts, failures = empirical_counts(
+        lambda s: JW18LpSampler(n, 2.0, seed=s, exact_recovery=True),
+        stream, n, draws=800,
+    )
+    successes = int(counts.sum())
+    tvd = total_variation_distance(counts / successes, target)
+    floor = expected_tvd_noise_floor(target, successes)
+    rows.append(["oracle recovery, zipf", successes, failures, round(tvd, 3),
+                 round(floor, 3), "-"])
+
+    # (b) Fully sketched sampler on the skewed workload: hit rate on the top
+    #     10% heaviest coordinates (which carry ~all of the L_2 mass).
+    heavy_set = set(np.argsort(vector)[-max(1, n // 10):].tolist())
+    heavy_mass = float(target[list(heavy_set)].sum())
+    hits, successes, failures = 0, 0, 0
+    value_errors = []
+    for seed in range(60):
+        sampler = PerfectL2Sampler(n, seed=seed)
+        sampler.update_stream(stream)
+        drawn = sampler.sample()
+        if drawn is None:
+            failures += 1
+            continue
+        successes += 1
+        hits += drawn.index in heavy_set
+        truth = vector[drawn.index]
+        if abs(truth) > 1:
+            value_errors.append(abs(drawn.value_estimate - truth) / abs(truth))
+    rows.append(["sketched, zipf", successes, failures,
+                 round(hits / max(successes, 1), 3), round(heavy_mass, 3),
+                 round(float(np.median(value_errors)), 3) if value_errors else "-"])
+
+    # (c) Fully sketched sampler on a flat workload: the gap test should
+    #     fail noticeably more often (no coordinate is separable).
+    flat = np.ones(n)
+    flat_stream = stream_from_vector(flat, updates_per_unit=2, seed=EXPERIMENT_SEED + 2)
+    flat_failures = 0
+    for seed in range(60):
+        sampler = PerfectL2Sampler(n, seed=seed)
+        sampler.update_stream(flat_stream)
+        if sampler.sample() is None:
+            flat_failures += 1
+    rows.append(["sketched, flat", 60 - flat_failures, flat_failures, "-", "-", "-"])
+    return rows
+
+
+def test_e12_l2_substrate(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_rows(
+        "E12: perfect L_2 substrate — distribution, hit rate, gap-test failures",
+        ["configuration", "successes", "failures", "TVD / heavy hit rate",
+         "noise floor / heavy mass", "median value rel. error"],
+        rows,
+    )
+    oracle = rows[0]
+    assert oracle[3] < 3 * oracle[4] + 0.03
+    sketched = rows[1]
+    assert sketched[1] >= 20
+    assert sketched[3] >= sketched[4] - 0.15  # hit rate tracks the heavy mass
+    if sketched[5] != "-":
+        assert sketched[5] < 0.3

@@ -1,0 +1,81 @@
+"""E13 — insertion-only truly perfect samplers (Table 1 extension).
+
+Paper artifact: the [JWZ22] / [PW25] rows of Table 1.  The paper contrasts
+its turnstile perfect samplers against insertion-only *truly* perfect
+samplers (zero distortion, but unable to handle deletions).  This benchmark
+drives the library's two insertion-only implementations — the
+unit-decomposition rejection sampler and the exponential race — on the same
+workload and reports their TVD to the exact G-target together with their
+query-state footprint.
+
+Expected shape: both samplers sit at (or below) the sampling-noise floor,
+the race sampler never fails, and the race's query state is two words while
+the rejection sampler's state grows with its repetition count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _harness import EXPERIMENT_SEED, print_rows
+from repro.functions import LogFunction, LpFunction, SoftCapFunction
+from repro.samplers import ExponentialRaceSampler, TrulyPerfectGSampler
+from repro.streams import insertion_only_stream, zipfian_frequency_vector
+from repro.utils.stats import expected_tvd_noise_floor, total_variation_distance
+
+
+def run_experiment(n: int = 40, draws: int = 350):
+    vector = zipfian_frequency_vector(n, skew=1.3, scale=80.0, seed=EXPERIMENT_SEED)
+    stream = insertion_only_stream(vector, seed=EXPERIMENT_SEED + 1)
+    configurations = [
+        ("race, G=log(1+z)", LogFunction(), "race"),
+        ("race, G=1-exp(-0.2 z)", SoftCapFunction(tau=0.2), "race"),
+        ("race, G=|z| (L_1)", LpFunction(1.0), "race"),
+        ("rejection, G=log(1+z)", LogFunction(), "rejection"),
+    ]
+    rows = []
+    for label, g, kind in configurations:
+        target = g.target_distribution(vector)
+        counts = np.zeros(n)
+        failures = 0
+        state_words = 0
+        for seed in range(draws):
+            if kind == "race":
+                sampler = ExponentialRaceSampler(n, g, seed=seed)
+                state_words = sampler.sample_state_words
+            else:
+                sampler = TrulyPerfectGSampler(n, g, max_value=float(vector.max()),
+                                               num_repetitions=64, seed=seed)
+                state_words = sampler.space_counters()
+            sampler.update_stream(stream)
+            drawn = sampler.sample()
+            if drawn is None:
+                failures += 1
+            else:
+                counts[drawn.index] += 1
+        successes = counts.sum()
+        empirical = counts / successes
+        rows.append([
+            label,
+            int(successes),
+            failures,
+            round(total_variation_distance(empirical, target), 4),
+            round(expected_tvd_noise_floor(target, int(successes)), 4),
+            state_words,
+        ])
+    return rows
+
+
+def test_e13_insertion_only_truly_perfect(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_rows(
+        "E13: insertion-only truly perfect samplers (Table 1 extension)",
+        ["sampler / G", "draws", "failures", "TVD", "noise floor", "query-state words"],
+        rows,
+    )
+    for label, successes, failures, tvd, floor, state_words in rows:
+        # Truly perfect: the empirical law sits at the sampling-noise floor.
+        assert tvd <= 2.0 * floor + 0.02
+        if label.startswith("race"):
+            assert failures == 0
+            assert state_words == 2

@@ -1,0 +1,71 @@
+"""E18 — information leakage of approximate vs perfect samplers.
+
+Paper artifact: the statistical-indistinguishability and privacy motivation
+of Section 1.3.  A specification-compliant eps-approximate sampler may
+encode one bit of global information in the direction of its allowed bias;
+an observer counting the sampled frequency of the biased set extracts that
+bit.  A perfect sampler leaves the observer at chance level.
+
+Expected shape: the attack success rate against the leaky approximate
+sampler rises quickly with eps (approaching 1), while against the perfect
+sampler it stays near 0.5 for every eps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _harness import EXPERIMENT_SEED, print_rows
+from repro.applications import PropertyLeakingSampler, leakage_experiment
+from repro.samplers import ExactLpSampler
+from repro.streams import stream_from_vector, zipfian_frequency_vector
+
+
+def run_experiment(n: int = 40, p: float = 3.0, trials: int = 30, queries: int = 250):
+    vector = zipfian_frequency_vector(n, skew=1.1, scale=100.0, seed=EXPERIMENT_SEED)
+    stream = stream_from_vector(vector, updates_per_unit=2, seed=EXPERIMENT_SEED + 1)
+    leak_set = list(range(n // 2))
+    weights = np.abs(vector) ** p
+    reference = float(weights[leak_set].sum() / weights.sum())
+
+    rows = []
+    for epsilon in (0.1, 0.2, 0.4):
+        def leaky_factory(bit, trial, _eps=epsilon):
+            sampler = PropertyLeakingSampler(n, p, _eps, leak_set, property_bit=bit,
+                                             seed=EXPERIMENT_SEED + trial)
+            sampler.update_stream(stream)
+            return sampler
+
+        def perfect_factory(bit, trial):
+            sampler = ExactLpSampler(n, p, seed=EXPERIMENT_SEED + 500 + trial)
+            sampler.update_stream(stream)
+            return sampler
+
+        leaky = leakage_experiment(leaky_factory, leak_set, reference,
+                                   num_trials=trials, queries_per_trial=queries,
+                                   seed=EXPERIMENT_SEED + 7)
+        perfect = leakage_experiment(perfect_factory, leak_set, reference,
+                                     num_trials=trials, queries_per_trial=queries,
+                                     seed=EXPERIMENT_SEED + 8)
+        rows.append([
+            epsilon,
+            round(leaky.attack_success_rate, 2),
+            round(perfect.attack_success_rate, 2),
+            round(leaky.advantage - perfect.advantage, 2),
+        ])
+    return rows
+
+
+def test_e18_adversarial_leakage(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_rows(
+        "E18: one-bit leakage through sampler bias (attack success, 0.5 = chance)",
+        ["eps", "attack vs eps-approximate", "attack vs perfect", "advantage gap"],
+        rows,
+    )
+    for epsilon, leaky_rate, perfect_rate, gap in rows:
+        assert perfect_rate < 0.8
+        if epsilon >= 0.2:
+            # A modest advertised bias already leaks the bit almost always.
+            assert leaky_rate > 0.85
+            assert gap > 0.2

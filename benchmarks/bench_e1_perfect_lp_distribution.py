@@ -1,0 +1,72 @@
+"""E1 — distributional correctness of the perfect L_p samplers for p > 2.
+
+Paper artifact: Theorems 1.2 / 2.6 / 2.10 (Algorithms 1 and 2).  A perfect
+sampler must realise the law |x_i|^p / ||x||_p^p up to 1/poly(n) additive
+slack.  The benchmark measures, for integer and fractional p on Zipfian and
+planted-heavy workloads, the total variation distance between the empirical
+law of many independent draws and the exact target, alongside the
+sampling-noise floor of an *exact* sampler with the same number of draws.
+
+Expected shape: the measured TVD tracks the noise floor (ratio close to 1)
+for every configuration, and the failure rate stays near the configured
+delta; there is no systematic distortion, unlike the approximate sampler of
+experiment E3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _harness import EXPERIMENT_SEED, empirical_counts, print_rows
+from repro.core.perfect_lp_general import make_perfect_lp_sampler
+from repro.streams.generators import (
+    planted_heavy_hitter_vector,
+    stream_from_vector,
+    zipfian_frequency_vector,
+)
+from repro.utils.stats import expected_tvd_noise_floor, total_variation_distance
+
+
+def run_experiment(draws: int = 800):
+    configurations = [
+        ("zipf-1.2", 48, 3.0),
+        ("zipf-1.2", 48, 4.0),
+        ("zipf-1.2", 48, 2.5),
+        ("planted-heavy", 48, 3.0),
+    ]
+    rows = []
+    for workload, n, p in configurations:
+        if workload == "zipf-1.2":
+            vector = zipfian_frequency_vector(n, skew=1.2, scale=150.0, seed=EXPERIMENT_SEED)
+        else:
+            vector = planted_heavy_hitter_vector(n, num_heavy=2, heavy_value=250.0,
+                                                 noise_value=5.0, seed=EXPERIMENT_SEED)
+        stream = stream_from_vector(vector, updates_per_unit=2, seed=EXPERIMENT_SEED + 1)
+        target = np.abs(vector) ** p
+        target = target / target.sum()
+
+        counts, failures = empirical_counts(
+            lambda s: make_perfect_lp_sampler(n, p, seed=s, backend="oracle",
+                                              failure_probability=0.1),
+            stream, n, draws,
+        )
+        successes = int(counts.sum())
+        tvd = total_variation_distance(counts / successes, target)
+        floor = expected_tvd_noise_floor(target, successes)
+        rows.append([workload, n, p, successes, failures, round(tvd, 4),
+                     round(floor, 4), round(tvd / floor, 2)])
+    return rows
+
+
+def test_e1_perfect_lp_distribution(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_rows(
+        "E1: perfect L_p (p > 2) empirical law vs target",
+        ["workload", "n", "p", "draws", "failures", "TVD", "noise floor", "TVD/floor"],
+        rows,
+    )
+    for row in rows:
+        tvd, floor = row[5], row[6]
+        assert tvd < 3.0 * floor + 0.03
+        # Failure rate near the configured delta = 0.1.
+        assert row[4] < 0.25 * (row[3] + row[4])

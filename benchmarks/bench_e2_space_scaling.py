@@ -1,0 +1,82 @@
+"""E2 — space scaling of the p > 2 samplers: counters ~ n^{1-2/p}.
+
+Paper artifact: the space bounds of Theorems 1.2 and 1.3.  The benchmark
+instantiates the fully sketched samplers over a geometric range of universe
+sizes, records the number of allocated counters, and fits a power-law
+exponent, comparing it against the theoretical 1 - 2/p.  A polylog-space
+substrate (the perfect L_2 sampler) is included as a contrast curve.
+
+Expected shape: the fitted exponent for the p > 2 samplers lands in a band
+around 1 - 2/p (0.33 for p=3, 0.5 for p=4) — clearly separated from both
+the ~0 exponent of the polylog-space L_2 sampler and the exponent 1 of
+storing the full vector.
+"""
+
+from __future__ import annotations
+
+from _harness import EXPERIMENT_SEED, print_rows
+from repro.core.approximate_lp import ApproximateLpSampler
+from repro.core.perfect_lp_integer import PerfectLpSamplerInteger
+from repro.evaluation.space_model import (
+    fit_space_exponent,
+    measure_space,
+    theoretical_space_exponent,
+)
+from repro.samplers.jw18_lp_sampler import PerfectL2Sampler
+
+UNIVERSES = [256, 1024, 4096, 16384]
+
+
+def run_experiment():
+    rows = []
+
+    for p in (3.0, 4.0):
+        measurements = measure_space(
+            lambda n: ApproximateLpSampler(n, p, epsilon=0.5, seed=EXPERIMENT_SEED,
+                                           duplication=16, track_value=False,
+                                           fp_repetitions=5),
+            UNIVERSES, label=f"approx-lp-p{p:g}",
+        )
+        exponent = fit_space_exponent(measurements)
+        rows.append([f"approximate L_p (p={p:g})", theoretical_space_exponent(p),
+                     round(exponent, 3)]
+                    + [m.counters for m in measurements])
+
+    measurements = measure_space(
+        lambda n: PerfectLpSamplerInteger(n, 4, seed=EXPERIMENT_SEED, backend="sketch",
+                                          num_l2_samples=max(4, int(round(n ** 0.5 / 4))),
+                                          value_instances=2),
+        UNIVERSES, label="perfect-lp-p4",
+    )
+    rows.append(["perfect L_p (p=4)", theoretical_space_exponent(4.0),
+                 round(fit_space_exponent(measurements), 3)]
+                + [m.counters for m in measurements])
+
+    measurements = measure_space(
+        lambda n: PerfectL2Sampler(n, seed=EXPERIMENT_SEED, value_instances=2),
+        UNIVERSES, label="perfect-l2",
+    )
+    rows.append(["perfect L_2 substrate (polylog)", 0.0,
+                 round(fit_space_exponent(measurements), 3)]
+                + [m.counters for m in measurements])
+
+    rows.append(["full frequency vector", 1.0, 1.0] + UNIVERSES)
+    return rows
+
+
+def test_e2_space_scaling(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_rows(
+        "E2: fitted space exponent vs theory (counters at n = 256..16384)",
+        ["structure", "theory 1-2/p", "fitted"] + [f"n={n}" for n in UNIVERSES],
+        rows,
+    )
+    fitted = {row[0]: row[2] for row in rows}
+    # p > 2 samplers: sublinear but clearly not polylog.
+    assert 0.2 < fitted["approximate L_p (p=3)"] < 0.75
+    assert 0.3 < fitted["approximate L_p (p=4)"] < 0.85
+    assert 0.25 < fitted["perfect L_p (p=4)"] < 0.85
+    # The L_2 substrate grows much more slowly than any p > 2 sampler.
+    assert fitted["perfect L_2 substrate (polylog)"] < fitted["perfect L_p (p=4)"]
+    # Ordering: p = 4 needs asymptotically more than p = 3 per theory.
+    assert fitted["approximate L_p (p=4)"] > fitted["approximate L_p (p=3)"] - 0.1

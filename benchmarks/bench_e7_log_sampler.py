@@ -1,0 +1,57 @@
+"""E7 — perfect logarithmic G-sampler on a cancellation-heavy turnstile stream.
+
+Paper artifact: Theorem 5.5 (Algorithm 6).  G(z) = log(1 + |z|) sampling with
+O(log^3 n) counters on turnstile streams.  The benchmark measures the
+empirical law of the sampler against the exact log-target on a workload with
+heavy insert/delete churn (the regime where insertion-only samplers are
+inapplicable) and records the space used.
+
+Expected shape: TVD at the sampling-noise floor, failure rate bounded by a
+constant, and space orders of magnitude below the universe size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _harness import EXPERIMENT_SEED, empirical_counts, print_rows
+from repro.core.log_sampler import LogSampler
+from repro.streams.generators import (
+    turnstile_stream_with_cancellations,
+    zipfian_frequency_vector,
+)
+from repro.utils.stats import expected_tvd_noise_floor, total_variation_distance
+
+
+def run_experiment(draws: int = 250):
+    n = 96
+    vector = zipfian_frequency_vector(n, skew=1.2, scale=300.0, seed=EXPERIMENT_SEED)
+    zeroed = np.random.default_rng(EXPERIMENT_SEED).choice(n, size=n // 4, replace=False)
+    vector[zeroed] = 0.0
+    stream = turnstile_stream_with_cancellations(vector, churn=1.5,
+                                                 seed=EXPERIMENT_SEED + 1)
+    weights = np.log1p(np.abs(vector))
+    target = weights / weights.sum()
+    max_value = float(np.abs(vector).max()) + 1
+
+    counts, failures = empirical_counts(
+        lambda s: LogSampler(n, max_value=max_value, seed=s, num_repetitions=12),
+        stream, n, draws,
+    )
+    successes = int(counts.sum())
+    tvd = total_variation_distance(counts / successes, target)
+    floor = expected_tvd_noise_floor(target, successes)
+    space = LogSampler(n, max_value=max_value, seed=0, num_repetitions=12).space_counters()
+    return [[n, successes, failures, round(tvd, 3), round(floor, 3), space]]
+
+
+def test_e7_log_sampler(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_rows(
+        "E7: logarithmic G-sampler on a cancellation-heavy stream",
+        ["n", "draws", "failures", "TVD", "noise floor", "space (counters)"],
+        rows,
+    )
+    n, successes, failures, tvd, floor, _space = rows[0]
+    assert successes > 0.5 * (successes + failures)
+    assert tvd < 3 * floor + 0.05

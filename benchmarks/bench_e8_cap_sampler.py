@@ -1,0 +1,70 @@
+"""E8 — perfect cap G-sampler: min(T, |z|^p) across thresholds.
+
+Paper artifact: Theorem 5.6 (Algorithm 7).  The benchmark sweeps the cap
+threshold T and measures (a) the TVD of the empirical law to the capped
+target and (b) the fraction of samples landing on the largest coordinate,
+which the cap is supposed to limit.
+
+Expected shape: TVD at the noise floor for every T; the heavy coordinate's
+sample share decreases as T decreases (stronger capping), in contrast to an
+uncapped L_p sampler which funnels nearly all samples to it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _harness import EXPERIMENT_SEED, empirical_counts, print_rows
+from repro.core.cap_sampler import CapSampler
+from repro.streams.generators import stream_from_vector
+from repro.utils.stats import expected_tvd_noise_floor, total_variation_distance
+
+
+def run_experiment(draws: int = 250):
+    n = 64
+    rng = np.random.default_rng(EXPERIMENT_SEED)
+    vector = rng.integers(1, 6, size=n).astype(float)
+    vector[10] = 200.0  # a single dominant item the cap should rein in
+    stream = stream_from_vector(vector, updates_per_unit=2, seed=EXPERIMENT_SEED + 1)
+
+    rows = []
+    for threshold in (4.0, 16.0):
+        weights = np.minimum(threshold, np.abs(vector) ** 2)
+        target = weights / weights.sum()
+        counts, failures = empirical_counts(
+            lambda s: CapSampler(n, threshold, 2.0, seed=s, num_repetitions=24),
+            stream, n, draws,
+        )
+        successes = int(counts.sum())
+        empirical = counts / successes
+        rows.append([
+            threshold, successes, failures,
+            round(total_variation_distance(empirical, target), 3),
+            round(expected_tvd_noise_floor(target, successes), 3),
+            round(float(empirical[10]), 3),
+            round(float(target[10]), 3),
+        ])
+    uncapped = np.abs(vector) ** 2 / np.sum(np.abs(vector) ** 2)
+    rows.append(["uncapped L_2 law", "-", "-", "-", "-", round(float(uncapped[10]), 3),
+                 round(float(uncapped[10]), 3)])
+    return rows
+
+
+def test_e8_cap_sampler(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_rows(
+        "E8: cap G-sampler min(T, z^2) across thresholds (heavy item at index 10)",
+        ["T", "draws", "failures", "TVD", "noise floor",
+         "heavy item share (empirical)", "heavy item share (target)"],
+        rows,
+    )
+    capped_rows = [row for row in rows if isinstance(row[0], float)]
+    for row in capped_rows:
+        assert row[3] < 3 * row[4] + 0.06
+    # Stronger capping -> smaller share of samples on the dominant item, and
+    # both far below the uncapped L_2 share.
+    share_t4 = capped_rows[0][5]
+    share_t16 = capped_rows[1][5]
+    uncapped_share = rows[-1][5]
+    assert share_t4 <= share_t16 + 0.05
+    assert share_t16 < uncapped_share

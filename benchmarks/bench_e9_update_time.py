@@ -1,0 +1,96 @@
+"""E9 — per-update cost: fast-update (binomial counting) vs explicit duplication.
+
+Paper artifact: the fast-update scheme of Section 3 / Theorem 3.21, which
+keeps the update time polylogarithmic regardless of the duplication
+parameter by replacing explicit copies with multinomial/binomial counts.
+
+The benchmark times, per stream update, the approximate sampler's two update
+paths and an explicit-enumeration strawman that touches every duplicated
+copy individually.
+
+Expected shape: the fast-update sampler's per-update cost barely moves when
+the duplication parameter grows (its work is dominated by the fixed sketch
+stages), while the explicit-enumeration strawman's cost grows with the
+duplication count — absolute constants are not comparable (the strawman does
+nothing but one vectorised pass over the copies), so the benchmark judges
+growth ratios, not absolute times.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from _harness import EXPERIMENT_SEED, print_rows
+from repro.core.approximate_lp import ApproximateLpSampler
+from repro.core.fast_update import DiscretizedDuplication
+from repro.streams.generators import stream_from_vector, zipfian_frequency_vector
+
+
+def _time_sampler_updates(sampler, stream) -> float:
+    start = time.perf_counter()
+    for update in stream:
+        sampler.update(update.index, update.delta)
+    elapsed = time.perf_counter() - start
+    return elapsed / max(stream.length, 1)
+
+
+def _time_explicit_enumeration(stream, p, duplication, seed) -> float:
+    """Strawman: touch every duplicated copy explicitly on each update."""
+    rng = np.random.default_rng(seed)
+    per_coordinate = {}
+    start = time.perf_counter()
+    sink = 0.0
+    for update in stream:
+        factors = per_coordinate.get(update.index)
+        if factors is None:
+            factors = rng.exponential(size=duplication) ** (-1.0 / p)
+            per_coordinate[update.index] = factors
+        sink += float(np.sum(update.delta * factors))
+    elapsed = time.perf_counter() - start
+    assert np.isfinite(sink)
+    return elapsed / max(stream.length, 1)
+
+
+def run_experiment():
+    n, p = 256, 3.0
+    vector = zipfian_frequency_vector(n, skew=1.2, scale=150.0, seed=EXPERIMENT_SEED)
+    stream = stream_from_vector(vector, updates_per_unit=8, seed=EXPERIMENT_SEED + 1)
+
+    rows = []
+    for duplication in (256, 4096):
+        fast = ApproximateLpSampler(n, p, epsilon=0.3, seed=EXPERIMENT_SEED,
+                                    duplication=duplication, fast_update=True,
+                                    track_value=False, fp_repetitions=5)
+        fast_time = _time_sampler_updates(fast, stream)
+
+        slow_profile = ApproximateLpSampler(n, p, epsilon=0.3, seed=EXPERIMENT_SEED,
+                                            duplication=duplication, fast_update=False,
+                                            track_value=False, fp_repetitions=5)
+        profile_time = _time_sampler_updates(slow_profile, stream)
+
+        explicit_time = _time_explicit_enumeration(stream, p, duplication,
+                                                   EXPERIMENT_SEED + 2)
+        rows.append([duplication, round(1e6 * fast_time, 1),
+                     round(1e6 * profile_time, 1), round(1e6 * explicit_time, 1)])
+    return rows
+
+
+def test_e9_update_time(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_rows(
+        "E9: per-update time (microseconds) vs duplication parameter",
+        ["duplication", "fast update (binomial)", "explicit-profile sampler",
+         "explicit enumeration strawman"],
+        rows,
+    )
+    small, large = rows[0], rows[1]
+    # Fast update time is insensitive to duplication (within a 5x band).
+    assert large[1] < 5 * small[1] + 50
+    # The explicit-enumeration strawman's cost grows with the duplication
+    # parameter, and it grows faster than the fast-update path's cost does.
+    strawman_growth = large[3] / max(small[3], 1e-9)
+    fast_growth = large[1] / max(small[1], 1e-9)
+    assert strawman_growth > 2.0
+    assert fast_growth < strawman_growth

@@ -1,0 +1,96 @@
+"""G-sampling beyond L_p: M-estimators and the Levy-exponent class.
+
+The paper's rejection framework (Algorithm 8) turns a perfect L_0 sampler
+into a perfect G-sampler for *any* bounded non-negative G on turnstile
+streams, and the related insertion-only samplers ([JWZ22], [PW25]) handle
+monotone G with truly zero distortion.  This script exercises both routes on
+the robust-statistics weight functions highlighted in Section 1.1:
+
+1. turnstile route: Huber, Fair and L1-L2 M-estimator samplers built from
+   the rejection framework, checked against their exact target pmfs;
+2. insertion-only route: the soft-cap (Levy-exponent) function sampled with
+   the two-word exponential race, again checked against its target.
+
+Run with:  python examples/m_estimator_sampling.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    ExponentialRaceSampler,
+    FairFunction,
+    HuberFunction,
+    L1L2Function,
+    SoftCapFunction,
+    insertion_only_stream,
+    turnstile_stream_with_cancellations,
+    zipfian_frequency_vector,
+)
+from repro.core.rejection import RejectionGSampler
+from repro.utils.stats import total_variation_distance
+
+
+def turnstile_m_estimator_demo(vector: np.ndarray, stream, num_draws: int = 80) -> None:
+    """Perfect M-estimator sampling on a cancellation-heavy turnstile stream."""
+    n = len(vector)
+    max_magnitude = float(np.abs(vector).max())
+    for g in [HuberFunction(tau=4.0), FairFunction(tau=4.0), L1L2Function()]:
+        target = g.target_distribution(vector)
+        counts = np.zeros(n)
+        failures = 0
+        for seed in range(num_draws):
+            sampler = RejectionGSampler(
+                n, g, upper_bound=g.upper_bound(max_magnitude),
+                lower_bound=g.lower_bound(1.0), seed=seed, num_repetitions=24,
+                sparsity=8,
+            )
+            sampler.update_stream(stream)
+            draw = sampler.sample()
+            if draw is None:
+                failures += 1
+            else:
+                counts[draw.index] += 1
+        empirical = counts / counts.sum()
+        tvd = total_variation_distance(empirical, target)
+        print(f"  {g.name:<16} draws={int(counts.sum()):4d} failures={failures:3d} "
+              f"TVD to target={tvd:.3f}")
+
+
+def insertion_only_levy_demo(vector: np.ndarray, num_draws: int = 400) -> None:
+    """Truly perfect soft-cap sampling with the exponential race."""
+    n = len(vector)
+    g = SoftCapFunction(tau=0.15)
+    target = g.target_distribution(vector)
+    stream = insertion_only_stream(vector, seed=5)
+    counts = np.zeros(n)
+    for seed in range(num_draws):
+        sampler = ExponentialRaceSampler(n, g, seed=seed)
+        sampler.update_stream(stream)
+        counts[sampler.sample().index] += 1
+    empirical = counts / counts.sum()
+    print(f"  {g.name:<16} draws={num_draws:4d} failures=  0 "
+          f"TVD to target={total_variation_distance(empirical, target):.3f} "
+          f"(query state: 2 words)")
+
+
+def main() -> None:
+    n = 32
+    vector = zipfian_frequency_vector(n, skew=1.2, scale=60.0, seed=11)
+    stream = turnstile_stream_with_cancellations(vector, churn=1.0, seed=12)
+    print(f"universe n={n}, turnstile stream length m={stream.length} "
+          f"(heavy cancellations)\n")
+
+    print("turnstile M-estimator samplers (Algorithm 8 rejection framework):")
+    turnstile_m_estimator_demo(vector, stream)
+
+    print("\ninsertion-only Levy-class sampler (exponential race, [PW25] style):")
+    insertion_only_levy_demo(vector)
+
+    print("\nAll samplers reproduce their target distributions up to sampling "
+          "noise, including the non-scale-invariant M-estimator weights.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Polynomial samplers: non-scale-invariant emphasis functions.
+
+Scenario (Theorem 1.5): an analytics pipeline wants to sample database keys
+with probability proportional to a *mixture* of emphases, e.g.
+
+    G(z) = z^3 + 50 z      (frequency-cubed emphasis plus a volume floor)
+
+Unlike |z|^p, this target is not scale invariant — multiplying every count
+by 10 changes the sampling distribution — so no L_p sampler can realise it
+by itself.  Algorithm 3 anchors on a perfect L_p sample for the top degree
+and corrects with rejection.  The script also shows the logarithmic sampler
+(Algorithm 6), the other end of the emphasis spectrum.
+
+Run with:  python examples/polynomial_emphasis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    LogSampler,
+    PolynomialFunction,
+    PolynomialSampler,
+    stream_from_vector,
+)
+from repro.utils.stats import total_variation_distance
+
+
+def empirical(factory, stream, n, draws):
+    counts = np.zeros(n)
+    for seed in range(draws):
+        sampler = factory(seed)
+        sampler.update_stream(stream)
+        draw = sampler.sample()
+        if draw is not None:
+            counts[draw.index] += 1
+    return counts / max(counts.sum(), 1), int(counts.sum())
+
+
+def main() -> None:
+    n = 48
+    rng = np.random.default_rng(41)
+    vector = rng.integers(1, 12, size=n).astype(float)
+    vector[7] = 40.0
+    vector[23] = 25.0
+    stream = stream_from_vector(vector, updates_per_unit=2, seed=42)
+
+    g = PolynomialFunction.from_terms([(1.0, 3.0), (50.0, 1.0)])
+    poly_target = g(vector) / g(vector).sum()
+    lp_target = np.abs(vector) ** 3 / np.sum(np.abs(vector) ** 3)
+    log_target = np.log1p(np.abs(vector)) / np.log1p(np.abs(vector)).sum()
+
+    print("scale sensitivity of the polynomial target "
+          "(probability of the heaviest key 7):")
+    for scale in (1.0, 10.0):
+        scaled = g(scale * vector) / g(scale * vector).sum()
+        print(f"  counts x{scale:<4g} -> Pr[key 7] = {scaled[7]:.3f}")
+    print("an L_p target would be identical at both scales.\n")
+
+    draws = 400
+    poly_hist, poly_ok = empirical(
+        lambda s: PolynomialSampler(n, g, seed=s, backend="oracle",
+                                    failure_probability=0.05),
+        stream, n, draws)
+    log_hist, log_ok = empirical(
+        lambda s: LogSampler(n, max_value=float(vector.max()) + 1, seed=s,
+                             num_repetitions=12),
+        stream, n, draws)
+
+    print(f"polynomial sampler ({poly_ok} draws): "
+          f"TVD to G-target = {total_variation_distance(poly_hist, poly_target):.3f}, "
+          f"TVD to plain L_3 target = {total_variation_distance(poly_hist, lp_target):.3f}")
+    print(f"logarithmic sampler ({log_ok} draws): "
+          f"TVD to log-target = {total_variation_distance(log_hist, log_target):.3f}")
+    print("\nthe polynomial sampler tracks its own target, not the L_3 law — "
+          "exactly the non-scale-invariant behaviour Theorem 1.5 provides.")
+
+
+if __name__ == "__main__":
+    main()

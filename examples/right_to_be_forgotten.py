@@ -1,0 +1,77 @@
+"""Right-to-be-forgotten: moment estimation after post-stream deletions.
+
+Scenario (Section 1.2 / Theorem 1.6 and the RFDS discussion): a data
+platform processes a turnstile stream of per-user activity counts.  After
+the stream has been summarised, a set of users exercises their right to be
+forgotten.  The platform must now answer "what is the p-th moment of the
+*retained* users' activity?" — but the forget requests arrive only after the
+sketch was built, so the query set Q is post-stream.
+
+Algorithm 5 answers this with O(1/(alpha * eps^2)) perfect L_p samples plus
+unbiased F_p estimates; the naive alternative (sum powered CountSketch point
+queries over Q) needs a factor 1/alpha more space for the same accuracy.
+
+Run with:  python examples/right_to_be_forgotten.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    CountSketchSubsetBaseline,
+    SubsetMomentEstimator,
+    forget_request_set,
+    stream_from_vector,
+    zipfian_frequency_vector,
+)
+from repro.core.subset_norm import exact_subset_moment
+
+
+def main() -> None:
+    n_users = 512
+    p = 3.0
+    epsilon = 0.25
+
+    activity = zipfian_frequency_vector(n_users, skew=1.1, scale=500.0, seed=17)
+    stream = stream_from_vector(activity, updates_per_unit=2, seed=18)
+
+    # 20% of users ask to be forgotten, biased towards heavy users (the
+    # adversarial case for naive estimators).
+    retained = forget_request_set(activity, forget_fraction=0.2, seed=19, bias_heavy=True)
+    forgotten = sorted(set(range(n_users)) - set(retained.tolist()))
+
+    truth_all = exact_subset_moment(activity, range(n_users), p)
+    truth_retained = exact_subset_moment(activity, retained, p)
+    alpha = truth_retained / truth_all
+    print(f"{n_users} users, {len(forgotten)} forget requests "
+          f"(biased towards heavy users)")
+    print(f"retained share of F_{p:g}: alpha = {alpha:.3f}")
+
+    # --- Algorithm 5 -----------------------------------------------------
+    estimator = SubsetMomentEstimator(
+        n_users, p, epsilon=epsilon, alpha=max(alpha * 0.5, 0.02), seed=20,
+        repetitions=400, estimator_exact_recovery=True,
+    )
+    estimator.update_stream(stream)
+    estimate = estimator.estimate(retained)
+    print(f"\nAlgorithm 5 estimate of the retained moment : {estimate:.3e}")
+    print(f"exact retained moment                        : {truth_retained:.3e}")
+    print(f"relative error                               : "
+          f"{abs(estimate - truth_retained) / truth_retained:.2%}")
+    print(f"repetitions used                             : {estimator.repetitions}")
+
+    # --- Naive CountSketch baseline at a small space budget --------------
+    baseline = CountSketchSubsetBaseline(n_users, p, buckets=64, rows=5, seed=21)
+    baseline.update_stream(stream)
+    baseline_estimate = baseline.estimate(retained)
+    print(f"\nCountSketch baseline (64x5 table) estimate   : {baseline_estimate:.3e}")
+    print(f"baseline relative error                      : "
+          f"{abs(baseline_estimate - truth_retained) / truth_retained:.2%}")
+    print("\nThe sampling-based estimator stays accurate because each accepted "
+          "sample contributes an unbiased F_p estimate, while the baseline's "
+          "powered point-query noise is amplified by p-th powers.")
+
+
+if __name__ == "__main__":
+    main()

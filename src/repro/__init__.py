@@ -1,0 +1,230 @@
+"""repro — Perfect Sampling in Turnstile Streams Beyond Small Moments.
+
+A production-quality reproduction of Woodruff, Xie, and Zhou (PODS 2025):
+perfect and approximate ``L_p`` samplers for ``p > 2`` on turnstile streams,
+perfect polynomial samplers, cap/logarithmic/general ``G``-samplers, and the
+subset-moment estimation application, together with every sketching
+substrate they rely on (CountSketch, AMS, ``F_p`` estimation, perfect
+``L_0``/``L_2`` samplers, exact sparse recovery) and classical baselines.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import PerfectLpSampler, stream_from_vector
+>>> vector = np.array([40.0, 1.0, 3.0, 0.0, 12.0])
+>>> sampler = PerfectLpSampler(5, p=3.0, seed=0, backend="oracle")
+>>> sampler.update_stream(stream_from_vector(vector, seed=1))
+>>> draw = sampler.sample()
+>>> draw is None or 0 <= draw.index < 5
+True
+
+See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
+experiment suite indexed in DESIGN.md and EXPERIMENTS.md.
+"""
+
+from repro.exceptions import (
+    EstimationError,
+    InvalidParameterError,
+    ReproError,
+    SamplerStateError,
+    StreamError,
+)
+from repro.streams import (
+    FrequencyVector,
+    StreamKind,
+    TurnstileStream,
+    Update,
+    forget_request_set,
+    gaussian_vector,
+    insertion_only_stream,
+    planted_heavy_hitter_vector,
+    random_query_set,
+    stream_from_vector,
+    turnstile_stream_with_cancellations,
+    uniform_frequency_vector,
+    zipfian_frequency_vector,
+)
+from repro.sketch import (
+    AMSSketch,
+    AveragedCountSketch,
+    CountMin,
+    CountSketch,
+    ExponentialScaler,
+    FpEstimator,
+    KMinimumValues,
+    KSparseRecovery,
+    KWiseHash,
+    MaxStabilityFpEstimator,
+    OneSparseRecovery,
+    PairwiseHash,
+    PStableSketch,
+    RandomBucketCountSketch,
+    RoughL0Estimator,
+    SignHash,
+)
+from repro.functions import (
+    CapFunction,
+    FairFunction,
+    GFunction,
+    HuberFunction,
+    L1L2Function,
+    LevyExponentFunction,
+    LogFunction,
+    LpFunction,
+    PolynomialGFunction,
+    SoftCapFunction,
+    SoftConcaveSublinearFunction,
+    SupportFunction,
+)
+from repro.samplers import (
+    ExactGSampler,
+    ExactLpSampler,
+    ExponentialRaceSampler,
+    JW18LpSampler,
+    PerfectL0Sampler,
+    PerfectL2Sampler,
+    PrecisionLpSampler,
+    ReservoirL1Sampler,
+    Sample,
+    StreamingSampler,
+    TrulyPerfectGSampler,
+)
+from repro.applications import (
+    DistributedSamplingCoordinator,
+    DuplicateFinder,
+    LpSamplingHeavyHitters,
+    PropertyLeakingSampler,
+    RightToBeForgottenEstimator,
+    leakage_experiment,
+)
+from repro.core import (
+    ApproximateLpSampler,
+    CapSampler,
+    CountSketchSubsetBaseline,
+    DiscretizedDuplication,
+    FastUpdateState,
+    LogSampler,
+    PerfectLpSampler,
+    PerfectLpSamplerInteger,
+    PolynomialFunction,
+    PolynomialSampler,
+    RejectionGSampler,
+    SubsetMomentEstimator,
+)
+from repro.core.perfect_lp_general import make_perfect_lp_sampler
+from repro.lower_bound import (
+    HardInstance,
+    SamplingDistinguisher,
+    distinguishing_accuracy,
+    sample_alpha,
+    sample_beta,
+)
+from repro.evaluation import (
+    DistributionReport,
+    SamplerComparisonRow,
+    evaluate_sampler_distribution,
+    fit_space_exponent,
+    measure_space,
+    regenerate_table1,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # exceptions
+    "ReproError",
+    "InvalidParameterError",
+    "StreamError",
+    "SamplerStateError",
+    "EstimationError",
+    # streams
+    "Update",
+    "StreamKind",
+    "TurnstileStream",
+    "FrequencyVector",
+    "stream_from_vector",
+    "insertion_only_stream",
+    "turnstile_stream_with_cancellations",
+    "zipfian_frequency_vector",
+    "uniform_frequency_vector",
+    "planted_heavy_hitter_vector",
+    "gaussian_vector",
+    "random_query_set",
+    "forget_request_set",
+    # sketches
+    "KWiseHash",
+    "PairwiseHash",
+    "SignHash",
+    "CountSketch",
+    "AveragedCountSketch",
+    "RandomBucketCountSketch",
+    "CountMin",
+    "AMSSketch",
+    "FpEstimator",
+    "MaxStabilityFpEstimator",
+    "ExponentialScaler",
+    "OneSparseRecovery",
+    "KSparseRecovery",
+    "PStableSketch",
+    "KMinimumValues",
+    "RoughL0Estimator",
+    # G-functions
+    "GFunction",
+    "LpFunction",
+    "SupportFunction",
+    "LogFunction",
+    "CapFunction",
+    "PolynomialGFunction",
+    "HuberFunction",
+    "FairFunction",
+    "L1L2Function",
+    "SoftCapFunction",
+    "LevyExponentFunction",
+    "SoftConcaveSublinearFunction",
+    # substrate samplers
+    "Sample",
+    "StreamingSampler",
+    "ExactLpSampler",
+    "ExactGSampler",
+    "PerfectL0Sampler",
+    "PerfectL2Sampler",
+    "JW18LpSampler",
+    "ReservoirL1Sampler",
+    "PrecisionLpSampler",
+    "TrulyPerfectGSampler",
+    "ExponentialRaceSampler",
+    # applications
+    "RightToBeForgottenEstimator",
+    "LpSamplingHeavyHitters",
+    "DuplicateFinder",
+    "PropertyLeakingSampler",
+    "leakage_experiment",
+    "DistributedSamplingCoordinator",
+    # the paper's contribution
+    "PerfectLpSampler",
+    "PerfectLpSamplerInteger",
+    "make_perfect_lp_sampler",
+    "PolynomialSampler",
+    "PolynomialFunction",
+    "ApproximateLpSampler",
+    "DiscretizedDuplication",
+    "FastUpdateState",
+    "LogSampler",
+    "CapSampler",
+    "RejectionGSampler",
+    "SubsetMomentEstimator",
+    "CountSketchSubsetBaseline",
+    # lower bound
+    "HardInstance",
+    "sample_alpha",
+    "sample_beta",
+    "SamplingDistinguisher",
+    "distinguishing_accuracy",
+    # evaluation
+    "DistributionReport",
+    "evaluate_sampler_distribution",
+    "measure_space",
+    "fit_space_exponent",
+    "SamplerComparisonRow",
+    "regenerate_table1",
+]

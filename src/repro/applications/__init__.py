@@ -1,0 +1,62 @@
+"""Downstream applications built on the paper's samplers.
+
+``rfds``
+    The "right to be forgotten data streaming" model: end-of-stream forget
+    requests answered through the subset-moment estimator of Theorem 1.6.
+``heavy_hitters``
+    ``L_p``-sampling-based heavy-hitter detection (the "heavy-tailed
+    emphasis" motivation of Section 1.3).
+``duplicates``
+    Finding duplicates in an item stream through perfect support sampling
+    with exact value recovery (the classic [JST11] application).
+``adversarial``
+    The statistical-indistinguishability / privacy motivation made
+    executable: an approximate sampler that leaks one bit of global
+    information through its bias, the observer that extracts it, and the
+    experiment showing a perfect sampler does not leak.
+``distributed``
+    Distributed databases: per-shard samplers and moment estimates combined
+    by a coordinator into global samples.
+"""
+
+from repro.applications.adversarial import (
+    LeakageReport,
+    PropertyLeakingSampler,
+    SetFrequencyObserver,
+    leakage_experiment,
+)
+from repro.applications.distributed import (
+    DistributedSamplingCoordinator,
+    shard_assignment,
+    split_stream,
+)
+from repro.applications.duplicates import DuplicateFinder, DuplicateVerdict, exact_duplicates
+from repro.applications.heavy_hitters import (
+    HeavyHitterReport,
+    LpSamplingHeavyHitters,
+    exact_heavy_hitters,
+)
+from repro.applications.rfds import (
+    ForgetRequestLog,
+    RightToBeForgottenEstimator,
+    retained_moment_exact,
+)
+
+__all__ = [
+    "ForgetRequestLog",
+    "RightToBeForgottenEstimator",
+    "retained_moment_exact",
+    "LpSamplingHeavyHitters",
+    "HeavyHitterReport",
+    "exact_heavy_hitters",
+    "DuplicateFinder",
+    "DuplicateVerdict",
+    "exact_duplicates",
+    "PropertyLeakingSampler",
+    "SetFrequencyObserver",
+    "LeakageReport",
+    "leakage_experiment",
+    "DistributedSamplingCoordinator",
+    "shard_assignment",
+    "split_stream",
+]

@@ -1,0 +1,226 @@
+"""Why perfection matters: exploiting the bias of approximate samplers.
+
+Section 1.3 of the paper motivates perfect samplers with a privacy /
+robustness argument: an *approximate* sampler is allowed to bias the
+probabilities of a whole set ``S`` of coordinates by a ``(1 + eps)`` factor,
+and is allowed to pick the direction of that bias as a function of a global
+property ``P`` of the dataset.  An observer who merely counts how often the
+samples land in ``S`` can then read off whether ``P`` holds — a leak.  A
+perfect sampler only carries a ``1/poly(n)`` additive distortion, so the
+same observer learns essentially nothing.
+
+This module makes that argument executable:
+
+* :class:`PropertyLeakingSampler` — an (artificially) adversarial but
+  *specification-compliant* approximate ``L_p`` sampler: it tilts the
+  distribution on a set ``S`` up or down by ``(1 +/- eps)`` depending on a
+  secret bit (the "global property").
+* :class:`SetFrequencyObserver` — the attacker: estimates the sampled mass
+  of ``S`` from queries and guesses the secret bit by thresholding.
+* :func:`leakage_experiment` — runs the attack against a sampler family and
+  reports the attacker's advantage over random guessing; benchmark E18
+  contrasts the leaking approximate sampler with a perfect one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.samplers.base import Sample
+from repro.streams.stream import TurnstileStream
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import (
+    require_in_open_interval,
+    require_moment_order,
+    require_positive_int,
+)
+
+SamplerFactory = Callable[[int], object]
+
+
+class PropertyLeakingSampler:
+    """A compliant-but-leaky approximate ``L_p`` sampler.
+
+    The sampler answers queries with distribution
+    ``(1 + eps * s_i) * |x_i|^p / Z`` where ``s_i = +1`` on the designated
+    set ``S`` and ``s_i = -1`` elsewhere whenever the secret property bit is
+    set, and with the bias direction flipped otherwise.  Both behaviours are
+    within the ``(1 +/- eps)`` relative-error budget of Definition 1.1, so
+    the sampler is a legitimate ``eps``-approximate ``L_p`` sampler — yet
+    its output distribution encodes one bit of global information about the
+    dataset.
+
+    Parameters
+    ----------
+    n:
+        Universe size.
+    p:
+        Moment order.
+    epsilon:
+        Relative bias magnitude (the approximation parameter it advertises).
+    leak_set:
+        The coordinate set ``S`` whose mass is tilted.
+    property_bit:
+        The secret global property: ``True`` tilts ``S`` up, ``False`` tilts
+        it down.
+    """
+
+    def __init__(self, n: int, p: float, epsilon: float, leak_set: Sequence[int],
+                 property_bit: bool, seed: SeedLike = None) -> None:
+        require_positive_int(n, "n")
+        require_moment_order(p, "p", minimum=0.0)
+        require_in_open_interval(epsilon, "epsilon", 0.0, 1.0)
+        self._n = n
+        self._p = float(p)
+        self._epsilon = float(epsilon)
+        members = np.asarray(sorted(set(int(i) for i in leak_set)), dtype=np.int64)
+        if members.size and (members.min() < 0 or members.max() >= n):
+            raise InvalidParameterError("leak_set contains indices outside the universe")
+        self._leak_mask = np.zeros(n, dtype=bool)
+        self._leak_mask[members] = True
+        self._property_bit = bool(property_bit)
+        self._vector = np.zeros(n, dtype=float)
+        self._rng = ensure_rng(seed)
+
+    def space_counters(self) -> int:
+        """The leaky oracle stores the full vector (it exists only to be attacked)."""
+        return self._n
+
+    def update(self, index: int, delta: float) -> None:
+        """Apply a turnstile update."""
+        if not (0 <= index < self._n):
+            raise InvalidParameterError(f"index {index} outside universe [0, {self._n})")
+        self._vector[index] += delta
+
+    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
+        """Replay a whole stream."""
+        if isinstance(stream, TurnstileStream):
+            self._vector += stream.frequency_vector()
+            return
+        for update in stream:
+            self.update(update.index, update.delta)
+
+    def biased_distribution(self) -> np.ndarray:
+        """The tilted pmf the sampler actually answers with."""
+        weights = np.abs(self._vector) ** self._p
+        if weights.sum() <= 0:
+            raise InvalidParameterError("the stream carries no sampling mass")
+        direction = 1.0 if self._property_bit else -1.0
+        tilt = np.where(self._leak_mask, 1.0 + direction * self._epsilon,
+                        1.0 - direction * self._epsilon)
+        tilted = weights * tilt
+        return tilted / tilted.sum()
+
+    def sample(self) -> Optional[Sample]:
+        """Draw from the tilted distribution (never fails)."""
+        probabilities = self.biased_distribution()
+        index = int(self._rng.choice(self._n, p=probabilities))
+        return Sample(index=index, metadata={"biased": True})
+
+
+class SetFrequencyObserver:
+    """The attacker of Section 1.3: estimates the sampled mass of a set ``S``.
+
+    Parameters
+    ----------
+    leak_set:
+        The set ``S`` whose sampled frequency is measured.
+    reference_mass:
+        The unbiased mass ``sum_{i in S} |x_i|^p / F_p`` that a perfect
+        sampler would exhibit; the attacker guesses ``property_bit = True``
+        when the empirical frequency exceeds it.
+    """
+
+    def __init__(self, leak_set: Sequence[int], reference_mass: float) -> None:
+        if not (0.0 <= reference_mass <= 1.0):
+            raise InvalidParameterError("reference_mass must be a probability")
+        self._members = set(int(i) for i in leak_set)
+        self._reference = float(reference_mass)
+
+    def observe(self, samples: Iterable[Optional[Sample]]) -> float:
+        """The empirical frequency of ``S`` among the (successful) samples."""
+        hits = 0
+        total = 0
+        for sample in samples:
+            if sample is None:
+                continue
+            total += 1
+            if sample.index in self._members:
+                hits += 1
+        if total == 0:
+            raise InvalidParameterError("no successful samples to observe")
+        return hits / total
+
+    def guess_property(self, samples: Iterable[Optional[Sample]]) -> bool:
+        """Guess the secret bit by thresholding the empirical frequency."""
+        return self.observe(samples) > self._reference
+
+
+@dataclass(frozen=True)
+class LeakageReport:
+    """Outcome of a leakage experiment.
+
+    Attributes
+    ----------
+    attack_success_rate:
+        Fraction of trials on which the observer guessed the secret bit
+        correctly (0.5 is random guessing).
+    advantage:
+        ``2 * (attack_success_rate - 0.5)``, the distinguishing advantage.
+    num_trials:
+        Number of independent trials.
+    queries_per_trial:
+        Sampler queries the observer made per trial.
+    """
+
+    attack_success_rate: float
+    advantage: float
+    num_trials: int
+    queries_per_trial: int
+
+
+def leakage_experiment(sampler_for_bit: Callable[[bool, int], object],
+                       leak_set: Sequence[int], reference_mass: float, *,
+                       num_trials: int = 40, queries_per_trial: int = 200,
+                       seed: SeedLike = None) -> LeakageReport:
+    """Measure how much one bit of global information leaks through samples.
+
+    Parameters
+    ----------
+    sampler_for_bit:
+        ``sampler_for_bit(property_bit, trial_seed)`` returns a sampler that
+        has already processed the stream and is ready to answer ``sample()``
+        queries.  For a perfect sampler the returned object ignores
+        ``property_bit`` (there is nothing to leak); for the leaky sampler it
+        sets the tilt direction.
+    leak_set:
+        The attacked set ``S``.
+    reference_mass:
+        The unbiased sampled mass of ``S``.
+    num_trials, queries_per_trial:
+        Experiment size.
+    seed:
+        Seed for the secret bits.
+    """
+    require_positive_int(num_trials, "num_trials")
+    require_positive_int(queries_per_trial, "queries_per_trial")
+    rng = ensure_rng(seed)
+    observer = SetFrequencyObserver(leak_set, reference_mass)
+    correct = 0
+    for trial in range(num_trials):
+        secret = bool(rng.integers(0, 2))
+        sampler = sampler_for_bit(secret, trial)
+        samples = [sampler.sample() for _query in range(queries_per_trial)]
+        if observer.guess_property(samples) == secret:
+            correct += 1
+    success = correct / num_trials
+    return LeakageReport(
+        attack_success_rate=success,
+        advantage=2.0 * (success - 0.5),
+        num_trials=num_trials,
+        queries_per_trial=queries_per_trial,
+    )

@@ -1,0 +1,150 @@
+"""Finding duplicates in a stream via sampling (the [JST11] application).
+
+Classic puzzle: a stream presents ``m > n`` items drawn from the universe
+``[0, n)``; by pigeonhole some item appears at least twice, and the task is
+to name one such item in sublinear space.  The standard reduction maintains
+the turnstile difference vector
+
+    ``x_i = (#occurrences of i) - 1``,
+
+obtained by adding ``+1`` per stream item and ``-1`` once per universe
+element.  Every coordinate with ``x_i >= 1`` is a duplicate and every
+non-duplicate contributes ``0`` or ``-1``.  A perfect sampler over the
+support of ``x`` that also recovers the exact value (the ``L_0`` sampler of
+Theorem 5.4) therefore finds a duplicate after a constant expected number of
+draws whenever duplicates carry a constant fraction of the support, and
+``O(log n)`` draws in general.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError, SamplerStateError
+from repro.samplers.l0_sampler import PerfectL0Sampler
+from repro.utils.rng import SeedLike, ensure_rng, random_seed_array
+from repro.utils.validation import require_positive_int
+
+
+@dataclass(frozen=True)
+class DuplicateVerdict:
+    """Outcome of a duplicate query.
+
+    Attributes
+    ----------
+    index:
+        A coordinate that appears at least twice in the item stream, or
+        ``None`` when every repetition failed to certify one.
+    multiplicity:
+        The exact number of occurrences of the reported item.
+    repetitions_used:
+        How many ``L_0`` samplers were queried before success.
+    """
+
+    index: Optional[int]
+    multiplicity: Optional[int]
+    repetitions_used: int
+
+    @property
+    def found(self) -> bool:
+        """Whether a duplicate was certified."""
+        return self.index is not None
+
+
+class DuplicateFinder:
+    """Streaming duplicate detection over the universe ``[0, n)``.
+
+    Parameters
+    ----------
+    n:
+        Universe size.
+    num_repetitions:
+        Number of independent ``L_0`` samplers over the difference vector;
+        each failed or non-duplicate draw moves on to the next repetition.
+    sparsity:
+        Per-level sparsity of the underlying ``L_0`` samplers.
+    seed:
+        Root seed.
+    """
+
+    def __init__(self, n: int, num_repetitions: int = 24, sparsity: int = 12,
+                 seed: SeedLike = None) -> None:
+        require_positive_int(n, "n")
+        require_positive_int(num_repetitions, "num_repetitions")
+        self._n = n
+        rng = ensure_rng(seed)
+        seeds = random_seed_array(rng, num_repetitions)
+        self._samplers = [
+            PerfectL0Sampler(n, sparsity=sparsity, seed=int(seed_value))
+            for seed_value in seeds
+        ]
+        self._baseline_applied = False
+        self._num_items = 0
+
+    @property
+    def num_items(self) -> int:
+        """Number of stream items observed so far."""
+        return self._num_items
+
+    def space_counters(self) -> int:
+        """Counters across all repetitions."""
+        return sum(sampler.space_counters() for sampler in self._samplers)
+
+    def observe(self, item: int) -> None:
+        """Record one occurrence of ``item`` in the stream."""
+        if not (0 <= item < self._n):
+            raise InvalidParameterError(f"item {item} outside universe [0, {self._n})")
+        for sampler in self._samplers:
+            sampler.update(item, 1.0)
+        self._num_items += 1
+
+    def observe_stream(self, items: Iterable[int]) -> None:
+        """Record a whole sequence of items."""
+        for item in items:
+            self.observe(int(item))
+
+    def _apply_baseline(self) -> None:
+        """Subtract one from every universe coordinate (done lazily, once)."""
+        if self._baseline_applied:
+            return
+        for index in range(self._n):
+            for sampler in self._samplers:
+                sampler.update(index, -1.0)
+        self._baseline_applied = True
+
+    def find_duplicate(self) -> DuplicateVerdict:
+        """Report an item appearing at least twice, with its exact multiplicity.
+
+        Draws from successive repetitions until one returns a coordinate
+        whose difference value is positive (a certified duplicate).  When the
+        stream is shorter than the universe there may be no duplicate at
+        all; the verdict then reports ``index=None``.
+        """
+        if self._num_items == 0:
+            raise SamplerStateError("no items observed")
+        self._apply_baseline()
+        for repetition, sampler in enumerate(self._samplers, start=1):
+            drawn = sampler.sample()
+            if drawn is None or drawn.exact_value is None:
+                continue
+            if drawn.exact_value >= 1.0 - 1e-9:
+                return DuplicateVerdict(
+                    index=drawn.index,
+                    multiplicity=int(round(drawn.exact_value)) + 1,
+                    repetitions_used=repetition,
+                )
+        return DuplicateVerdict(index=None, multiplicity=None,
+                                repetitions_used=len(self._samplers))
+
+
+def exact_duplicates(items: Iterable[int], n: int) -> np.ndarray:
+    """Ground-truth duplicate set used by tests."""
+    counts = np.zeros(n, dtype=np.int64)
+    for item in items:
+        if not (0 <= int(item) < n):
+            raise InvalidParameterError(f"item {item} outside universe [0, {n})")
+        counts[int(item)] += 1
+    return np.flatnonzero(counts >= 2)

@@ -1,0 +1,202 @@
+"""The "right to be forgotten data streaming" (RFDS) application.
+
+Section 1.2 / Theorem 1.6 of the paper: entities may request, *after* the
+stream has been curated, that their coordinates be expunged from the
+dataset; the analyst must then answer moment queries over the retained
+coordinates only.  Forget requests arriving mid-stream make the problem
+impossible in sublinear space on turnstile streams [LNSW24], but end-of-
+stream requests reduce exactly to the post-stream subset-moment problem of
+Algorithm 5, with ``Q`` the complement of the forget set.
+
+This module packages that reduction as a small, self-contained API:
+
+* :class:`ForgetRequestLog` — accumulates forget requests (possibly
+  repeated, possibly rescinded) after the stream and exposes the retained
+  query set;
+* :class:`RightToBeForgottenEstimator` — processes the turnstile stream
+  once, then answers ``F_p`` queries over the retained coordinates with the
+  ``(1 + eps)`` guarantee of Theorem 1.6;
+* :func:`retained_moment_exact` — the ground truth used by tests and
+  benchmark E17.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.subset_norm import SubsetMomentEstimator, exact_subset_moment
+from repro.exceptions import InvalidParameterError
+from repro.streams.stream import TurnstileStream
+from repro.utils.rng import SeedLike
+from repro.utils.validation import require_positive_int
+
+
+class ForgetRequestLog:
+    """Post-stream log of forget (and rescind) requests.
+
+    The log is deliberately idempotent: forgetting an already-forgotten
+    entity is a no-op, and a rescind request restores the entity.  This
+    mirrors the end-of-stream semantics the paper adopts (requests arrive
+    only after all data is curated).
+
+    Parameters
+    ----------
+    n:
+        Universe size.
+    """
+
+    def __init__(self, n: int) -> None:
+        require_positive_int(n, "n")
+        self._n = n
+        self._forgotten: set[int] = set()
+
+    @property
+    def n(self) -> int:
+        """Universe size."""
+        return self._n
+
+    @property
+    def num_forgotten(self) -> int:
+        """Number of currently forgotten entities."""
+        return len(self._forgotten)
+
+    def forget(self, index: int) -> None:
+        """Record a forget request for ``index`` (idempotent)."""
+        self._validate(index)
+        self._forgotten.add(int(index))
+
+    def rescind(self, index: int) -> None:
+        """Withdraw a previous forget request (no-op if none exists)."""
+        self._validate(index)
+        self._forgotten.discard(int(index))
+
+    def forget_many(self, indices: Iterable[int]) -> None:
+        """Record a batch of forget requests."""
+        for index in indices:
+            self.forget(int(index))
+
+    def forgotten_set(self) -> np.ndarray:
+        """The sorted array of forgotten coordinates."""
+        return np.asarray(sorted(self._forgotten), dtype=np.int64)
+
+    def retained_set(self) -> np.ndarray:
+        """The sorted array of retained coordinates (the query set ``Q``)."""
+        mask = np.ones(self._n, dtype=bool)
+        if self._forgotten:
+            mask[np.asarray(sorted(self._forgotten), dtype=np.int64)] = False
+        return np.flatnonzero(mask)
+
+    def _validate(self, index: int) -> None:
+        if not (0 <= int(index) < self._n):
+            raise InvalidParameterError(f"entity {index} outside universe [0, {self._n})")
+
+
+class RightToBeForgottenEstimator:
+    """Moment estimation under end-of-stream forget requests (Theorem 1.6).
+
+    Parameters
+    ----------
+    n:
+        Universe size.
+    p:
+        Moment order, ``p > 2``.
+    epsilon:
+        Target relative error of the retained-moment estimate.
+    retained_fraction:
+        The assumed lower bound ``alpha`` on the retained share of the
+        moment, ``||x_Q||_p^p >= alpha ||x||_p^p``.  Smaller values cost
+        proportionally more repetitions (the ``1/alpha`` factor of
+        Theorem 1.6).
+    seed, sampler_backend, repetitions:
+        Forwarded to :class:`~repro.core.subset_norm.SubsetMomentEstimator`.
+    """
+
+    def __init__(self, n: int, p: float, epsilon: float = 0.25,
+                 retained_fraction: float = 0.5, *, seed: SeedLike = None,
+                 repetitions: int | None = None,
+                 sampler_backend: str = "oracle",
+                 estimator_exact_recovery: bool = False) -> None:
+        self._n = require_positive_int(n, "n")
+        self._log = ForgetRequestLog(n)
+        self._estimator = SubsetMomentEstimator(
+            n, p, epsilon, retained_fraction, seed=seed, repetitions=repetitions,
+            sampler_backend=sampler_backend,
+            estimator_exact_recovery=estimator_exact_recovery,
+        )
+        self._p = float(p)
+        self._stream_closed = False
+
+    @property
+    def p(self) -> float:
+        """Moment order."""
+        return self._p
+
+    @property
+    def forget_log(self) -> ForgetRequestLog:
+        """The post-stream forget-request log."""
+        return self._log
+
+    def space_counters(self) -> int:
+        """Counters of the underlying subset-moment estimator."""
+        return self._estimator.space_counters()
+
+    # ------------------------------------------------------------------ #
+    # Stream phase
+    # ------------------------------------------------------------------ #
+    def update(self, index: int, delta: float) -> None:
+        """Apply a turnstile update (only valid before the stream is closed)."""
+        if self._stream_closed:
+            raise InvalidParameterError(
+                "the stream has been closed; forget requests arrive only at the end"
+            )
+        self._estimator.update(index, delta)
+
+    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
+        """Replay a whole turnstile stream."""
+        if self._stream_closed:
+            raise InvalidParameterError(
+                "the stream has been closed; forget requests arrive only at the end"
+            )
+        self._estimator.update_stream(stream)
+
+    def close_stream(self) -> None:
+        """Declare the data-curation phase over; forget requests may now arrive."""
+        self._stream_closed = True
+
+    # ------------------------------------------------------------------ #
+    # Post-stream phase
+    # ------------------------------------------------------------------ #
+    def forget(self, index: int) -> None:
+        """Record a forget request (closes the stream implicitly)."""
+        self._stream_closed = True
+        self._log.forget(index)
+
+    def forget_many(self, indices: Iterable[int]) -> None:
+        """Record a batch of forget requests (closes the stream implicitly)."""
+        self._stream_closed = True
+        self._log.forget_many(indices)
+
+    def rescind(self, index: int) -> None:
+        """Withdraw a forget request."""
+        self._log.rescind(index)
+
+    def retained_moment(self) -> float:
+        """``(1 + eps)``-estimate of ``F_p`` over the retained coordinates."""
+        return self._estimator.estimate(self._log.retained_set())
+
+    def forgotten_moment(self) -> float:
+        """``(1 + eps)``-estimate of the moment mass the forget requests removed."""
+        forgotten = self._log.forgotten_set()
+        if forgotten.size == 0:
+            return 0.0
+        return self._estimator.estimate(forgotten)
+
+
+def retained_moment_exact(vector: np.ndarray, forget_set: Sequence[int], p: float) -> float:
+    """Ground-truth retained moment ``sum_{i not in forget_set} |x_i|^p``."""
+    vector = np.asarray(vector, dtype=float)
+    forgotten = set(int(index) for index in forget_set)
+    retained = [index for index in range(len(vector)) if index not in forgotten]
+    return exact_subset_moment(vector, retained, p)

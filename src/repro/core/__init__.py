@@ -1,0 +1,57 @@
+"""The paper's primary contribution: perfect and approximate samplers for ``p > 2``.
+
+``lp_base``
+    Shared sampling-and-rejection machinery of Algorithms 1 and 2: drive a
+    bank of perfect ``L_2`` samplers, estimate the sampled coordinate, and
+    accept with probability proportional to ``x_j^{p-2} F_2 / (n^{1-2/p} F_p)``.
+``perfect_lp_integer``
+    Algorithm 1 / Theorem 2.6 — perfect ``L_p`` sampler for integer ``p > 2``.
+``perfect_lp_general``
+    Algorithm 2 / Theorem 2.10 — perfect ``L_p`` sampler for fractional
+    ``p > 2`` via the truncated Taylor estimator of Lemma 2.7.
+``polynomial_sampler``
+    Algorithm 3 / Theorem 2.14 — perfect sampler for non-scale-invariant
+    polynomials ``G(z) = sum_d alpha_d |z|^{p_d}``.
+``approximate_lp``
+    Algorithm 4 / Theorems 3.14 & 3.21 — approximate ``L_p`` sampler for
+    ``p > 2`` with duplication via max-stability, the two-stage CountSketch,
+    and the anti-concentration gap test.
+``fast_update``
+    The discretised (``rnd_eta``) duplication machinery and
+    binomial-counting fast-update scheme of Section 3.
+``log_sampler`` / ``cap_sampler`` / ``rejection``
+    Algorithms 6, 7, 8 / Theorems 5.5-5.7 — perfect ``G``-samplers for
+    ``log(1+|z|)``, ``min(T, |z|^p)``, and arbitrary bounded ``G`` on top of
+    the perfect ``L_0`` sampler.
+``subset_norm``
+    Algorithm 5 / Theorems 1.6 & 5.3 — post-stream subset moment estimation
+    plus the naive CountSketch baseline it is compared against.
+"""
+
+from repro.core.perfect_lp_integer import PerfectLpSamplerInteger
+from repro.core.perfect_lp_general import PerfectLpSampler
+from repro.core.polynomial_sampler import PolynomialSampler, PolynomialFunction
+from repro.core.approximate_lp import ApproximateLpSampler
+from repro.core.fast_update import DiscretizedDuplication, FastUpdateState
+from repro.core.log_sampler import LogSampler
+from repro.core.cap_sampler import CapSampler
+from repro.core.rejection import RejectionGSampler
+from repro.core.subset_norm import (
+    SubsetMomentEstimator,
+    CountSketchSubsetBaseline,
+)
+
+__all__ = [
+    "PerfectLpSamplerInteger",
+    "PerfectLpSampler",
+    "PolynomialSampler",
+    "PolynomialFunction",
+    "ApproximateLpSampler",
+    "DiscretizedDuplication",
+    "FastUpdateState",
+    "LogSampler",
+    "CapSampler",
+    "RejectionGSampler",
+    "SubsetMomentEstimator",
+    "CountSketchSubsetBaseline",
+]

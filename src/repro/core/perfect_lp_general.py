@@ -1,0 +1,89 @@
+"""Algorithm 2: perfect ``L_p`` sampler for general (fractional) ``p > 2``.
+
+For non-integer ``p`` the exponent ``p - 2`` is fractional, so
+``|x_j|^{p-2}`` cannot be written as a finite product of independent
+coordinate estimates.  Algorithm 2 instead expands ``x_j^{p-2}`` as a Taylor
+series around a constant-factor pivot ``y_j`` (obtained from the value
+estimate attached to the ``L_2`` sample) and truncates after
+``Q = O(log n)`` terms; the ``q``-th term's power ``(x_j - y_j)^q`` is
+replaced by a product of ``q`` independent estimate deviations so the
+expectation factorises (Lemma 2.7 bounds the truncation bias by
+``x_j^{p-2} / poly(n)``).
+
+The class plugs the :class:`repro.utils.taylor.TaylorPowerEstimator` into
+the shared rejection driver.  When ``p`` happens to be an integer the
+sampler still works (the Taylor series then terminates exactly), but
+:class:`repro.core.perfect_lp_integer.PerfectLpSamplerInteger` is cheaper;
+the convenience factory :func:`make_perfect_lp_sampler` picks the right one.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.lp_base import RejectionLpSamplerBase
+from repro.core.perfect_lp_integer import PerfectLpSamplerInteger
+from repro.utils.rng import SeedLike
+from repro.utils.taylor import TaylorPowerEstimator, default_num_terms
+from repro.utils.validation import require_positive_int
+
+
+class PerfectLpSampler(RejectionLpSamplerBase):
+    """Perfect ``L_p`` sampler on turnstile streams for any real ``p > 2``.
+
+    Parameters
+    ----------
+    n, p, seed:
+        As in :class:`RejectionLpSamplerBase`.
+    taylor_terms:
+        Number of Taylor terms ``Q``; ``None`` selects ``O(log n)`` per the
+        paper (Lemma 2.7).
+    **kwargs:
+        Forwarded to :class:`RejectionLpSamplerBase` (backend, number of
+        ``L_2`` samples, rejection constant, ...).
+    """
+
+    def __init__(self, n: int, p: float, seed: SeedLike = None, *,
+                 taylor_terms: int | None = None, **kwargs) -> None:
+        super().__init__(n, p, seed, **kwargs)
+        if taylor_terms is None:
+            taylor_terms = default_num_terms(n)
+        require_positive_int(taylor_terms, "taylor_terms")
+        self._taylor = TaylorPowerEstimator(exponent=self._p - 2.0, num_terms=taylor_terms)
+
+    @property
+    def taylor_terms(self) -> int:
+        """Truncation point ``Q`` of the Taylor estimator."""
+        return self._taylor.num_terms
+
+    def _num_estimates_needed(self) -> int:
+        return self._taylor.required_estimates()
+
+    def _estimate_power(self, index: int, estimates: np.ndarray, pivot: float) -> float:
+        """The Lemma 2.7 truncated-Taylor estimate of ``|x_j|^{p-2}``."""
+        if pivot == 0.0:
+            pivot = float(np.mean(estimates)) or 1.0
+        # The series is written for positive arguments; sampling weights only
+        # involve magnitudes, so estimate |x_j|^{p-2} from magnitudes.  Signs
+        # of the independent estimates agree with x_j with overwhelming
+        # probability (Corollary 2.3), so taking magnitudes does not bias
+        # the estimate beyond the 1/poly(n) slack the guarantee allows.
+        magnitude_pivot = abs(pivot)
+        magnitude_estimates = np.abs(np.asarray(estimates, dtype=float))
+        value = self._taylor.estimate(magnitude_estimates, magnitude_pivot)
+        if not math.isfinite(value):
+            return 0.0
+        return abs(value)
+
+
+def make_perfect_lp_sampler(n: int, p: float, seed: SeedLike = None, **kwargs):
+    """Return the cheapest perfect ``L_p`` sampler for the given ``p > 2``.
+
+    Integer ``p`` dispatches to Algorithm 1's product estimator, fractional
+    ``p`` to Algorithm 2's Taylor estimator.
+    """
+    if float(p).is_integer():
+        return PerfectLpSamplerInteger(n, int(p), seed, **kwargs)
+    return PerfectLpSampler(n, p, seed, **kwargs)

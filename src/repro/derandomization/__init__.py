@@ -1,0 +1,41 @@
+"""Derandomisation machinery (Section 3, following [JW18] and [GKM18]).
+
+``halfspace``
+    Half-space queries and ``lambda``-half-space testers (Definition 3.18),
+    plus the gap-test tester the sampler's acceptance decision reduces to.
+``prg``
+    Seed-bounded pseudorandom generators (a counter-mode hash generator and
+    a Nisan-style block generator), adapters producing the exponentials /
+    signs / uniforms the samplers consume, and the seed-length bound of
+    Theorem 3.19 for placing simulated seed lengths on the theorem's scale.
+"""
+
+from repro.derandomization.halfspace import (
+    HalfSpaceQuery,
+    HalfSpaceTester,
+    gap_test_tester,
+    acceptance_bias,
+)
+from repro.derandomization.prg import (
+    BlockPRG,
+    HashPRG,
+    empirical_distribution_shift,
+    exponential_from_prg,
+    seed_length_bound,
+    signs_from_prg,
+    uniforms_from_prg,
+)
+
+__all__ = [
+    "HalfSpaceQuery",
+    "HalfSpaceTester",
+    "gap_test_tester",
+    "acceptance_bias",
+    "HashPRG",
+    "BlockPRG",
+    "uniforms_from_prg",
+    "exponential_from_prg",
+    "signs_from_prg",
+    "seed_length_bound",
+    "empirical_distribution_shift",
+]

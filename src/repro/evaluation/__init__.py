@@ -1,0 +1,43 @@
+"""Evaluation harness shared by tests, benchmarks, and examples.
+
+``distribution_tests``
+    Drive a sampler factory for many independent draws and compare the
+    empirical distribution against a target pmf (TVD, chi-square, failure
+    rate).
+``space_model``
+    Space accounting (counters per data structure) and power-law exponent
+    fitting for the ``n^{1-2/p}`` scaling experiment (E2).
+``harness``
+    Experiment drivers that produce the rows of the regenerated Table 1 and
+    of the per-experiment reports in EXPERIMENTS.md.
+``estimator_report``
+    Bias / RMS-relative-error / success-rate summaries for scalar
+    estimators (subset moments, RFDS retained moments, F_p estimators).
+"""
+
+from repro.evaluation.distribution_tests import (
+    DistributionReport,
+    evaluate_sampler_distribution,
+)
+from repro.evaluation.space_model import SpaceMeasurement, fit_space_exponent, measure_space
+from repro.evaluation.harness import SamplerComparisonRow, regenerate_table1
+from repro.evaluation.estimator_report import (
+    EstimatorAccuracyReport,
+    evaluate_estimator,
+    format_accuracy_rows,
+    summarize_estimates,
+)
+
+__all__ = [
+    "DistributionReport",
+    "evaluate_sampler_distribution",
+    "SpaceMeasurement",
+    "measure_space",
+    "fit_space_exponent",
+    "SamplerComparisonRow",
+    "regenerate_table1",
+    "EstimatorAccuracyReport",
+    "summarize_estimates",
+    "evaluate_estimator",
+    "format_accuracy_rows",
+]

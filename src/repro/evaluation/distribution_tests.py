@@ -1,0 +1,165 @@
+"""Empirical distribution evaluation of samplers.
+
+A sampler factory is driven for many independent draws against a fixed
+stream; the resulting empirical distribution is compared to the target pmf
+with total variation distance and a chi-square statistic, and the failure
+rate is recorded.  This is the common engine behind experiments E1, E3, E5,
+E7, E8, E11, E12 and behind the statistical unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.samplers.base import Sample
+from repro.streams.stream import TurnstileStream
+from repro.utils.stats import (
+    chi_square_statistic,
+    expected_tvd_noise_floor,
+    normalize_weights,
+    total_variation_distance,
+)
+from repro.utils.validation import require_positive_int
+
+SamplerFactory = Callable[[int], object]
+
+
+@dataclass(frozen=True)
+class DistributionReport:
+    """Summary of an empirical-distribution experiment.
+
+    Attributes
+    ----------
+    num_draws:
+        Number of successful draws that entered the empirical distribution.
+    num_failures:
+        Number of draws on which the sampler reported ``FAIL`` (after the
+        per-draw retry budget).
+    tvd:
+        Total variation distance between the empirical and target pmfs.
+    tvd_noise_floor:
+        Expected TVD of a same-size sample drawn exactly from the target —
+        the irreducible statistical noise the measurement carries.
+    chi_square:
+        Pearson chi-square statistic of the empirical counts against the
+        target.
+    chi_square_dof:
+        Degrees of freedom of the chi-square statistic.
+    empirical:
+        The empirical pmf over the universe.
+    target:
+        The target pmf over the universe.
+    """
+
+    num_draws: int
+    num_failures: int
+    tvd: float
+    tvd_noise_floor: float
+    chi_square: float
+    chi_square_dof: int
+    empirical: np.ndarray
+    target: np.ndarray
+
+    @property
+    def failure_rate(self) -> float:
+        """Fraction of requested draws that ended in ``FAIL``."""
+        total = self.num_draws + self.num_failures
+        return self.num_failures / total if total else 0.0
+
+    @property
+    def excess_tvd(self) -> float:
+        """TVD beyond the sampling-noise floor (clipped at zero)."""
+        return max(0.0, self.tvd - self.tvd_noise_floor)
+
+
+def evaluate_sampler_distribution(
+    sampler_factory: SamplerFactory,
+    stream: TurnstileStream,
+    target_weights: Sequence[float],
+    num_draws: int,
+    *,
+    max_attempts_per_draw: int = 4,
+    reuse_sampler: bool = False,
+) -> DistributionReport:
+    """Measure a sampler family's empirical distribution against a target.
+
+    Parameters
+    ----------
+    sampler_factory:
+        Maps an integer seed to a fresh sampler implementing the
+        :class:`~repro.samplers.base.StreamingSampler` protocol.
+    stream:
+        The stream replayed into every sampler instance.
+    target_weights:
+        Unnormalised target weights ``G(x_i)`` (normalised internally).
+    num_draws:
+        Number of independent draws requested.
+    max_attempts_per_draw:
+        How many fresh sampler instances to try before recording a failure
+        for that draw.
+    reuse_sampler:
+        If ``True`` a single sampler instance is built and queried
+        repeatedly (only meaningful for samplers whose draws are
+        independent across queries, such as the exact oracles); the default
+        builds an independent instance per draw, matching the one-shot
+        nature of the paper's samplers.
+    """
+    require_positive_int(num_draws, "num_draws")
+    target = normalize_weights(target_weights)
+    n = stream.n
+    if len(target) != n:
+        raise InvalidParameterError("target weights must match the stream universe")
+
+    counts = np.zeros(n, dtype=float)
+    failures = 0
+    shared_sampler = None
+    if reuse_sampler:
+        shared_sampler = sampler_factory(0)
+        shared_sampler.update_stream(stream)
+
+    for draw in range(num_draws):
+        result: Optional[Sample] = None
+        if reuse_sampler:
+            result = shared_sampler.sample()
+        else:
+            for attempt in range(max_attempts_per_draw):
+                sampler = sampler_factory(draw * max_attempts_per_draw + attempt + 1)
+                sampler.update_stream(stream)
+                result = sampler.sample()
+                if result is not None:
+                    break
+        if result is None:
+            failures += 1
+        else:
+            counts[result.index] += 1.0
+
+    successes = int(counts.sum())
+    if successes == 0:
+        raise InvalidParameterError("sampler failed on every draw; cannot build a distribution")
+    empirical = counts / successes
+    tvd = total_variation_distance(empirical, target)
+    chi_square, dof = chi_square_statistic(counts, target)
+    return DistributionReport(
+        num_draws=successes,
+        num_failures=failures,
+        tvd=tvd,
+        tvd_noise_floor=expected_tvd_noise_floor(target, successes),
+        chi_square=chi_square,
+        chi_square_dof=dof,
+        empirical=empirical,
+        target=target,
+    )
+
+
+def lp_target_weights(vector: np.ndarray, p: float) -> np.ndarray:
+    """Target weights ``|x_i|^p`` of an ``L_p`` sampler."""
+    return np.abs(np.asarray(vector, dtype=float)) ** p
+
+
+def support_target_weights(vector: np.ndarray) -> np.ndarray:
+    """Target weights of an ``L_0`` sampler (uniform over the support)."""
+    return (np.asarray(vector, dtype=float) != 0).astype(float)

@@ -1,0 +1,130 @@
+"""Accuracy reporting for scalar estimators (moments, subset moments, norms).
+
+The distribution-distance machinery of
+:mod:`repro.evaluation.distribution_tests` covers samplers; this module
+covers *estimators*: repeated independent estimates of a scalar ground truth
+are summarised by bias, RMS relative error, and error quantiles.  It backs
+the subset-norm, RFDS, and estimator-ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.utils.validation import require_positive_int
+
+
+@dataclass(frozen=True)
+class EstimatorAccuracyReport:
+    """Summary of repeated estimates of a scalar ground truth.
+
+    Attributes
+    ----------
+    truth:
+        The ground-truth value the estimates target.
+    num_estimates:
+        Number of independent estimates summarised.
+    mean_estimate:
+        Sample mean of the estimates.
+    relative_bias:
+        ``(mean_estimate - truth) / truth``.
+    rms_relative_error:
+        Root-mean-square of the per-estimate relative errors.
+    median_relative_error:
+        Median of the per-estimate absolute relative errors.
+    quantile_90_relative_error:
+        90th percentile of the per-estimate absolute relative errors.
+    within_epsilon_fraction:
+        Fraction of estimates whose relative error is at most ``epsilon``
+        (the ``(1 + eps)``-approximation success rate).
+    epsilon:
+        The tolerance used for ``within_epsilon_fraction``.
+    """
+
+    truth: float
+    num_estimates: int
+    mean_estimate: float
+    relative_bias: float
+    rms_relative_error: float
+    median_relative_error: float
+    quantile_90_relative_error: float
+    within_epsilon_fraction: float
+    epsilon: float
+
+
+def summarize_estimates(estimates: Sequence[float], truth: float,
+                        epsilon: float = 0.25) -> EstimatorAccuracyReport:
+    """Summarise a batch of independent estimates of ``truth``."""
+    estimates = np.asarray(list(estimates), dtype=float)
+    if estimates.size == 0:
+        raise InvalidParameterError("at least one estimate is required")
+    if truth == 0:
+        raise InvalidParameterError("the ground truth must be non-zero for relative errors")
+    if not (0 < epsilon < 10):
+        raise InvalidParameterError("epsilon must be positive and reasonable")
+    relative_errors = (estimates - truth) / abs(truth)
+    absolute_relative = np.abs(relative_errors)
+    return EstimatorAccuracyReport(
+        truth=float(truth),
+        num_estimates=int(estimates.size),
+        mean_estimate=float(estimates.mean()),
+        relative_bias=float(estimates.mean() - truth) / abs(truth),
+        rms_relative_error=float(np.sqrt(np.mean(relative_errors**2))),
+        median_relative_error=float(np.median(absolute_relative)),
+        quantile_90_relative_error=float(np.quantile(absolute_relative, 0.9)),
+        within_epsilon_fraction=float(np.mean(absolute_relative <= epsilon)),
+        epsilon=float(epsilon),
+    )
+
+
+def evaluate_estimator(estimator_factory: Callable[[int], object], truth: float,
+                       num_repetitions: int, *, query: Callable[[object], float],
+                       prepare: Callable[[object], None] | None = None,
+                       epsilon: float = 0.25) -> EstimatorAccuracyReport:
+    """Drive independent estimator instances and summarise their accuracy.
+
+    Parameters
+    ----------
+    estimator_factory:
+        Maps an integer seed to a fresh estimator instance.
+    truth:
+        The ground-truth scalar.
+    num_repetitions:
+        Number of independent instances to build and query.
+    query:
+        Extracts the scalar estimate from an instance (e.g.
+        ``lambda est: est.estimate()``).
+    prepare:
+        Optional callable run on each fresh instance before querying
+        (typically replaying a stream).
+    epsilon:
+        Tolerance for the success-rate column of the report.
+    """
+    require_positive_int(num_repetitions, "num_repetitions")
+    estimates = []
+    for repetition in range(num_repetitions):
+        estimator = estimator_factory(repetition)
+        if prepare is not None:
+            prepare(estimator)
+        estimates.append(float(query(estimator)))
+    return summarize_estimates(estimates, truth, epsilon=epsilon)
+
+
+def format_accuracy_rows(rows: Sequence[tuple[str, EstimatorAccuracyReport]]) -> str:
+    """Format ``(label, report)`` pairs as an aligned text table."""
+    header = (
+        f"{'estimator':<34}{'reps':>6}{'rel. bias':>12}{'RMS rel. err':>14}"
+        f"{'median rel. err':>17}{'within eps':>12}"
+    )
+    lines = [header]
+    for label, report in rows:
+        lines.append(
+            f"{label:<34}{report.num_estimates:>6}{report.relative_bias:>12.3f}"
+            f"{report.rms_relative_error:>14.3f}{report.median_relative_error:>17.3f}"
+            f"{report.within_epsilon_fraction:>12.2f}"
+        )
+    return "\n".join(lines)

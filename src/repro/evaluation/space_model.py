@@ -1,0 +1,77 @@
+"""Space accounting and the ``n^{1-2/p}`` scaling experiment (E2).
+
+The paper's guarantees are bit-space bounds on a word RAM.  A Python
+reproduction cannot measure bits meaningfully, so the library counts
+*sketch counters* (table cells, registers, stored scale factors) through
+each structure's ``space_counters()`` method — the quantity whose growth
+rate the theorems actually constrain.  :func:`fit_space_exponent` fits a
+power law ``counters ~ n^gamma`` over a range of universe sizes so that the
+measured ``gamma`` can be compared against the theoretical ``1 - 2/p``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.utils.validation import require_positive_int
+
+
+@dataclass(frozen=True)
+class SpaceMeasurement:
+    """Counters used by one sampler configuration at one universe size."""
+
+    n: int
+    counters: int
+    label: str = ""
+
+
+def measure_space(factory: Callable[[int], object], universe_sizes: Sequence[int],
+                  label: str = "") -> list[SpaceMeasurement]:
+    """Instantiate ``factory(n)`` for each ``n`` and record ``space_counters()``."""
+    measurements = []
+    for n in universe_sizes:
+        require_positive_int(int(n), "n")
+        instance = factory(int(n))
+        measurements.append(
+            SpaceMeasurement(n=int(n), counters=int(instance.space_counters()), label=label)
+        )
+    return measurements
+
+
+def fit_space_exponent(measurements: Sequence[SpaceMeasurement],
+                       subtract_constant: float = 0.0) -> float:
+    """Least-squares fit of ``log(counters) ~ gamma * log(n) + c``.
+
+    Parameters
+    ----------
+    measurements:
+        At least two measurements at distinct universe sizes.
+    subtract_constant:
+        Optional additive offset (e.g. a known polylog floor) removed from
+        the counter counts before fitting.
+    """
+    if len(measurements) < 2:
+        raise InvalidParameterError("need at least two measurements to fit an exponent")
+    ns = np.asarray([m.n for m in measurements], dtype=float)
+    counters = np.asarray([m.counters for m in measurements], dtype=float) - subtract_constant
+    if np.any(counters <= 0):
+        raise InvalidParameterError("counter counts must stay positive after the offset")
+    slope, _intercept = np.polyfit(np.log(ns), np.log(counters), deg=1)
+    return float(slope)
+
+
+def theoretical_space_exponent(p: float) -> float:
+    """The paper's space exponent ``max(0, 1 - 2/p)``."""
+    if p <= 0:
+        raise InvalidParameterError("p must be positive")
+    return max(0.0, 1.0 - 2.0 / p)
+
+
+def polylog_counters(n: int, power: int = 2, constant: float = 1.0) -> float:
+    """Reference curve ``constant * log2(n)^power`` for polylog-space samplers."""
+    require_positive_int(n, "n")
+    return float(constant * np.log2(max(n, 2)) ** power)

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the :mod:`repro` streaming-sampler library.
+
+All exceptions raised by the library derive from :class:`ReproError`, so that
+callers can catch library-specific failures without masking programming
+errors.  Sampler failures that the paper models as returning the symbol
+``FAIL`` / ``⊥`` are *not* exceptions: samplers return ``None`` (or a
+``Sample`` whose ``failed`` flag is set) in that case.  Exceptions are
+reserved for misuse of the API and for irrecoverable internal states.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A constructor or method argument is outside its documented domain.
+
+    Examples include a moment order ``p <= 2`` passed to a sampler that
+    requires ``p > 2``, a non-positive universe size, or an accuracy
+    parameter outside ``(0, 1)``.
+    """
+
+
+class StreamError(ReproError):
+    """A stream update is malformed or inconsistent with the stream model.
+
+    Raised, for example, when an insertion-only stream receives a negative
+    update, or when an update addresses a coordinate outside ``[0, n)``.
+    """
+
+
+class SamplerStateError(ReproError):
+    """The sampler was used in an unsupported order.
+
+    Raised when a query method that requires a finalized stream is called
+    before any update has been processed, or when updates are applied after
+    the sketch has been frozen.
+    """
+
+
+class EstimationError(ReproError):
+    """An estimation subroutine could not produce a well-defined value.
+
+    This signals an internal inconsistency (for instance an empty sketch
+    asked for a heavy hitter) rather than the probabilistic ``FAIL`` event
+    that the paper's samplers are allowed to output.
+    """

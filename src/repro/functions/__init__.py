@@ -1,0 +1,45 @@
+"""``G``-function library.
+
+``base``
+    The :class:`GFunction` interface (evaluation, target distribution,
+    rejection bounds) shared by every ``G``-sampler in the library.
+``library``
+    Concrete families: ``L_p`` powers, logarithm, cap, general polynomials,
+    the M-estimators of [JWZ22], the soft cap and Lévy-exponent class of
+    [PW25], and the soft concave sublinear class of [CG19].
+"""
+
+from repro.functions.base import GFunction, as_g_function
+from repro.functions.library import (
+    CapFunction,
+    FairFunction,
+    HuberFunction,
+    L1L2Function,
+    LevyExponentFunction,
+    LevyTerm,
+    LogFunction,
+    LpFunction,
+    PolynomialGFunction,
+    SoftCapFunction,
+    SoftConcaveSublinearFunction,
+    SupportFunction,
+    standard_m_estimators,
+)
+
+__all__ = [
+    "GFunction",
+    "as_g_function",
+    "LpFunction",
+    "SupportFunction",
+    "LogFunction",
+    "CapFunction",
+    "PolynomialGFunction",
+    "HuberFunction",
+    "FairFunction",
+    "L1L2Function",
+    "SoftCapFunction",
+    "LevyTerm",
+    "LevyExponentFunction",
+    "SoftConcaveSublinearFunction",
+    "standard_m_estimators",
+]

@@ -1,0 +1,140 @@
+"""The ``G``-function abstraction shared by every ``G``-sampler.
+
+Definition 1.1 of the paper parameterises a sampler by a non-negative
+function ``G : R -> R_{>=0}``; the sampler outputs coordinate ``i`` with
+probability ``G(x_i) / sum_j G(x_j)``.  Different families of ``G`` admit
+different samplers:
+
+* scale-invariant powers ``G(z) = |z|^p`` (the ``L_p`` samplers);
+* bounded functions (cap, logarithm) that fit the rejection framework of
+  Section 5.3;
+* monotone functions with ``G(0) = 0`` that the truly perfect insertion-only
+  samplers of [JWZ22] handle;
+* Bernstein / Lévy-exponent functions that [PW25] samples with two words of
+  memory in the random-oracle model;
+* general polynomials, which are *not* scale invariant and motivate the
+  paper's Theorem 1.5.
+
+:class:`GFunction` is the minimal interface those samplers need: point-wise
+evaluation, vectorised evaluation, the induced target distribution, and the
+upper/lower bounds that size rejection-sampling repetition counts.  Concrete
+functions live in :mod:`repro.functions.library`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+
+class GFunction(abc.ABC):
+    """A non-negative weight function ``G`` over coordinate values.
+
+    Subclasses implement :meth:`evaluate` on arrays of values; the base
+    class derives point-wise calls, normalised target distributions, and
+    the bound queries used by rejection samplers.
+
+    Attributes
+    ----------
+    name:
+        Short human-readable identifier used in benchmark tables.
+    scale_invariant:
+        ``True`` when ``G(alpha z) / G(alpha z') = G(z) / G(z')`` for every
+        ``alpha > 0``, i.e. when the induced sampling distribution does not
+        change under rescaling of the stream (the ``L_p`` case).  The
+        polynomial, cap, and logarithmic functions are *not* scale
+        invariant, which is exactly why the paper needs new techniques for
+        them.
+    monotone:
+        ``True`` when ``G`` is non-decreasing in ``|z|``; all functions in
+        this library are, which makes :meth:`upper_bound` and
+        :meth:`lower_bound` trivial to answer.
+    """
+
+    name: str = "G"
+    scale_invariant: bool = False
+    monotone: bool = True
+
+    @abc.abstractmethod
+    def evaluate(self, values: np.ndarray) -> np.ndarray:
+        """Vectorised evaluation of ``G`` on an array of coordinate values."""
+
+    def __call__(self, value: float) -> float:
+        """Point-wise evaluation ``G(value)``."""
+        return float(self.evaluate(np.asarray([value], dtype=float))[0])
+
+    def total_mass(self, vector: Sequence[float]) -> float:
+        """``G(X) = sum_i G(x_i)`` for a frequency vector."""
+        return float(np.sum(self.evaluate(np.asarray(vector, dtype=float))))
+
+    def target_distribution(self, vector: Sequence[float]) -> np.ndarray:
+        """The pmf ``G(x_i) / sum_j G(x_j)`` a perfect ``G``-sampler targets."""
+        weights = self.evaluate(np.asarray(vector, dtype=float))
+        if np.any(weights < 0):
+            raise InvalidParameterError(f"{self.name} produced a negative weight")
+        total = weights.sum()
+        if total <= 0:
+            raise InvalidParameterError(
+                f"{self.name} assigns zero total mass to the vector; nothing to sample"
+            )
+        return weights / total
+
+    def upper_bound(self, max_magnitude: float) -> float:
+        """An upper bound on ``G(z)`` over ``|z| <= max_magnitude``.
+
+        Used as the normaliser ``H`` of rejection acceptance probabilities
+        (Algorithm 8).  For monotone functions this is simply
+        ``G(max_magnitude)``.
+        """
+        if not self.monotone:
+            raise InvalidParameterError(
+                f"{self.name} is not monotone; supply an explicit upper bound"
+            )
+        return max(self(float(max_magnitude)), self(-float(max_magnitude)))
+
+    def lower_bound(self, min_nonzero_magnitude: float = 1.0) -> float:
+        """A lower bound on ``G(z)`` over non-zero ``|z| >= min_nonzero_magnitude``.
+
+        Used to size the repetition count ``R = O(H / Q)`` of Algorithm 8.
+        """
+        if not self.monotone:
+            raise InvalidParameterError(
+                f"{self.name} is not monotone; supply an explicit lower bound"
+            )
+        return min(self(float(min_nonzero_magnitude)), self(-float(min_nonzero_magnitude)))
+
+    def describe(self) -> str:
+        """One-line description used in example and benchmark output."""
+        invariance = "scale-invariant" if self.scale_invariant else "not scale-invariant"
+        return f"{self.name} ({invariance})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def as_g_function(g: "GFunction | callable", name: str = "custom") -> GFunction:
+    """Wrap a plain callable into a :class:`GFunction` (monotone assumed).
+
+    Library entry points accept either a :class:`GFunction` or a bare
+    callable; this adapter keeps the call sites uniform.
+    """
+    if isinstance(g, GFunction):
+        return g
+    if not callable(g):
+        raise InvalidParameterError("g must be a GFunction or a callable")
+    return _CallableGFunction(g, name)
+
+
+class _CallableGFunction(GFunction):
+    """Adapter giving a bare callable the :class:`GFunction` interface."""
+
+    def __init__(self, func, name: str) -> None:
+        self._func = func
+        self.name = name
+
+    def evaluate(self, values: np.ndarray) -> np.ndarray:
+        return np.asarray([float(self._func(float(v))) for v in np.asarray(values, dtype=float)])

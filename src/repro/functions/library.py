@@ -1,0 +1,329 @@
+"""Concrete ``G``-functions used throughout the paper and its related work.
+
+The families covered:
+
+* :class:`LpFunction` — ``G(z) = |z|^p``, the classic ``L_p`` sampling
+  weight (scale invariant).
+* :class:`LogFunction` — ``G(z) = log(1 + |z|)`` (Algorithm 6 / Theorem 5.5).
+* :class:`CapFunction` — ``G(z) = min(T, |z|^p)`` (Algorithm 7 / Theorem 5.6).
+* :class:`PolynomialGFunction` — ``G(z) = sum_d alpha_d |z|^{p_d}``
+  (Definition 2.11 / Theorem 1.5), not scale invariant.
+* M-estimators from [JWZ22]: :class:`HuberFunction`, :class:`FairFunction`,
+  :class:`L1L2Function`.
+* [PW25]'s Lévy-exponent class: :class:`SoftCapFunction`
+  ``G(z) = 1 - e^{-tau z}`` and the general :class:`LevyExponentFunction`
+  ``G(z) = c·1[z>0] + gamma_0 z + sum_k w_k (1 - e^{-t_k z})``.
+* [CG19]'s concave sublinear class, approximated by
+  :class:`SoftConcaveSublinearFunction`
+  ``G(z) = sum_k a_k (1 - e^{-z t_k})``.
+
+All of these are monotone in ``|z|`` and non-negative, so every one of them
+plugs into the rejection framework of Algorithm 8 on turnstile streams, into
+the truly perfect insertion-only samplers, and (for the Lévy class) into the
+two-word random-oracle sampler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.functions.base import GFunction
+from repro.utils.validation import require_moment_order
+
+
+class LpFunction(GFunction):
+    """``G(z) = |z|^p`` — the ``L_p`` sampling weight.
+
+    Parameters
+    ----------
+    p:
+        Moment order, ``p > 0``.  ``p = 0`` is handled by
+        :class:`SupportFunction` instead (the ``0^0`` convention differs).
+    """
+
+    scale_invariant = True
+
+    def __init__(self, p: float) -> None:
+        self.p = require_moment_order(p, "p", minimum=0.0)
+        self.name = f"|z|^{p:g}"
+
+    def evaluate(self, values: np.ndarray) -> np.ndarray:
+        return np.abs(np.asarray(values, dtype=float)) ** self.p
+
+
+class SupportFunction(GFunction):
+    """``G(z) = 1[z != 0]`` — the ``L_0`` (support-uniform) weight."""
+
+    scale_invariant = True
+
+    def __init__(self) -> None:
+        self.name = "1[z!=0]"
+
+    def evaluate(self, values: np.ndarray) -> np.ndarray:
+        return (np.asarray(values, dtype=float) != 0).astype(float)
+
+
+class LogFunction(GFunction):
+    """``G(z) = log(1 + |z|)`` — the logarithmic weight of Theorem 5.5."""
+
+    def __init__(self) -> None:
+        self.name = "log(1+|z|)"
+
+    def evaluate(self, values: np.ndarray) -> np.ndarray:
+        return np.log1p(np.abs(np.asarray(values, dtype=float)))
+
+
+class CapFunction(GFunction):
+    """``G(z) = min(T, |z|^p)`` — the cap weight of Theorem 5.6.
+
+    Parameters
+    ----------
+    threshold:
+        The cap ``T > 0``.
+    p:
+        Power applied before capping (``p > 0``).
+    """
+
+    def __init__(self, threshold: float, p: float = 1.0) -> None:
+        if threshold <= 0:
+            raise InvalidParameterError("threshold must be positive")
+        self.threshold = float(threshold)
+        self.p = require_moment_order(p, "p", minimum=0.0)
+        self.name = f"min({threshold:g},|z|^{p:g})"
+
+    def evaluate(self, values: np.ndarray) -> np.ndarray:
+        return np.minimum(self.threshold, np.abs(np.asarray(values, dtype=float)) ** self.p)
+
+
+class PolynomialGFunction(GFunction):
+    """``G(z) = sum_d alpha_d |z|^{p_d}`` with positive coefficients.
+
+    This is the family of Definition 2.11: exponents ``0 < p_1 < ... < p_D``
+    and coefficients ``0 < alpha_d < M``.  It is *not* scale invariant,
+    which is the central obstruction Theorem 1.5 overcomes.
+
+    Parameters
+    ----------
+    coefficients:
+        The ``alpha_d`` values.
+    exponents:
+        The ``p_d`` values, strictly increasing and positive.
+    """
+
+    def __init__(self, coefficients: Sequence[float], exponents: Sequence[float]) -> None:
+        coefficients = np.asarray(coefficients, dtype=float)
+        exponents = np.asarray(exponents, dtype=float)
+        if coefficients.shape != exponents.shape or coefficients.ndim != 1:
+            raise InvalidParameterError("coefficients and exponents must be 1-d and equal length")
+        if coefficients.size == 0:
+            raise InvalidParameterError("a polynomial needs at least one term")
+        if np.any(coefficients <= 0):
+            raise InvalidParameterError("coefficients must be positive (Definition 2.11)")
+        if np.any(exponents <= 0):
+            raise InvalidParameterError("exponents must be positive (Definition 2.11)")
+        if np.any(np.diff(exponents) <= 0):
+            raise InvalidParameterError("exponents must be strictly increasing")
+        self.coefficients = coefficients
+        self.exponents = exponents
+        terms = " + ".join(
+            f"{alpha:g}|z|^{power:g}" for alpha, power in zip(coefficients, exponents)
+        )
+        self.name = terms
+
+    @property
+    def degree(self) -> float:
+        """The leading exponent ``p_D`` (the anchor of Algorithm 3)."""
+        return float(self.exponents[-1])
+
+    def evaluate(self, values: np.ndarray) -> np.ndarray:
+        magnitudes = np.abs(np.asarray(values, dtype=float))
+        result = np.zeros_like(magnitudes)
+        for alpha, power in zip(self.coefficients, self.exponents):
+            result += alpha * magnitudes**power
+        return result
+
+
+class HuberFunction(GFunction):
+    """The Huber M-estimator: quadratic near zero, linear in the tail.
+
+    ``G(z) = z^2 / (2 tau)`` for ``|z| <= tau`` and ``|z| - tau/2``
+    otherwise, matching the parameterisation in Section 1.1 of the paper.
+    """
+
+    def __init__(self, tau: float = 1.0) -> None:
+        if tau <= 0:
+            raise InvalidParameterError("tau must be positive")
+        self.tau = float(tau)
+        self.name = f"huber(tau={tau:g})"
+
+    def evaluate(self, values: np.ndarray) -> np.ndarray:
+        magnitudes = np.abs(np.asarray(values, dtype=float))
+        quadratic = magnitudes**2 / (2.0 * self.tau)
+        linear = magnitudes - self.tau / 2.0
+        return np.where(magnitudes <= self.tau, quadratic, linear)
+
+
+class FairFunction(GFunction):
+    """The Fair M-estimator ``G(z) = tau|z| - tau^2 log(1 + |z|/tau)``."""
+
+    def __init__(self, tau: float = 1.0) -> None:
+        if tau <= 0:
+            raise InvalidParameterError("tau must be positive")
+        self.tau = float(tau)
+        self.name = f"fair(tau={tau:g})"
+
+    def evaluate(self, values: np.ndarray) -> np.ndarray:
+        magnitudes = np.abs(np.asarray(values, dtype=float))
+        return self.tau * magnitudes - self.tau**2 * np.log1p(magnitudes / self.tau)
+
+
+class L1L2Function(GFunction):
+    """The ``L_1``-``L_2`` M-estimator ``G(z) = 2(sqrt(1 + z^2/2) - 1)``."""
+
+    def __init__(self) -> None:
+        self.name = "l1-l2"
+
+    def evaluate(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        return 2.0 * (np.sqrt(1.0 + values**2 / 2.0) - 1.0)
+
+
+class SoftCapFunction(GFunction):
+    """The soft-cap weight ``G(z) = 1 - e^{-tau |z|}`` from [PW25].
+
+    Saturates at 1 for large ``|z|`` — a smooth version of
+    ``min(1, tau |z|)`` — and belongs to the Lévy-exponent class, so the
+    two-word random-oracle sampler handles it on insertion-only streams.
+    """
+
+    def __init__(self, tau: float = 1.0) -> None:
+        if tau <= 0:
+            raise InvalidParameterError("tau must be positive")
+        self.tau = float(tau)
+        self.name = f"1-exp(-{tau:g}|z|)"
+
+    def evaluate(self, values: np.ndarray) -> np.ndarray:
+        return -np.expm1(-self.tau * np.abs(np.asarray(values, dtype=float)))
+
+
+@dataclass(frozen=True)
+class LevyTerm:
+    """One atom ``weight * (1 - e^{-rate z})`` of a discrete Lévy measure."""
+
+    rate: float
+    weight: float
+
+
+class LevyExponentFunction(GFunction):
+    """The Bernstein-function class of [PW25].
+
+    ``G(z) = c·1[z > 0] + gamma_0 z + sum_k w_k (1 - e^{-t_k z})`` for
+    ``z >= 0`` (extended to ``|z|`` here so turnstile rejection samplers can
+    also use it).  The class is exactly the set of Laplace exponents of
+    non-negative one-dimensional Lévy processes; it includes ``|z|^p`` for
+    ``p in (0, 1)`` (via a continuous Lévy measure, approximated here by a
+    discretisation), the soft cap, and ``log(1 + |z|)``.
+
+    Parameters
+    ----------
+    killing:
+        The constant ``c`` multiplying ``1[z > 0]``.
+    drift:
+        The linear coefficient ``gamma_0``.
+    terms:
+        Discrete Lévy measure atoms ``(rate t_k, weight w_k)``.
+    """
+
+    def __init__(self, killing: float = 0.0, drift: float = 0.0,
+                 terms: Sequence[LevyTerm] = ()) -> None:
+        if killing < 0 or drift < 0:
+            raise InvalidParameterError("killing and drift must be non-negative")
+        terms = tuple(terms)
+        for term in terms:
+            if term.rate <= 0 or term.weight < 0:
+                raise InvalidParameterError("Levy terms need positive rate, non-negative weight")
+        if killing == 0 and drift == 0 and not terms:
+            raise InvalidParameterError("the zero function cannot be sampled")
+        self.killing = float(killing)
+        self.drift = float(drift)
+        self.terms = terms
+        self.name = f"levy(c={killing:g},drift={drift:g},#terms={len(terms)})"
+
+    def evaluate(self, values: np.ndarray) -> np.ndarray:
+        magnitudes = np.abs(np.asarray(values, dtype=float))
+        result = self.killing * (magnitudes > 0).astype(float) + self.drift * magnitudes
+        for term in self.terms:
+            result += term.weight * (-np.expm1(-term.rate * magnitudes))
+        return result
+
+    @classmethod
+    def for_fractional_power(cls, p: float, num_terms: int = 32,
+                             rate_range: tuple[float, float] = (1e-4, 1e2)
+                             ) -> "LevyExponentFunction":
+        """Discretised Lévy representation of ``z^p`` for ``p in (0, 1)``.
+
+        Uses the identity ``z^p = (p / Gamma(1-p)) * int_0^inf (1 - e^{-tz})
+        t^{-1-p} dt`` and a log-spaced quadrature of the integral.  The
+        approximation error is a few percent across ``rate_range`` — enough
+        to exercise the sampling code paths the paper discusses for this
+        class.
+        """
+        from scipy.special import gamma as gamma_function
+
+        p = require_moment_order(p, "p", minimum=0.0, maximum=1.0)
+        if p >= 1.0:
+            raise InvalidParameterError("the Levy representation needs p in (0, 1)")
+        low, high = rate_range
+        if not (0 < low < high):
+            raise InvalidParameterError("rate_range must satisfy 0 < low < high")
+        rates = np.logspace(np.log10(low), np.log10(high), num_terms)
+        log_edges = np.linspace(np.log(low), np.log(high), num_terms + 1)
+        widths = np.diff(np.exp(log_edges))
+        density = p / gamma_function(1.0 - p) * rates ** (-1.0 - p)
+        weights = density * widths
+        terms = [LevyTerm(rate=float(rate), weight=float(weight))
+                 for rate, weight in zip(rates, weights)]
+        return cls(killing=0.0, drift=0.0, terms=terms)
+
+
+class SoftConcaveSublinearFunction(GFunction):
+    """[CG19]'s soft concave sublinear class ``G(z) = sum_k a_k (1 - e^{-z t_k})``.
+
+    Concave sublinear functions ``int a(t) min(1, zt) dt`` are approximated
+    by their "soft" counterparts, replacing ``min(1, zt)`` with
+    ``1 - e^{-zt}``; with a discrete measure this is exactly a Lévy-exponent
+    function without killing or drift, so we share the evaluation logic.
+    """
+
+    def __init__(self, rates: Sequence[float], weights: Sequence[float]) -> None:
+        rates = np.asarray(rates, dtype=float)
+        weights = np.asarray(weights, dtype=float)
+        if rates.shape != weights.shape or rates.ndim != 1 or rates.size == 0:
+            raise InvalidParameterError("rates and weights must be 1-d, equal length, non-empty")
+        if np.any(rates <= 0) or np.any(weights < 0) or weights.sum() <= 0:
+            raise InvalidParameterError("rates must be positive and weights non-negative")
+        self.rates = rates
+        self.weights = weights
+        self.name = f"soft-concave(#terms={rates.size})"
+
+    def evaluate(self, values: np.ndarray) -> np.ndarray:
+        magnitudes = np.abs(np.asarray(values, dtype=float))
+        result = np.zeros_like(magnitudes)
+        for rate, weight in zip(self.rates, self.weights):
+            result += weight * (-np.expm1(-rate * magnitudes))
+        return result
+
+    def as_levy(self) -> LevyExponentFunction:
+        """View this function as a member of the Lévy-exponent class."""
+        terms = [LevyTerm(rate=float(rate), weight=float(weight))
+                 for rate, weight in zip(self.rates, self.weights)]
+        return LevyExponentFunction(killing=0.0, drift=0.0, terms=terms)
+
+
+def standard_m_estimators(tau: float = 2.0) -> list[GFunction]:
+    """The three M-estimators highlighted in Section 1.1 of the paper."""
+    return [HuberFunction(tau=tau), FairFunction(tau=tau), L1L2Function()]

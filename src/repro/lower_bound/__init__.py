@@ -1,0 +1,34 @@
+"""Lower-bound machinery of Section 4 (Theorems 1.4 / 4.3).
+
+``hard_distributions``
+    The two hard distributions of Definition 4.1: ``alpha = N(0, I_n)`` and
+    ``beta`` = a Gaussian plus a planted spike of magnitude
+    ``C * E[||x||_p]`` at a uniformly random coordinate.
+``distinguisher``
+    The reduction of Theorem 4.3: an approximate ``L_p`` sampler yields a
+    distinguisher between ``alpha`` and ``beta`` (take two samples; answer
+    "beta" iff both succeed and agree), so a sketching-dimension lower bound
+    for the distinguishing problem transfers to samplers.  The experiment
+    (E4) measures the distinguisher's empirical advantage as the sketch
+    budget grows.
+"""
+
+from repro.lower_bound.hard_distributions import (
+    HardInstance,
+    expected_lp_norm_gaussian,
+    sample_alpha,
+    sample_beta,
+)
+from repro.lower_bound.distinguisher import (
+    SamplingDistinguisher,
+    distinguishing_accuracy,
+)
+
+__all__ = [
+    "HardInstance",
+    "sample_alpha",
+    "sample_beta",
+    "expected_lp_norm_gaussian",
+    "SamplingDistinguisher",
+    "distinguishing_accuracy",
+]

@@ -1,0 +1,99 @@
+"""Hard distributions of Definition 4.1.
+
+``alpha`` is the ``n``-dimensional standard Gaussian ``N(0, I_n)``; ``beta``
+adds a spike of magnitude ``C * E_n`` — where ``E_n = E[||x||_p]`` for
+``x ~ N(0, I_n)`` — at a uniformly random coordinate.  [GW18] show that
+distinguishing the two from a low-dimensional linear sketch is impossible
+below dimension ``Omega(n^{1-2/p} log n)``; Theorem 4.3 turns an
+approximate ``L_p`` sampler into exactly such a distinguisher, which is what
+experiment E4 exercises empirically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import special
+
+from repro.exceptions import InvalidParameterError
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import require_moment_order, require_positive_int
+
+
+@dataclass(frozen=True)
+class HardInstance:
+    """A draw from one of the two hard distributions.
+
+    Attributes
+    ----------
+    vector:
+        The drawn vector ``x in R^n``.
+    is_beta:
+        ``True`` when the vector carries a planted spike (distribution
+        ``beta``), ``False`` for the pure Gaussian (``alpha``).
+    spike_index:
+        The planted coordinate (``None`` for ``alpha`` draws).
+    """
+
+    vector: np.ndarray
+    is_beta: bool
+    spike_index: int | None
+
+
+def gaussian_absolute_moment(p: float) -> float:
+    """``E[|g|^p]`` for a standard Gaussian ``g``.
+
+    Uses the closed form ``2^{p/2} * Gamma((p+1)/2) / sqrt(pi)``.
+    """
+    require_moment_order(p, "p", minimum=0.0)
+    return float(2 ** (p / 2.0) * special.gamma((p + 1.0) / 2.0) / math.sqrt(math.pi))
+
+
+def expected_lp_norm_gaussian(n: int, p: float) -> float:
+    """Approximate ``E[||x||_p]`` for ``x ~ N(0, I_n)``.
+
+    ``E[||x||_p^p] = n * E[|g|^p]`` exactly, and for large ``n`` the norm
+    concentrates, so ``(n * E[|g|^p])^{1/p}`` is the standard proxy
+    (``Theta(n^{1/p})``, as used in the proof of Theorem 4.3).
+    """
+    require_positive_int(n, "n")
+    return float((n * gaussian_absolute_moment(p)) ** (1.0 / p))
+
+
+def sample_alpha(n: int, seed: SeedLike = None) -> HardInstance:
+    """Draw from ``alpha = N(0, I_n)``."""
+    require_positive_int(n, "n")
+    rng = ensure_rng(seed)
+    return HardInstance(vector=rng.standard_normal(n), is_beta=False, spike_index=None)
+
+
+def sample_beta(n: int, p: float, spike_constant: float = 4.0,
+                seed: SeedLike = None) -> HardInstance:
+    """Draw from ``beta``: Gaussian plus a spike ``C * E_n`` at a random index."""
+    require_positive_int(n, "n")
+    if spike_constant <= 0:
+        raise InvalidParameterError("spike_constant must be positive")
+    rng = ensure_rng(seed)
+    vector = rng.standard_normal(n)
+    index = int(rng.integers(0, n))
+    vector[index] += spike_constant * expected_lp_norm_gaussian(n, p)
+    return HardInstance(vector=vector, is_beta=True, spike_index=index)
+
+
+def sample_instance(n: int, p: float, spike_constant: float = 4.0,
+                    seed: SeedLike = None) -> HardInstance:
+    """Draw from ``alpha`` or ``beta`` with equal probability."""
+    rng = ensure_rng(seed)
+    if rng.random() < 0.5:
+        return sample_alpha(n, rng)
+    return sample_beta(n, p, spike_constant, rng)
+
+
+def spike_mass_fraction(instance: HardInstance, p: float) -> float:
+    """The fraction of ``||x||_p^p`` carried by the planted spike (0 for alpha)."""
+    if not instance.is_beta or instance.spike_index is None:
+        return 0.0
+    moments = np.abs(instance.vector) ** p
+    return float(moments[instance.spike_index] / moments.sum())

@@ -1,0 +1,55 @@
+"""Substrate samplers the paper builds on, plus classical baselines.
+
+``base``
+    The :class:`Sample` record and the :class:`StreamingSampler` protocol
+    every sampler in the library implements.
+``l0_sampler``
+    Perfect ``L_0`` sampler of [JST11] (Theorem 5.4): subsampling levels +
+    exact k-sparse recovery; returns the sampled coordinate's exact value.
+    Substrate of the cap/log/general ``G``-samplers (Algorithms 6-8).
+``l2_sampler``
+    Perfect ``L_2`` sampler in the style of [JW18] (Theorem 1.10 with
+    ``p = 2``): exponential scaling, CountSketch recovery of the maximum,
+    gap-based statistical test, and a value estimate.  Substrate of
+    Algorithms 1-3.
+``jw18_lp_sampler``
+    The same construction for general ``p in (0, 2]`` — the paper's
+    Theorem 1.10 reference sampler, used as a baseline in Table 1.
+``reservoir``
+    Reservoir sampling [Vit85]: the truly perfect ``L_1`` sampler for
+    insertion-only streams (Table 1 baseline).
+``precision_sampling``
+    Precision-sampling style approximate ``L_p`` sampler for
+    ``p in (0, 2]`` in the spirit of [AKO11]/[JST11] (Table 1 baseline).
+``exact``
+    Exact offline ``G``-samplers used as ground-truth oracles in tests and
+    benchmarks (never inside the streaming algorithms).
+"""
+
+from repro.samplers.base import Sample, StreamingSampler
+from repro.samplers.exact import ExactGSampler, ExactLpSampler
+from repro.samplers.l0_sampler import PerfectL0Sampler
+from repro.samplers.l2_sampler import PerfectL2Sampler
+from repro.samplers.jw18_lp_sampler import JW18LpSampler
+from repro.samplers.reservoir import ReservoirL1Sampler
+from repro.samplers.precision_sampling import PrecisionLpSampler
+from repro.samplers.truly_perfect import (
+    ExponentialRaceSampler,
+    TrulyPerfectGSampler,
+    max_unit_increment,
+)
+
+__all__ = [
+    "Sample",
+    "StreamingSampler",
+    "ExactLpSampler",
+    "ExactGSampler",
+    "PerfectL0Sampler",
+    "PerfectL2Sampler",
+    "JW18LpSampler",
+    "ReservoirL1Sampler",
+    "PrecisionLpSampler",
+    "TrulyPerfectGSampler",
+    "ExponentialRaceSampler",
+    "max_unit_increment",
+]

@@ -1,0 +1,137 @@
+"""Approximate ``L_p`` sampler via precision sampling ([AKO11]/[JST11] style).
+
+This baseline implements the pre-[JW18] generation of turnstile samplers
+that Table 1 compares against: each coordinate is scaled by an independent
+uniform "precision" ``1 / u_i^{1/p}``, the heaviest scaled coordinate is
+recovered with a CountSketch, and the draw is accepted only if the recovered
+value clears a threshold proportional to an estimated ``||x||_p``.  The
+resulting sampling probabilities carry a multiplicative ``(1 ± eps)``
+distortion (they are *approximate*, not perfect), which is exactly the
+deficiency the paper's perfect samplers remove.
+
+The sampler supports ``p in (0, 2]``; for ``p > 2`` the required CountSketch
+width becomes polynomial in ``n`` (the same obstruction discussed in
+Section 2.1 of the paper), so construction refuses larger ``p``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.samplers.base import Sample
+from repro.sketch.ams import AMSSketch
+from repro.sketch.countsketch import CountSketch
+from repro.streams.stream import TurnstileStream
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import require_in_open_interval, require_moment_order, require_positive_int
+
+
+class PrecisionLpSampler:
+    """Approximate (``(1 ± eps)``-relative-error) ``L_p`` sampler, ``p <= 2``.
+
+    Parameters
+    ----------
+    n:
+        Universe size.
+    p:
+        Moment order in ``(0, 2]``.
+    epsilon:
+        Target relative distortion of the sampling probabilities; the
+        CountSketch width scales like ``1 / eps^{max(1, p)}``.
+    seed:
+        Seed for the precisions, hashes, and the acceptance test.
+    """
+
+    def __init__(self, n: int, p: float, epsilon: float = 0.25,
+                 seed: SeedLike = None, rows: int = 5) -> None:
+        require_positive_int(n, "n")
+        require_moment_order(p, "p", minimum=0.0, maximum=2.0)
+        require_in_open_interval(epsilon, "epsilon", 0.0, 1.0)
+        self._n = n
+        self._p = float(p)
+        self._epsilon = float(epsilon)
+        rng = ensure_rng(seed)
+        self._rng = rng
+        log_n = max(2.0, math.log2(max(n, 4)))
+        buckets = int(math.ceil(log_n**2 / epsilon ** max(1.0, p)))
+        self._buckets = buckets
+
+        self._precisions = rng.random(n)
+        # Guard against a zero precision (probability zero event numerically).
+        self._precisions[self._precisions == 0] = np.finfo(float).tiny
+        self._inverse_scale = self._precisions ** (-1.0 / self._p)
+
+        self._sketch = CountSketch(n, buckets, rows, int(rng.integers(0, 2**63 - 1)))
+        self._ams = AMSSketch(n, width=12, depth=5, seed=int(rng.integers(0, 2**63 - 1)))
+        self._num_updates = 0
+
+    @property
+    def p(self) -> float:
+        """Moment order."""
+        return self._p
+
+    @property
+    def epsilon(self) -> float:
+        """Target relative distortion."""
+        return self._epsilon
+
+    def space_counters(self) -> int:
+        """Stored counters (CountSketch cells + AMS counters)."""
+        return self._sketch.space_counters() + self._ams.space_counters()
+
+    def update(self, index: int, delta: float) -> None:
+        """Apply the stream update ``(index, delta)``."""
+        if not (0 <= index < self._n):
+            raise InvalidParameterError(f"index {index} outside universe [0, {self._n})")
+        self._sketch.update(index, delta * self._inverse_scale[index])
+        self._ams.update(index, delta)
+        self._num_updates += 1
+
+    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
+        """Replay a whole stream (vectorised)."""
+        if isinstance(stream, TurnstileStream):
+            indices = stream.indices
+            deltas = stream.deltas
+        else:
+            pairs = [(u.index, u.delta) for u in stream]
+            if not pairs:
+                return
+            indices = np.asarray([p[0] for p in pairs], dtype=np.int64)
+            deltas = np.asarray([p[1] for p in pairs], dtype=float)
+        scaled = deltas * self._inverse_scale[indices]
+        self._sketch.update_stream(TurnstileStream.from_arrays(self._n, indices, scaled))
+        self._ams.update_stream(TurnstileStream.from_arrays(self._n, indices, deltas))
+        self._num_updates += len(indices)
+
+    def sample(self) -> Optional[Sample]:
+        """Return an approximate ``L_p`` draw, or ``None`` on failure."""
+        if self._num_updates == 0:
+            return None
+        estimates = self._sketch.estimate_all()
+        magnitudes = np.abs(estimates)
+        if not np.any(magnitudes > 0):
+            return None
+        best = int(np.argmax(magnitudes))
+
+        # Acceptance threshold: the recovered scaled maximum should exceed
+        # ||x||_p / eps^{1/p}; we only have an L2-based proxy of the norm,
+        # which is where the (1 +/- eps) distortion of this family of
+        # samplers comes from.
+        l2_estimate = self._ams.estimate_l2()
+        norm_proxy = l2_estimate / max(self._n, 2) ** max(0.0, 1.0 / 2.0 - 1.0 / self._p)
+        threshold = norm_proxy * self._epsilon ** (-1.0 / self._p)
+        if magnitudes[best] < threshold:
+            return None
+        recovered_value = estimates[best] * self._precisions[best] ** (1.0 / self._p)
+        return Sample(
+            index=best,
+            value_estimate=float(recovered_value),
+            metadata={
+                "scaled_maximum": float(magnitudes[best]),
+                "threshold": float(threshold),
+            },
+        )

@@ -1,0 +1,58 @@
+"""Linear-sketch substrates used by every sampler in the library.
+
+``hashing``
+    k-wise independent hash families over ``[0, n)`` and Rademacher sign
+    hashes, implemented with random polynomials over a Mersenne prime.
+``countsketch``
+    The CountSketch heavy-hitter sketch [CCF04], in both the classic
+    one-bucket-per-row form and the random-bucket (Bernoulli ``h_{i,j,k}``)
+    form used by [JW18]; also the averaged multi-instance estimator of
+    Corollary 2.2.
+``countmin``
+    CountMin sketch, used as an auxiliary baseline in examples/ablations.
+``ams``
+    The AMS sketch [AMS99] for unbiased ``F_2`` estimation.
+``fp_estimator``
+    Unbiased ``F_p`` estimation for ``p > 2`` (Ganguly-style level-set
+    estimator plus a max-stability estimator), Theorem 5.1's role in
+    Algorithms 1, 2, and 5.
+``exponential``
+    Exponential random variables, max-stability scaling, anti-rank vectors,
+    and duplication simulation (Lemmas 1.16-1.19 and Section 3).
+``sparse_recovery``
+    Exact 1-sparse and k-sparse recovery with fingerprint verification,
+    the substrate of the perfect ``L_0`` sampler (Theorem 5.4).
+"""
+
+from repro.sketch.hashing import KWiseHash, SignHash, PairwiseHash
+from repro.sketch.countsketch import CountSketch, AveragedCountSketch, RandomBucketCountSketch
+from repro.sketch.countmin import CountMin
+from repro.sketch.ams import AMSSketch
+from repro.sketch.fp_estimator import FpEstimator, MaxStabilityFpEstimator
+from repro.sketch.exponential import ExponentialScaler, anti_rank_vector, scale_vector
+from repro.sketch.sparse_recovery import OneSparseRecovery, KSparseRecovery
+from repro.sketch.pstable import PStableSketch, chambers_mallows_stuck, stable_median_scale
+from repro.sketch.distinct import KMinimumValues, RoughL0Estimator
+
+__all__ = [
+    "KWiseHash",
+    "PairwiseHash",
+    "SignHash",
+    "CountSketch",
+    "AveragedCountSketch",
+    "RandomBucketCountSketch",
+    "CountMin",
+    "AMSSketch",
+    "FpEstimator",
+    "MaxStabilityFpEstimator",
+    "ExponentialScaler",
+    "anti_rank_vector",
+    "scale_vector",
+    "OneSparseRecovery",
+    "KSparseRecovery",
+    "PStableSketch",
+    "chambers_mallows_stuck",
+    "stable_median_scale",
+    "KMinimumValues",
+    "RoughL0Estimator",
+]

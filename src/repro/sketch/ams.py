@@ -1,0 +1,104 @@
+"""AMS sketch for ``F_2`` estimation [AMS99].
+
+Algorithm 1 (line 3) uses an AMS estimate ``F̂_2`` that is a 2-approximation
+of ``F_2(x) = ||x||_2^2`` with high probability.  The classical tug-of-war
+construction suffices: each of ``width`` counters maintains
+``Z_j = sum_i sigma_j(i) x_i`` for a 4-wise independent sign function
+``sigma_j``; ``Z_j^2`` is an unbiased estimate of ``F_2`` with variance at
+most ``2 F_2^2``, and a median of means over ``depth`` groups of ``width``
+counters gives the high-probability guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError, SamplerStateError
+from repro.sketch.hashing import SignHash
+from repro.streams.stream import TurnstileStream
+from repro.utils.rng import SeedLike, ensure_rng, random_seed_array
+from repro.utils.validation import require_positive_int
+
+
+class AMSSketch:
+    """Tug-of-war sketch estimating ``F_2 = ||x||_2^2`` of a turnstile stream.
+
+    Parameters
+    ----------
+    n:
+        Universe size.
+    width:
+        Number of independent counters per group (averaging reduces
+        variance by ``1/width``).
+    depth:
+        Number of groups (the median over groups boosts confidence).
+    """
+
+    def __init__(self, n: int, width: int = 16, depth: int = 5, seed: SeedLike = None) -> None:
+        require_positive_int(n, "n")
+        require_positive_int(width, "width")
+        require_positive_int(depth, "depth")
+        self._n = n
+        self._width = width
+        self._depth = depth
+        rng = ensure_rng(seed)
+        seeds = random_seed_array(rng, width * depth)
+        all_indices = np.arange(n, dtype=np.int64)
+        sign_rows = [SignHash(int(seed_value))(all_indices) for seed_value in seeds]
+        # Shape (depth * width, n): one row of signs per counter.
+        self._signs = np.stack(sign_rows).astype(float)
+        self._counters = np.zeros(width * depth, dtype=float)
+        self._num_updates = 0
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(depth, width)`` of the counter grid."""
+        return (self._depth, self._width)
+
+    def space_counters(self) -> int:
+        """Number of stored counters."""
+        return self._width * self._depth
+
+    def update(self, index: int, delta: float) -> None:
+        """Apply the stream update ``(index, delta)``."""
+        if not (0 <= index < self._n):
+            raise InvalidParameterError(f"index {index} outside universe [0, {self._n})")
+        self._counters += self._signs[:, index] * delta
+        self._num_updates += 1
+
+    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
+        """Replay a full stream through the sketch (vectorised)."""
+        if isinstance(stream, TurnstileStream):
+            indices = stream.indices
+            deltas = stream.deltas
+        else:
+            pairs = [(u.index, u.delta) for u in stream]
+            if not pairs:
+                return
+            indices = np.asarray([p[0] for p in pairs], dtype=np.int64)
+            deltas = np.asarray([p[1] for p in pairs], dtype=float)
+        contributions = self._signs[:, indices] * deltas[None, :]
+        self._counters += contributions.sum(axis=1)
+        self._num_updates += len(indices)
+
+    def update_vector(self, vector: np.ndarray) -> None:
+        """Add a whole frequency vector at once."""
+        vector = np.asarray(vector, dtype=float)
+        if vector.shape != (self._n,):
+            raise InvalidParameterError("vector shape must match the universe size")
+        self._counters += self._signs @ vector
+        self._num_updates += int(np.count_nonzero(vector))
+
+    def estimate_f2(self) -> float:
+        """Median-of-means estimate of ``F_2``."""
+        if self._num_updates == 0:
+            raise SamplerStateError("AMS sketch queried before any update")
+        squares = self._counters**2
+        groups = squares.reshape(self._depth, self._width)
+        return float(np.median(groups.mean(axis=1)))
+
+    def estimate_l2(self) -> float:
+        """Estimate of ``||x||_2`` (square root of the F_2 estimate)."""
+        return float(np.sqrt(self.estimate_f2()))

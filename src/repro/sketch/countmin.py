@@ -1,0 +1,114 @@
+"""CountMin sketch.
+
+CountMin is not used inside the paper's algorithms (CountSketch is), but it
+is the most widely deployed heavy-hitter sketch in practice and serves as an
+auxiliary baseline in examples and ablation benchmarks: comparing the
+CountSketch-based estimates of Algorithms 1-4 against CountMin point queries
+illustrates why the (signed, two-sided-error) CountSketch guarantee is the
+right substrate for turnstile sampling.
+
+For strict-turnstile streams the point query overestimates by at most
+``||x||_1 / buckets`` per row with constant probability; the estimate is the
+minimum over rows.  For general turnstile streams the median over rows is
+used instead (the "CountMedian" variant), because the minimum is only valid
+when all contributions are non-negative.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.sketch.hashing import PairwiseHash
+from repro.streams.stream import TurnstileStream
+from repro.utils.rng import SeedLike, ensure_rng, random_seed_array
+from repro.utils.validation import require_positive_int
+
+
+class CountMin:
+    """CountMin / CountMedian sketch over the universe ``[0, n)``.
+
+    Parameters
+    ----------
+    n:
+        Universe size.
+    buckets:
+        Buckets per row; the L1 error scale is ``||x||_1 / buckets``.
+    rows:
+        Number of rows.
+    conservative:
+        If ``True`` the query uses the minimum over rows (valid for
+        strict-turnstile streams); if ``False`` the median is used, which
+        stays correct in expectation for general turnstile streams.
+    """
+
+    def __init__(self, n: int, buckets: int, rows: int, seed: SeedLike = None,
+                 conservative: bool = True) -> None:
+        require_positive_int(n, "n")
+        require_positive_int(buckets, "buckets")
+        require_positive_int(rows, "rows")
+        self._n = n
+        self._buckets = buckets
+        self._rows = rows
+        self._conservative = conservative
+        rng = ensure_rng(seed)
+        seeds = random_seed_array(rng, rows)
+        all_indices = np.arange(n, dtype=np.int64)
+        self._bucket_of = np.stack(
+            [PairwiseHash(buckets, int(seed_value))(all_indices) for seed_value in seeds]
+        )
+        self._table = np.zeros((rows, buckets), dtype=float)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(rows, buckets)`` of the sketch table."""
+        return (self._rows, self._buckets)
+
+    def space_counters(self) -> int:
+        """Number of stored counters (table cells)."""
+        return self._rows * self._buckets
+
+    def update(self, index: int, delta: float) -> None:
+        """Apply the stream update ``(index, delta)``."""
+        if not (0 <= index < self._n):
+            raise InvalidParameterError(f"index {index} outside universe [0, {self._n})")
+        rows = np.arange(self._rows)
+        self._table[rows, self._bucket_of[:, index]] += delta
+
+    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
+        """Replay a full stream through the sketch (vectorised)."""
+        if isinstance(stream, TurnstileStream):
+            indices = stream.indices
+            deltas = stream.deltas
+        else:
+            pairs = [(u.index, u.delta) for u in stream]
+            if not pairs:
+                return
+            indices = np.asarray([p[0] for p in pairs], dtype=np.int64)
+            deltas = np.asarray([p[1] for p in pairs], dtype=float)
+        for row in range(self._rows):
+            np.add.at(self._table[row], self._bucket_of[row, indices], deltas)
+
+    def estimate(self, index: int) -> float:
+        """Point query for coordinate ``index``."""
+        if not (0 <= index < self._n):
+            raise InvalidParameterError(f"index {index} outside universe [0, {self._n})")
+        rows = np.arange(self._rows)
+        values = self._table[rows, self._bucket_of[:, index]]
+        if self._conservative:
+            return float(values.min())
+        return float(np.median(values))
+
+    def estimate_all(self) -> np.ndarray:
+        """Point-query estimates for every coordinate."""
+        rows = np.arange(self._rows)[:, None]
+        values = self._table[rows, self._bucket_of]
+        if self._conservative:
+            return values.min(axis=0)
+        return np.median(values, axis=0)
+
+    def heavy_hitters(self, threshold: float) -> np.ndarray:
+        """Indices whose estimate is at least ``threshold``."""
+        return np.flatnonzero(self.estimate_all() >= threshold)

@@ -1,0 +1,319 @@
+"""CountSketch heavy-hitter sketches [CCF04] and the JW18 variant.
+
+Three flavours are provided:
+
+:class:`CountSketch`
+    The classic table with ``rows`` rows and ``buckets`` buckets per row.
+    Every coordinate hashes to exactly one bucket per row with a 4-wise
+    independent sign; the point query is the median of the signed bucket
+    values over rows.  The guarantee (used throughout Section 2 and 3 of
+    the paper) is an additive error of ``O(||x_tail||_2 / sqrt(buckets))``
+    per query with high probability in the number of rows.
+
+:class:`RandomBucketCountSketch`
+    The modification introduced by [JW18] and re-used by Algorithm 4 of the
+    paper: instead of hashing each item to one bucket per row, each
+    (row, bucket, item) triple carries an i.i.d. Bernoulli(1/buckets)
+    indicator ``h_{i,j,k}``, so an item may occupy several buckets of a row
+    or none at all.  The estimate is the median over *all* buckets that
+    contain the item.  This version decouples bucket occupancy from the
+    anti-rank conditioning in the sampler analysis.
+
+:class:`AveragedCountSketch`
+    ``polylog(n)`` independent CountSketch instances whose point queries are
+    averaged — the estimator of Corollary 2.2/2.3, which turns the
+    heavy-hitter guarantee into a *relative* error estimate for coordinates
+    that are ``1/polylog(n)``-heavy and gives (conditionally) unbiased
+    estimates for the rejection step of Algorithms 1 and 2.
+
+All sketches are linear: they support positive and negative updates and can
+be merged by adding tables entrywise.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.sketch.hashing import PairwiseHash, SignHash
+from repro.streams.stream import TurnstileStream
+from repro.utils.rng import SeedLike, ensure_rng, random_seed_array
+from repro.utils.validation import require_positive_int
+
+
+class CountSketch:
+    """Classic CountSketch over the universe ``[0, n)``.
+
+    Parameters
+    ----------
+    n:
+        Universe size (hash tables are precomputed per coordinate, which is
+        the natural choice for the moderate universes of this library).
+    buckets:
+        Number of buckets per row.
+    rows:
+        Number of rows (the estimate is a median over rows).
+    seed:
+        Seed or generator for hash functions.
+    """
+
+    def __init__(self, n: int, buckets: int, rows: int, seed: SeedLike = None) -> None:
+        require_positive_int(n, "n")
+        require_positive_int(buckets, "buckets")
+        require_positive_int(rows, "rows")
+        self._n = n
+        self._buckets = buckets
+        self._rows = rows
+        rng = ensure_rng(seed)
+        seeds = random_seed_array(rng, 2 * rows)
+        all_indices = np.arange(n, dtype=np.int64)
+        bucket_table = np.empty((rows, n), dtype=np.int64)
+        sign_table = np.empty((rows, n), dtype=np.int64)
+        for row in range(rows):
+            bucket_hash = PairwiseHash(buckets, int(seeds[2 * row]))
+            sign_hash = SignHash(int(seeds[2 * row + 1]))
+            bucket_table[row] = bucket_hash(all_indices)
+            sign_table[row] = sign_hash(all_indices)
+        self._bucket_of = bucket_table
+        self._sign_of = sign_table
+        self._table = np.zeros((rows, buckets), dtype=float)
+
+    @property
+    def n(self) -> int:
+        """Universe size."""
+        return self._n
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(rows, buckets)`` of the sketch table."""
+        return (self._rows, self._buckets)
+
+    def space_counters(self) -> int:
+        """Number of stored counters (table cells); hash seeds excluded."""
+        return self._rows * self._buckets
+
+    def update(self, index: int, delta: float) -> None:
+        """Apply the stream update ``(index, delta)``."""
+        if not (0 <= index < self._n):
+            raise InvalidParameterError(f"index {index} outside universe [0, {self._n})")
+        rows = np.arange(self._rows)
+        self._table[rows, self._bucket_of[:, index]] += self._sign_of[:, index] * delta
+
+    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
+        """Replay a full stream through the sketch (vectorised)."""
+        if isinstance(stream, TurnstileStream):
+            indices = stream.indices
+            deltas = stream.deltas
+        else:
+            pairs = [(u.index, u.delta) for u in stream]
+            if not pairs:
+                return
+            indices = np.asarray([p[0] for p in pairs], dtype=np.int64)
+            deltas = np.asarray([p[1] for p in pairs], dtype=float)
+        for row in range(self._rows):
+            signed = deltas * self._sign_of[row, indices]
+            np.add.at(self._table[row], self._bucket_of[row, indices], signed)
+
+    def update_vector(self, vector: np.ndarray) -> None:
+        """Add an entire frequency vector to the sketch in one shot."""
+        vector = np.asarray(vector, dtype=float)
+        if vector.shape != (self._n,):
+            raise InvalidParameterError("vector shape must match the universe size")
+        for row in range(self._rows):
+            signed = vector * self._sign_of[row]
+            np.add.at(self._table[row], self._bucket_of[row], signed)
+
+    def estimate(self, index: int) -> float:
+        """Point query: the median-of-rows estimate of coordinate ``index``."""
+        if not (0 <= index < self._n):
+            raise InvalidParameterError(f"index {index} outside universe [0, {self._n})")
+        rows = np.arange(self._rows)
+        values = self._sign_of[:, index] * self._table[rows, self._bucket_of[:, index]]
+        return float(np.median(values))
+
+    def estimate_all(self) -> np.ndarray:
+        """Vector of point-query estimates for every coordinate."""
+        rows = np.arange(self._rows)[:, None]
+        values = self._sign_of * self._table[rows, self._bucket_of]
+        return np.median(values, axis=0)
+
+    def heavy_hitters(self, threshold: float) -> np.ndarray:
+        """Indices whose estimated magnitude is at least ``threshold``."""
+        estimates = self.estimate_all()
+        return np.flatnonzero(np.abs(estimates) >= threshold)
+
+    def merge(self, other: "CountSketch") -> None:
+        """Merge another sketch built with the same seed/shape (linearity)."""
+        if self.shape != other.shape or self._n != other._n:
+            raise InvalidParameterError("can only merge identically configured sketches")
+        if not (np.array_equal(self._bucket_of, other._bucket_of)
+                and np.array_equal(self._sign_of, other._sign_of)):
+            raise InvalidParameterError("can only merge sketches sharing hash functions")
+        self._table += other._table
+
+    def l2_error_bound(self, l2_norm: float, confidence_factor: float = 3.0) -> float:
+        """The standard per-query error scale ``confidence * ||x||_2 / sqrt(buckets)``."""
+        return confidence_factor * l2_norm / np.sqrt(self._buckets)
+
+
+class AveragedCountSketch:
+    """Average of ``num_instances`` independent CountSketch point queries.
+
+    This is the estimator used in lines 8-9 of Algorithm 1 (and 11-12 of
+    Algorithm 2): averaging ``polylog(n)`` independent instances drives the
+    additive error down to ``||x||_2 / polylog(n)`` (Lemma 2.1 /
+    Corollary 2.2), and distinct instances supply the *independent* nearly
+    unbiased coordinate estimates consumed by the product/Taylor estimators.
+    """
+
+    def __init__(self, n: int, buckets: int, rows: int, num_instances: int,
+                 seed: SeedLike = None) -> None:
+        require_positive_int(num_instances, "num_instances")
+        rng = ensure_rng(seed)
+        seeds = random_seed_array(rng, num_instances)
+        self._instances = [
+            CountSketch(n, buckets, rows, int(seed_value)) for seed_value in seeds
+        ]
+        self._n = n
+
+    @property
+    def num_instances(self) -> int:
+        """Number of independent CountSketch instances."""
+        return len(self._instances)
+
+    def space_counters(self) -> int:
+        """Total counters across all instances."""
+        return sum(instance.space_counters() for instance in self._instances)
+
+    def update(self, index: int, delta: float) -> None:
+        """Apply an update to every instance."""
+        for instance in self._instances:
+            instance.update(index, delta)
+
+    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
+        """Replay a stream into every instance."""
+        if not isinstance(stream, TurnstileStream):
+            stream = list(stream)
+        for instance in self._instances:
+            instance.update_stream(stream)
+
+    def update_vector(self, vector: np.ndarray) -> None:
+        """Add a frequency vector to every instance."""
+        for instance in self._instances:
+            instance.update_vector(vector)
+
+    def estimate(self, index: int) -> float:
+        """Averaged point query over all instances."""
+        return float(np.mean([instance.estimate(index) for instance in self._instances]))
+
+    def instance_estimates(self, index: int) -> np.ndarray:
+        """The vector of per-instance point queries (independent estimates)."""
+        return np.asarray([instance.estimate(index) for instance in self._instances])
+
+    def grouped_estimates(self, index: int, group_size: int) -> np.ndarray:
+        """Averages of disjoint groups of instances.
+
+        Algorithm 1 needs ``p - 2`` *independent* estimates each formed by
+        averaging ``polylog(n)`` instances; grouping provides exactly that
+        without building ``(p - 2) * polylog(n)`` separate objects at call
+        sites.
+        """
+        require_positive_int(group_size, "group_size")
+        estimates = self.instance_estimates(index)
+        num_groups = len(estimates) // group_size
+        if num_groups == 0:
+            raise InvalidParameterError("group_size exceeds the number of instances")
+        trimmed = estimates[: num_groups * group_size]
+        return trimmed.reshape(num_groups, group_size).mean(axis=1)
+
+
+class RandomBucketCountSketch:
+    """CountSketch with Bernoulli bucket membership (the [JW18] variant).
+
+    Every (row, bucket, item) triple holds an independent indicator that is
+    one with probability ``1/buckets``; the signed contributions of an item
+    go to every bucket whose indicator fired, and the point query is the
+    median over those buckets.  Membership is realised lazily per item from
+    a seeded generator so the memory cost stays ``O(rows * buckets)``.
+    """
+
+    def __init__(self, n: int, buckets: int, rows: int, seed: SeedLike = None) -> None:
+        require_positive_int(n, "n")
+        require_positive_int(buckets, "buckets")
+        require_positive_int(rows, "rows")
+        self._n = n
+        self._buckets = buckets
+        self._rows = rows
+        rng = ensure_rng(seed)
+        self._membership_seed = int(rng.integers(0, 2**63 - 1))
+        self._sign_seed = int(rng.integers(0, 2**63 - 1))
+        self._table = np.zeros((rows, buckets), dtype=float)
+        self._membership_cache: dict[int, list[np.ndarray]] = {}
+        self._sign_cache: dict[int, np.ndarray] = {}
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(rows, buckets)`` of the sketch table."""
+        return (self._rows, self._buckets)
+
+    def space_counters(self) -> int:
+        """Number of stored counters (table cells)."""
+        return self._rows * self._buckets
+
+    def _membership(self, index: int) -> list[np.ndarray]:
+        """Buckets of each row containing ``index`` (lazily drawn, cached)."""
+        cached = self._membership_cache.get(index)
+        if cached is not None:
+            return cached
+        rng = np.random.default_rng((self._membership_seed, index))
+        membership = [
+            np.flatnonzero(rng.random(self._buckets) < 1.0 / self._buckets)
+            for _ in range(self._rows)
+        ]
+        self._membership_cache[index] = membership
+        return membership
+
+    def _sign(self, index: int) -> np.ndarray:
+        """Per-row Rademacher signs of ``index`` (lazily drawn, cached)."""
+        cached = self._sign_cache.get(index)
+        if cached is not None:
+            return cached
+        rng = np.random.default_rng((self._sign_seed, index))
+        signs = rng.choice(np.asarray([-1.0, 1.0]), size=self._rows)
+        self._sign_cache[index] = signs
+        return signs
+
+    def update(self, index: int, delta: float) -> None:
+        """Apply the stream update ``(index, delta)``."""
+        if not (0 <= index < self._n):
+            raise InvalidParameterError(f"index {index} outside universe [0, {self._n})")
+        membership = self._membership(index)
+        signs = self._sign(index)
+        for row in range(self._rows):
+            buckets = membership[row]
+            if buckets.size:
+                self._table[row, buckets] += signs[row] * delta
+
+    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
+        """Replay a full stream through the sketch."""
+        for update in stream:
+            self.update(update.index, update.delta)
+
+    def estimate(self, index: int) -> float:
+        """Median estimate over every bucket containing ``index``."""
+        membership = self._membership(index)
+        signs = self._sign(index)
+        values: list[float] = []
+        for row in range(self._rows):
+            buckets = membership[row]
+            if buckets.size:
+                values.extend(signs[row] * self._table[row, buckets])
+        if not values:
+            return 0.0
+        return float(np.median(values))
+
+    def estimate_all(self) -> np.ndarray:
+        """Point-query estimates for every coordinate of the universe."""
+        return np.asarray([self.estimate(index) for index in range(self._n)])

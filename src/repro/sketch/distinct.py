@@ -1,0 +1,182 @@
+"""Distinct-element (``F_0`` / ``L_0``) estimation substrates.
+
+The ``G``-samplers of Section 5 are built from perfect ``L_0`` samples and
+their repetition counts depend on the support size ``||x||_0``.  This module
+provides two small substrates used by the applications layer and examples:
+
+* :class:`KMinimumValues` — the classical KMV estimator of the number of
+  *distinct items touched by the stream* (insertion semantics: deletions do
+  not remove an item from the estimate).
+* :class:`RoughL0Estimator` — a turnstile-correct rough estimator of the
+  support size ``||x||_0`` built from the same subsampling-level machinery
+  as the perfect ``L_0`` sampler: it finds the deepest level whose surviving
+  support decodes exactly and extrapolates by the level's sampling rate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError, SamplerStateError
+from repro.sketch.sparse_recovery import KSparseRecovery
+from repro.streams.stream import TurnstileStream
+from repro.utils.rng import SeedLike, derive_seed, ensure_rng
+from repro.utils.validation import require_positive_int
+
+
+class KMinimumValues:
+    """KMV estimator of the number of distinct items appearing in a stream.
+
+    Every item is mapped, through the random oracle, to a uniform value in
+    ``[0, 1)``; the sketch keeps the ``k`` smallest distinct values seen.
+    If the ``k``-th smallest value is ``v`` then ``(k - 1) / v`` is an
+    (asymptotically unbiased) estimate of the number of distinct items.
+
+    Parameters
+    ----------
+    n:
+        Universe size (used only for validation).
+    k:
+        Number of minima retained; the relative error decays like
+        ``1/sqrt(k)``.
+    seed:
+        Root seed of the item-to-value oracle.
+    """
+
+    def __init__(self, n: int, k: int = 64, seed: SeedLike = None) -> None:
+        require_positive_int(n, "n")
+        require_positive_int(k, "k")
+        self._n = n
+        self._k = k
+        rng = ensure_rng(seed)
+        self._root_seed = int(rng.integers(0, 2**62))
+        self._minima: dict[int, float] = {}
+        self._threshold = math.inf
+        self._num_updates = 0
+
+    @property
+    def k(self) -> int:
+        """Number of retained minima."""
+        return self._k
+
+    def space_counters(self) -> int:
+        """One (index, value) pair per retained minimum."""
+        return 2 * min(self._k, max(len(self._minima), 1))
+
+    def _item_value(self, index: int) -> float:
+        seed = derive_seed(self._root_seed, "kmv", index)
+        return (seed % (2**53)) / float(2**53)
+
+    def update(self, index: int, delta: float = 1.0) -> None:
+        """Record that ``index`` appeared in the stream (``delta`` is ignored)."""
+        if not (0 <= index < self._n):
+            raise InvalidParameterError(f"index {index} outside universe [0, {self._n})")
+        self._num_updates += 1
+        value = self._item_value(index)
+        if index in self._minima:
+            return
+        if len(self._minima) < self._k:
+            self._minima[index] = value
+            if len(self._minima) == self._k:
+                self._threshold = max(self._minima.values())
+            return
+        if value >= self._threshold:
+            return
+        worst = max(self._minima, key=self._minima.get)
+        del self._minima[worst]
+        self._minima[index] = value
+        self._threshold = max(self._minima.values())
+
+    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
+        """Replay a whole stream (only the touched indices matter)."""
+        for update in stream:
+            self.update(update.index, update.delta)
+
+    def estimate(self) -> float:
+        """Estimate of the number of distinct items touched by the stream."""
+        if self._num_updates == 0:
+            raise SamplerStateError("the sketch has not seen any updates")
+        if len(self._minima) < self._k:
+            # Fewer distinct items than slots: the count is exact.
+            return float(len(self._minima))
+        kth = max(self._minima.values())
+        return (self._k - 1) / kth
+
+
+class RoughL0Estimator:
+    """Rough turnstile estimator of the support size ``||x||_0``.
+
+    Maintains subsampling levels (each halving the expected surviving
+    support) with an exact :class:`KSparseRecovery` structure per level.  At
+    query time it walks from the densest level down and returns
+    ``|decoded support| * 2^{level}`` for the first level that decodes; the
+    result is a constant-factor approximation of ``||x||_0`` with high
+    probability, which is what repetition-count heuristics need.
+
+    Parameters
+    ----------
+    n:
+        Universe size.
+    sparsity:
+        Per-level recovery sparsity.
+    seed:
+        Root seed for level assignment and fingerprints.
+    """
+
+    def __init__(self, n: int, sparsity: int = 16, seed: SeedLike = None) -> None:
+        require_positive_int(n, "n")
+        require_positive_int(sparsity, "sparsity")
+        self._n = n
+        self._sparsity = sparsity
+        rng = ensure_rng(seed)
+        self._num_levels = int(math.ceil(math.log2(max(n, 2)))) + 1
+        self._level_variates = rng.random(n)
+        level_seeds = rng.integers(0, 2**63 - 1, size=self._num_levels)
+        self._levels = [
+            KSparseRecovery(n, sparsity, rows=6, seed=int(level_seed))
+            for level_seed in level_seeds
+        ]
+        self._num_updates = 0
+
+    def space_counters(self) -> int:
+        """Counters across all levels."""
+        return sum(level.space_counters() for level in self._levels)
+
+    def _max_level(self, index: int) -> int:
+        u = self._level_variates[index]
+        if u <= 0.0:
+            return self._num_levels - 1
+        return min(int(math.floor(-math.log2(u))), self._num_levels - 1)
+
+    def update(self, index: int, delta: float) -> None:
+        """Route the update to every level the coordinate participates in."""
+        if not (0 <= index < self._n):
+            raise InvalidParameterError(f"index {index} outside universe [0, {self._n})")
+        deepest = self._max_level(index)
+        for level in range(deepest + 1):
+            self._levels[level].update(index, delta)
+        self._num_updates += 1
+
+    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
+        """Replay a whole stream."""
+        for update in stream:
+            self.update(update.index, update.delta)
+
+    def estimate(self) -> Optional[float]:
+        """Constant-factor estimate of ``||x||_0``, or ``None`` if no level decodes."""
+        if self._num_updates == 0:
+            raise SamplerStateError("the sketch has not seen any updates")
+        for level_index in range(self._num_levels):
+            level = self._levels[level_index]
+            if level.is_zero():
+                if level_index == 0:
+                    return 0.0
+                continue
+            items = level.recover()
+            if items is None or len(items) > self._sparsity:
+                continue
+            return float(len(items)) * (2.0 ** level_index)
+        return None

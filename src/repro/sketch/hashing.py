@@ -1,0 +1,125 @@
+"""k-wise independent hash families.
+
+All sketches in the library draw their hash functions from
+:class:`KWiseHash`, a random polynomial of degree ``k - 1`` over the
+Mersenne prime ``2^61 - 1``.  Evaluating a random degree-``(k-1)``
+polynomial at distinct points yields a k-wise independent family, which is
+the standard derandomisation-friendly construction used by CountSketch
+(pairwise buckets, 4-wise signs) and the AMS sketch (4-wise signs).
+
+The implementation is vectorised: hashes of whole index arrays are computed
+with NumPy ``object``-free modular arithmetic on ``uint64``/Python ints to
+avoid overflow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.utils.rng import SeedLike, ensure_rng
+
+MERSENNE_PRIME = (1 << 61) - 1
+
+
+class KWiseHash:
+    """A k-wise independent hash ``h : Z -> [0, range_size)``.
+
+    Parameters
+    ----------
+    k:
+        Independence level (``k >= 2``); degree of the random polynomial
+        plus one.
+    range_size:
+        Size of the output range.
+    seed:
+        Seed or generator for drawing the polynomial coefficients.
+    """
+
+    def __init__(self, k: int, range_size: int, seed: SeedLike = None) -> None:
+        if k < 1:
+            raise InvalidParameterError("k must be at least 1")
+        if range_size < 1:
+            raise InvalidParameterError("range_size must be at least 1")
+        rng = ensure_rng(seed)
+        self._k = int(k)
+        self._range_size = int(range_size)
+        coefficients = rng.integers(0, MERSENNE_PRIME, size=self._k, dtype=np.int64)
+        # Leading coefficient non-zero keeps the polynomial degree exactly k-1.
+        if self._k > 1 and coefficients[-1] == 0:
+            coefficients[-1] = 1
+        self._coefficients = coefficients.astype(object)
+
+    @property
+    def k(self) -> int:
+        """Independence level of the family."""
+        return self._k
+
+    @property
+    def range_size(self) -> int:
+        """Output range size."""
+        return self._range_size
+
+    def __call__(self, keys: int | np.ndarray) -> int | np.ndarray:
+        """Hash a key (or an array of keys) into ``[0, range_size)``."""
+        scalar = np.isscalar(keys)
+        arr = np.atleast_1d(np.asarray(keys, dtype=np.int64)).astype(object)
+        # Horner evaluation over the Mersenne prime field.
+        result = np.zeros(arr.shape, dtype=object)
+        for coefficient in self._coefficients[::-1]:
+            result = (result * arr + int(coefficient)) % MERSENNE_PRIME
+        hashed = result % self._range_size
+        hashed = hashed.astype(np.int64)
+        if scalar:
+            return int(hashed[0])
+        return hashed
+
+
+class PairwiseHash(KWiseHash):
+    """Pairwise independent hash (``k = 2``), used for CountSketch buckets."""
+
+    def __init__(self, range_size: int, seed: SeedLike = None) -> None:
+        super().__init__(2, range_size, seed)
+
+
+class SignHash:
+    """A k-wise independent Rademacher sign hash ``sigma : Z -> {-1, +1}``.
+
+    CountSketch needs 4-wise independent signs for its variance bound, and
+    the AMS sketch needs 4-wise independent signs for the standard
+    second-moment analysis; ``k`` defaults to 4.
+    """
+
+    def __init__(self, seed: SeedLike = None, k: int = 4) -> None:
+        self._hash = KWiseHash(k, 2, seed)
+
+    @property
+    def k(self) -> int:
+        """Independence level."""
+        return self._hash.k
+
+    def __call__(self, keys: int | np.ndarray) -> int | np.ndarray:
+        bits = self._hash(keys)
+        if np.isscalar(bits):
+            return 1 if bits == 1 else -1
+        return np.where(np.asarray(bits) == 1, 1, -1).astype(np.int64)
+
+
+class UniformHash:
+    """A hash to the unit interval ``[0, 1)`` with k-wise independent bits.
+
+    Used by samplers that need per-item uniform variates that are
+    reproducible across the stream (e.g. subsampling levels in the perfect
+    ``L_0`` sampler): the same key always maps to the same variate.
+    """
+
+    _RESOLUTION = 1 << 53
+
+    def __init__(self, seed: SeedLike = None, k: int = 2) -> None:
+        self._hash = KWiseHash(k, self._RESOLUTION, seed)
+
+    def __call__(self, keys: int | np.ndarray) -> float | np.ndarray:
+        values = self._hash(keys)
+        if np.isscalar(values):
+            return float(values) / self._RESOLUTION
+        return np.asarray(values, dtype=float) / self._RESOLUTION

@@ -1,0 +1,231 @@
+"""Exact sparse recovery structures.
+
+The perfect ``L_0`` sampler of [JST11] (Theorem 5.4 in the paper) needs to
+recover the surviving coordinates of a subsampled turnstile vector
+*exactly*, together with their exact values, and to detect reliably when
+recovery is impossible.  The standard substrate is:
+
+:class:`OneSparseRecovery`
+    Maintains three linear aggregates of the sub-stream routed to it —
+    the total weight ``W = sum delta``, the index-weighted sum
+    ``S = sum index * delta`` and a fingerprint
+    ``T = sum delta * r^index (mod q)`` for a random ``r`` over a prime
+    field.  If the underlying vector is 1-sparse with support ``{i}`` and
+    value ``v`` then ``W = v``, ``S = i * v`` and the fingerprint check
+    passes; a non-1-sparse vector fails the check with probability
+    ``1 - O(m / q)``.
+
+:class:`KSparseRecovery`
+    Hashes coordinates into ``2k`` buckets per row across ``O(log(k))``
+    rows of :class:`OneSparseRecovery` cells and decodes by collecting every
+    bucket that successfully reports a singleton.  A global fingerprint over
+    the whole vector verifies that the union of recovered singletons is the
+    complete vector, so a successful decode is exact (no false positives
+    with high probability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.sketch.hashing import PairwiseHash
+from repro.streams.stream import TurnstileStream
+from repro.utils.rng import SeedLike, ensure_rng, random_seed_array
+from repro.utils.validation import require_positive_int
+
+_FINGERPRINT_PRIME = (1 << 61) - 1
+
+
+@dataclass(frozen=True)
+class RecoveredItem:
+    """A recovered coordinate and its exact value."""
+
+    index: int
+    value: float
+
+
+class _Fingerprint:
+    """Linear fingerprint ``sum_i x_i * r^i`` over the Mersenne prime field.
+
+    Values are fingerprinted after scaling to integers with ``scale`` (the
+    library's streams use integer-valued updates in all L_0 workloads; a
+    scale of 1 keeps exactness for them, and fractional updates degrade
+    gracefully to a rounding-based fingerprint).
+
+    The evaluation point ``r`` is derived from the seed with a splitmix-style
+    mixer rather than a full :class:`numpy.random.Generator`, because sparse
+    recovery structures allocate thousands of fingerprint cells and the
+    generator construction cost would dominate.
+    """
+
+    def __init__(self, seed: int, scale: float = 1.0) -> None:
+        mixed = (int(seed) * 6364136223846793005 + 1442695040888963407) & ((1 << 64) - 1)
+        mixed ^= mixed >> 31
+        mixed = (mixed * 0x9E3779B97F4A7C15) & ((1 << 64) - 1)
+        self._r = 2 + mixed % (_FINGERPRINT_PRIME - 3)
+        self._value = 0
+        self._scale = scale
+
+    def update(self, index: int, delta: float) -> None:
+        scaled = int(round(delta * self._scale))
+        self._value = (self._value + scaled * pow(self._r, int(index) + 1, _FINGERPRINT_PRIME)) % _FINGERPRINT_PRIME
+
+    def matches(self, items: Iterable[RecoveredItem]) -> bool:
+        total = 0
+        for item in items:
+            scaled = int(round(item.value * self._scale))
+            total = (total + scaled * pow(self._r, int(item.index) + 1, _FINGERPRINT_PRIME)) % _FINGERPRINT_PRIME
+        return total == self._value
+
+    @property
+    def is_zero(self) -> bool:
+        return self._value == 0
+
+
+class OneSparseRecovery:
+    """Detects and recovers a 1-sparse turnstile vector exactly."""
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        if seed is None or isinstance(seed, np.random.Generator):
+            seed = int(ensure_rng(seed).integers(0, 2**63 - 1))
+        self._weight = 0.0
+        self._weighted_index = 0.0
+        self._fingerprint = _Fingerprint(int(seed))
+        self._num_updates = 0
+
+    def space_counters(self) -> int:
+        """Number of maintained aggregates."""
+        return 3
+
+    def update(self, index: int, delta: float) -> None:
+        """Apply the stream update ``(index, delta)``."""
+        if index < 0:
+            raise InvalidParameterError("index must be non-negative")
+        self._weight += delta
+        self._weighted_index += index * delta
+        self._fingerprint.update(index, delta)
+        self._num_updates += 1
+
+    def is_zero(self) -> bool:
+        """True if the routed sub-vector is (with high probability) zero."""
+        return (
+            abs(self._weight) < 1e-9
+            and abs(self._weighted_index) < 1e-9
+            and self._fingerprint.is_zero
+        )
+
+    def recover(self) -> RecoveredItem | None:
+        """Recover the singleton if the routed sub-vector is exactly 1-sparse.
+
+        Returns ``None`` when the vector is zero or provably not 1-sparse.
+        """
+        if self.is_zero():
+            return None
+        if abs(self._weight) < 1e-9:
+            return None
+        ratio = self._weighted_index / self._weight
+        index = int(round(ratio))
+        if index < 0 or abs(ratio - index) > 1e-6:
+            return None
+        candidate = RecoveredItem(index=index, value=self._weight)
+        if not self._fingerprint.matches([candidate]):
+            return None
+        return candidate
+
+
+class KSparseRecovery:
+    """Exact recovery of vectors with at most ``k`` non-zero coordinates.
+
+    Parameters
+    ----------
+    n:
+        Universe size.
+    k:
+        Target sparsity.  Decoding succeeds with high probability whenever
+        the routed vector has at most ``k`` non-zeros.
+    rows:
+        Number of hash rows; each non-zero lands alone in some bucket of
+        some row with probability ``1 - 2^{-Omega(rows)}``.
+    """
+
+    def __init__(self, n: int, k: int, rows: int = 6, seed: SeedLike = None) -> None:
+        require_positive_int(n, "n")
+        require_positive_int(k, "k")
+        require_positive_int(rows, "rows")
+        self._n = n
+        self._k = k
+        self._rows = rows
+        self._buckets = 2 * k
+        rng = ensure_rng(seed)
+        hash_seeds = random_seed_array(rng, rows)
+        cell_seeds = random_seed_array(rng, rows * self._buckets)
+        all_indices = np.arange(n, dtype=np.int64)
+        self._bucket_of = np.stack(
+            [PairwiseHash(self._buckets, int(seed_value))(all_indices) for seed_value in hash_seeds]
+        )
+        self._cells = [
+            [OneSparseRecovery(int(cell_seeds[row * self._buckets + bucket]))
+             for bucket in range(self._buckets)]
+            for row in range(rows)
+        ]
+        self._global_fingerprint = _Fingerprint(int(rng.integers(0, 2**63 - 1)))
+
+    @property
+    def k(self) -> int:
+        """Target sparsity."""
+        return self._k
+
+    def space_counters(self) -> int:
+        """Total aggregates across all cells plus the global fingerprint."""
+        return self._rows * self._buckets * 3 + 1
+
+    def update(self, index: int, delta: float) -> None:
+        """Apply the stream update ``(index, delta)``."""
+        if not (0 <= index < self._n):
+            raise InvalidParameterError(f"index {index} outside universe [0, {self._n})")
+        for row in range(self._rows):
+            bucket = int(self._bucket_of[row, index])
+            self._cells[row][bucket].update(index, delta)
+        self._global_fingerprint.update(index, delta)
+
+    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
+        """Replay a full stream through the structure."""
+        for update in stream:
+            self.update(update.index, update.delta)
+
+    def recover(self) -> list[RecoveredItem] | None:
+        """Recover the exact non-zero coordinates, or ``None`` on failure.
+
+        Failure means the routed vector is (probably) not ``k``-sparse or a
+        rare hash-collision pattern prevented full recovery; callers such as
+        the ``L_0`` sampler treat it as "try another subsampling level".
+        """
+        recovered: dict[int, float] = {}
+        for row in range(self._rows):
+            for bucket in range(self._buckets):
+                item = self._cells[row][bucket].recover()
+                if item is None:
+                    continue
+                existing = recovered.get(item.index)
+                if existing is None:
+                    recovered[item.index] = item.value
+                elif abs(existing - item.value) > 1e-6:
+                    # Conflicting recoveries indicate a false singleton.
+                    return None
+        items = [RecoveredItem(index, value) for index, value in sorted(recovered.items())]
+        if not self._global_fingerprint.matches(items):
+            return None
+        if len(items) > self._k:
+            # More non-zeros than the structure is certified for; the
+            # fingerprint match means recovery is still exact, but callers
+            # asked for at most k, so report them anyway.
+            return items
+        return items
+
+    def is_zero(self) -> bool:
+        """True when the routed vector is (with high probability) zero."""
+        return self._global_fingerprint.is_zero

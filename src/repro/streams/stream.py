@@ -1,0 +1,228 @@
+"""Concrete turnstile streams and exact frequency-vector accumulation.
+
+:class:`TurnstileStream` is a replayable, finite sequence of
+:class:`~repro.streams.updates.Update` records over a universe of size
+``n``.  It is the common input type of every sketch and sampler in the
+library: they all expose ``update(index, delta)`` plus a convenience
+``update_stream(stream)`` that replays the whole sequence.
+
+:class:`FrequencyVector` incrementally materialises the exact vector ``x``
+induced by a stream.  Sketching algorithms never use it internally; it
+exists for ground-truth computations in tests, examples, and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError, StreamError
+from repro.streams.updates import StreamKind, Update
+from repro.utils.validation import require_positive_int
+
+
+@dataclass
+class FrequencyVector:
+    """Exact accumulator for the frequency vector ``x`` of a stream.
+
+    Parameters
+    ----------
+    n:
+        Universe size.
+    kind:
+        Stream model to validate updates against.  For
+        ``STRICT_TURNSTILE`` the accumulator raises as soon as a prefix
+        drives any coordinate negative.
+    """
+
+    n: int
+    kind: StreamKind = StreamKind.TURNSTILE
+    _values: np.ndarray = field(init=False, repr=False)
+    _num_updates: int = field(init=False, default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        require_positive_int(self.n, "n")
+        self._values = np.zeros(self.n, dtype=float)
+
+    @property
+    def values(self) -> np.ndarray:
+        """A copy of the current frequency vector."""
+        return self._values.copy()
+
+    @property
+    def num_updates(self) -> int:
+        """Number of updates processed so far (the stream length ``m``)."""
+        return self._num_updates
+
+    def update(self, index: int, delta: float) -> None:
+        """Apply a single update ``(index, delta)``."""
+        if not (0 <= index < self.n):
+            raise StreamError(f"update index {index} outside universe [0, {self.n})")
+        if self.kind is StreamKind.INSERTION_ONLY and delta < 0:
+            raise StreamError("insertion-only stream received a negative update")
+        self._values[index] += delta
+        self._num_updates += 1
+        if self.kind is StreamKind.STRICT_TURNSTILE and self._values[index] < -1e-9:
+            raise StreamError(
+                f"strict turnstile invariant violated at coordinate {index}: "
+                f"value {self._values[index]}"
+            )
+
+    def update_stream(self, stream: "TurnstileStream | Iterable[Update]") -> None:
+        """Replay every update of ``stream`` through :meth:`update`."""
+        for update in stream:
+            self.update(update.index, update.delta)
+
+    def __getitem__(self, index: int) -> float:
+        return float(self._values[index])
+
+    def lp_norm(self, p: float) -> float:
+        """``||x||_p`` of the current vector (``p > 0``)."""
+        if p <= 0:
+            raise InvalidParameterError("lp_norm requires p > 0")
+        return float(np.sum(np.abs(self._values) ** p) ** (1.0 / p))
+
+    def moment(self, p: float) -> float:
+        """The ``p``-th frequency moment ``F_p = sum_i |x_i|^p``."""
+        if p < 0:
+            raise InvalidParameterError("moment requires p >= 0")
+        if p == 0:
+            return float(np.count_nonzero(self._values))
+        return float(np.sum(np.abs(self._values) ** p))
+
+    def support(self) -> np.ndarray:
+        """Indices of the non-zero coordinates."""
+        return np.flatnonzero(self._values)
+
+
+class TurnstileStream:
+    """A finite, replayable stream of updates over the universe ``[0, n)``.
+
+    The class stores updates in NumPy arrays so replaying a stream into a
+    sketch is cheap, and exposes the exact induced frequency vector for
+    ground-truth comparisons.
+
+    Parameters
+    ----------
+    n:
+        Universe size.
+    updates:
+        Iterable of :class:`Update` records (or ``(index, delta)`` pairs).
+    kind:
+        Declared stream model; updates are validated against it eagerly.
+    """
+
+    def __init__(self, n: int, updates: Iterable[Update | tuple[int, float]] = (),
+                 kind: StreamKind = StreamKind.TURNSTILE) -> None:
+        require_positive_int(n, "n")
+        self._n = n
+        self._kind = kind
+        indices: list[int] = []
+        deltas: list[float] = []
+        for item in updates:
+            update = item if isinstance(item, Update) else Update(int(item[0]), float(item[1]))
+            if not (0 <= update.index < n):
+                raise StreamError(
+                    f"update index {update.index} outside universe [0, {n})"
+                )
+            update.validate_for(kind)
+            indices.append(update.index)
+            deltas.append(update.delta)
+        self._indices = np.asarray(indices, dtype=np.int64)
+        self._deltas = np.asarray(deltas, dtype=float)
+
+    @property
+    def n(self) -> int:
+        """Universe size."""
+        return self._n
+
+    @property
+    def kind(self) -> StreamKind:
+        """Declared stream model."""
+        return self._kind
+
+    @property
+    def length(self) -> int:
+        """Stream length ``m``."""
+        return int(len(self._indices))
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Array of update indices (read-only view)."""
+        view = self._indices.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def deltas(self) -> np.ndarray:
+        """Array of update increments (read-only view)."""
+        view = self._deltas.view()
+        view.flags.writeable = False
+        return view
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __iter__(self) -> Iterator[Update]:
+        for index, delta in zip(self._indices, self._deltas):
+            yield Update(int(index), float(delta))
+
+    def frequency_vector(self) -> np.ndarray:
+        """The exact induced frequency vector ``x`` as a dense array."""
+        values = np.zeros(self._n, dtype=float)
+        np.add.at(values, self._indices, self._deltas)
+        return values
+
+    def moment(self, p: float) -> float:
+        """Exact ``F_p`` of the induced vector."""
+        vector = self.frequency_vector()
+        if p == 0:
+            return float(np.count_nonzero(vector))
+        return float(np.sum(np.abs(vector) ** p))
+
+    def lp_norm(self, p: float) -> float:
+        """Exact ``||x||_p`` of the induced vector."""
+        if p <= 0:
+            raise InvalidParameterError("lp_norm requires p > 0")
+        return self.moment(p) ** (1.0 / p)
+
+    def concatenated_with(self, other: "TurnstileStream") -> "TurnstileStream":
+        """Return a new stream that replays ``self`` and then ``other``."""
+        if other.n != self._n:
+            raise StreamError("cannot concatenate streams over different universes")
+        kind = self._kind if self._kind is other.kind else StreamKind.TURNSTILE
+        combined = TurnstileStream(self._n, kind=kind)
+        combined._indices = np.concatenate([self._indices, other._indices])
+        combined._deltas = np.concatenate([self._deltas, other._deltas])
+        return combined
+
+    def shuffled(self, rng: np.random.Generator) -> "TurnstileStream":
+        """Return a copy with the update order randomly permuted.
+
+        Linear sketches are order-insensitive, so shuffling is a useful
+        sanity check in integration tests.
+        """
+        order = rng.permutation(self.length)
+        stream = TurnstileStream(self._n, kind=self._kind)
+        stream._indices = self._indices[order]
+        stream._deltas = self._deltas[order]
+        return stream
+
+    @classmethod
+    def from_arrays(cls, n: int, indices: Sequence[int], deltas: Sequence[float],
+                    kind: StreamKind = StreamKind.TURNSTILE) -> "TurnstileStream":
+        """Build a stream directly from parallel index/delta arrays."""
+        indices = np.asarray(indices, dtype=np.int64)
+        deltas = np.asarray(deltas, dtype=float)
+        if indices.shape != deltas.shape:
+            raise StreamError("indices and deltas must have the same length")
+        if indices.size and (indices.min() < 0 or indices.max() >= n):
+            raise StreamError("update index outside universe")
+        if kind is StreamKind.INSERTION_ONLY and deltas.size and deltas.min() < 0:
+            raise StreamError("insertion-only stream received a negative update")
+        stream = cls(n, kind=kind)
+        stream._indices = indices.copy()
+        stream._deltas = deltas.copy()
+        return stream

@@ -1,0 +1,64 @@
+"""Primitive update records of the streaming model."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.exceptions import StreamError
+
+
+class StreamKind(enum.Enum):
+    """The three stream models discussed in the paper.
+
+    ``TURNSTILE``
+        Updates may be positive or negative and coordinates may go negative.
+    ``STRICT_TURNSTILE``
+        Updates may be negative but every prefix of the stream keeps all
+        coordinates non-negative (not enforced per-update; validated by
+        :class:`repro.streams.stream.FrequencyVector` when requested).
+    ``INSERTION_ONLY``
+        Every update increment is non-negative.
+    """
+
+    TURNSTILE = "turnstile"
+    STRICT_TURNSTILE = "strict_turnstile"
+    INSERTION_ONLY = "insertion_only"
+
+
+@dataclass(frozen=True)
+class Update:
+    """A single stream update ``(i_t, delta_t)``.
+
+    Attributes
+    ----------
+    index:
+        Coordinate ``i_t`` in ``[0, n)`` (0-based, unlike the paper's
+        1-based ``[n]``).
+    delta:
+        Signed increment ``delta_t``; the paper bounds it by ``M`` in
+        magnitude, which workload generators respect.
+    """
+
+    index: int
+    delta: float
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise StreamError(f"update index must be non-negative, got {self.index}")
+
+    def validate_for(self, kind: StreamKind) -> None:
+        """Raise :class:`StreamError` if the update violates ``kind``."""
+        if kind is StreamKind.INSERTION_ONLY and self.delta < 0:
+            raise StreamError(
+                f"insertion-only stream received negative update delta={self.delta}"
+            )
+
+    def scaled(self, factor: float) -> "Update":
+        """Return a copy of the update with its increment scaled by ``factor``."""
+        return Update(self.index, self.delta * factor)
+
+    def __iter__(self):
+        """Allow ``index, delta = update`` unpacking."""
+        yield self.index
+        yield self.delta

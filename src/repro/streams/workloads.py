@@ -1,0 +1,154 @@
+"""Scenario-level workload generators.
+
+While :mod:`repro.streams.generators` produces frequency *vectors* and
+decomposes them into update streams, this module produces streams that model
+the end-to-end scenarios the paper's introduction motivates:
+
+* :func:`bursty_traffic_stream` — network-monitoring traffic with a handful
+  of high-volume flows (a DDoS-style burst) superimposed on background
+  chatter, with part of the burst later retracted (turnstile corrections);
+* :func:`sliding_window_stream` — a stream where old items expire: every
+  insertion is eventually followed by a matching deletion once it leaves
+  the window, so the live vector only reflects the most recent window;
+* :func:`distributed_shard_streams` — a global workload split into per-shard
+  sub-streams for the distributed-databases application.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.streams.stream import TurnstileStream
+from repro.streams.updates import StreamKind
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import require_positive_int, require_probability
+
+
+def bursty_traffic_stream(n: int, *, num_flows: int = 4, burst_volume: float = 500.0,
+                          background_updates: int = 2000, background_scale: float = 3.0,
+                          retraction_fraction: float = 0.5,
+                          seed: SeedLike = None) -> TurnstileStream:
+    """Network traffic with planted high-volume flows and later retractions.
+
+    The stream interleaves three phases:
+
+    1. background chatter: ``background_updates`` single-packet updates to
+       uniformly random coordinates with sizes around ``background_scale``;
+    2. burst: ``num_flows`` random flows each receive ``burst_volume`` units
+       spread over several updates (the anomaly a heavy-hitter detector or a
+       large-``p`` sampler should surface);
+    3. retraction: a ``retraction_fraction`` of every burst is deleted again,
+       modelling corrections/expired connections — the turnstile behaviour
+       that breaks insertion-only samplers.
+
+    Returns the stream; the planted flow identities can be recovered from the
+    final frequency vector (they are its largest coordinates).
+    """
+    require_positive_int(n, "n")
+    require_positive_int(num_flows, "num_flows")
+    if num_flows > n:
+        raise InvalidParameterError("num_flows cannot exceed the universe size")
+    require_positive_int(background_updates, "background_updates")
+    require_probability(retraction_fraction, "retraction_fraction")
+    if burst_volume <= 0 or background_scale <= 0:
+        raise InvalidParameterError("burst_volume and background_scale must be positive")
+    rng = ensure_rng(seed)
+
+    indices: list[int] = []
+    deltas: list[float] = []
+
+    background_targets = rng.integers(0, n, size=background_updates)
+    background_sizes = rng.integers(1, max(2, int(background_scale)) + 1,
+                                    size=background_updates).astype(float)
+    indices.extend(int(i) for i in background_targets)
+    deltas.extend(float(d) for d in background_sizes)
+
+    flows = rng.choice(n, size=num_flows, replace=False)
+    pieces_per_flow = 8
+    for flow in flows:
+        piece = float(np.round(burst_volume / pieces_per_flow))
+        for _ in range(pieces_per_flow):
+            indices.append(int(flow))
+            deltas.append(piece)
+        retraction = float(np.round(retraction_fraction * piece * pieces_per_flow))
+        if retraction > 0:
+            indices.append(int(flow))
+            deltas.append(-retraction)
+
+    order = rng.permutation(len(indices))
+    return TurnstileStream.from_arrays(
+        n,
+        np.asarray(indices, dtype=np.int64)[order],
+        np.asarray(deltas, dtype=float)[order],
+        kind=StreamKind.TURNSTILE,
+    )
+
+
+def sliding_window_stream(n: int, *, window: int, total_items: int,
+                          skew: float = 1.2, seed: SeedLike = None) -> TurnstileStream:
+    """A turnstile stream realising a sliding window over an item sequence.
+
+    Items arrive one per time step, drawn from a Zipfian item distribution;
+    once an item falls out of the most recent ``window`` arrivals it is
+    deleted again.  The induced frequency vector therefore always equals the
+    histogram of the last ``window`` arrivals — the standard reduction from
+    sliding-window statistics to the turnstile model.
+
+    Parameters
+    ----------
+    n:
+        Universe size.
+    window:
+        Window length ``W``.
+    total_items:
+        Number of arrivals; must be at least ``window``.
+    skew:
+        Zipf exponent of the item popularity distribution.
+    """
+    require_positive_int(n, "n")
+    require_positive_int(window, "window")
+    require_positive_int(total_items, "total_items")
+    if total_items < window:
+        raise InvalidParameterError("total_items must be at least the window length")
+    if skew <= 0:
+        raise InvalidParameterError("skew must be positive")
+    rng = ensure_rng(seed)
+    popularity = 1.0 / np.arange(1, n + 1, dtype=float) ** skew
+    popularity = popularity / popularity.sum()
+    item_of_rank = rng.permutation(n)
+    arrivals = item_of_rank[rng.choice(n, size=total_items, p=popularity)]
+
+    indices: list[int] = []
+    deltas: list[float] = []
+    for step, item in enumerate(arrivals):
+        indices.append(int(item))
+        deltas.append(1.0)
+        expired_step = step - window
+        if expired_step >= 0:
+            indices.append(int(arrivals[expired_step]))
+            deltas.append(-1.0)
+    return TurnstileStream.from_arrays(
+        n,
+        np.asarray(indices, dtype=np.int64),
+        np.asarray(deltas, dtype=float),
+        kind=StreamKind.TURNSTILE,
+    )
+
+
+def distributed_shard_streams(stream: TurnstileStream, num_shards: int,
+                              seed: SeedLike = None) -> list[TurnstileStream]:
+    """Split a global workload into per-shard sub-streams by coordinate hash.
+
+    Thin convenience wrapper over
+    :func:`repro.applications.distributed.shard_assignment` /
+    :func:`repro.applications.distributed.split_stream` so examples can build
+    a distributed scenario without importing the applications package
+    explicitly.
+    """
+    from repro.applications.distributed import shard_assignment, split_stream
+
+    require_positive_int(num_shards, "num_shards")
+    rng = ensure_rng(seed)
+    assignment = shard_assignment(stream.n, num_shards, seed=int(rng.integers(0, 2**62)))
+    return split_stream(stream, assignment, num_shards)

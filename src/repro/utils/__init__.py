@@ -1,0 +1,46 @@
+"""Utility helpers shared by every subsystem of :mod:`repro`.
+
+The submodules are deliberately small and dependency-free so they can be
+used by sketches, samplers, the evaluation harness, and the benchmarks
+without import cycles:
+
+``rng``
+    Seed handling and child-generator spawning built on
+    :class:`numpy.random.Generator`.
+``validation``
+    Argument checking helpers that raise
+    :class:`repro.exceptions.InvalidParameterError` with uniform messages.
+``rounding``
+    The ``rnd_eta`` geometric discretisation used by the fast-update sketch
+    of Algorithm 4.
+``taylor``
+    The truncated Taylor-series estimator of ``x**(p-2)`` from Lemma 2.7,
+    used by the fractional-``p`` perfect sampler (Algorithm 2).
+``stats``
+    Empirical-distribution statistics (total variation distance, chi-square
+    goodness of fit) used by tests, benchmarks, and the evaluation harness.
+"""
+
+from repro.utils.rng import spawn_rng, ensure_rng, derive_seed
+from repro.utils.rounding import round_down_to_power, discretize_support
+from repro.utils.taylor import TaylorPowerEstimator, taylor_power_estimate
+from repro.utils.stats import (
+    total_variation_distance,
+    empirical_distribution,
+    chi_square_statistic,
+    relative_error,
+)
+
+__all__ = [
+    "spawn_rng",
+    "ensure_rng",
+    "derive_seed",
+    "round_down_to_power",
+    "discretize_support",
+    "TaylorPowerEstimator",
+    "taylor_power_estimate",
+    "total_variation_distance",
+    "empirical_distribution",
+    "chi_square_statistic",
+    "relative_error",
+]

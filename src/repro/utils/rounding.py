@@ -1,0 +1,121 @@
+"""Geometric discretisation (``rnd_eta``) used by the fast-update sketch.
+
+Algorithm 4 of the paper never stores the exact scaled coordinates
+``x_i / e_{i,j}^{1/p}``.  Instead each inverse exponential is rounded *down*
+to the nearest power of ``(1 + eta)``:
+
+    ``rnd_eta(x) = (1 + eta)^q``  where ``q = floor(log_{1+eta} x)``.
+
+Rounding down keeps the multiplicative error one-sided and bounded by
+``(1 + eta)``, which the analysis of Theorem 3.14 converts into an ``O(eta)``
+distortion of the sampling probabilities.  The support of ``rnd_eta`` on the
+dynamic range ``[1/poly(n), poly(n)]`` has only ``O((1/eta) log n)`` distinct
+values, which is what makes the binomial-counting fast-update scheme of
+Section 3 possible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+
+def round_down_to_power(x: float | np.ndarray, eta: float) -> float | np.ndarray:
+    """Round ``x`` down to the nearest power of ``(1 + eta)``.
+
+    Supports scalars and NumPy arrays of positive values.  Zero maps to
+    zero; negative inputs are invalid because the algorithm only rounds
+    magnitudes of inverse exponentials.
+    """
+    if eta <= 0:
+        raise InvalidParameterError(f"eta must be positive, got {eta}")
+    base = 1.0 + eta
+    # The small epsilon keeps exact powers of (1 + eta) as fixed points in
+    # spite of floating-point log error (idempotence of the rounding).
+    epsilon = 1e-12
+    if np.isscalar(x):
+        xf = float(x)
+        if xf < 0:
+            raise InvalidParameterError("round_down_to_power expects non-negative input")
+        if xf == 0.0:
+            return 0.0
+        q = math.floor(math.log(xf, base) + epsilon)
+        return base**q
+    arr = np.asarray(x, dtype=float)
+    if np.any(arr < 0):
+        raise InvalidParameterError("round_down_to_power expects non-negative input")
+    out = np.zeros_like(arr)
+    positive = arr > 0
+    q = np.floor(np.log(arr[positive]) / math.log(base) + epsilon)
+    out[positive] = base**q
+    return out
+
+
+@dataclass(frozen=True)
+class DiscretizedSupport:
+    """The finite support of ``rnd_eta`` over a dynamic range.
+
+    Attributes
+    ----------
+    eta:
+        Discretisation parameter.
+    q_min, q_max:
+        Exponent range: the support is ``{(1+eta)^q : q_min <= q <= q_max}``.
+    values:
+        The support values in increasing order.
+    """
+
+    eta: float
+    q_min: int
+    q_max: int
+    values: np.ndarray
+
+    def __len__(self) -> int:  # pragma: no cover - trivial
+        return len(self.values)
+
+    def index_of(self, x: float) -> int:
+        """Return the support index that ``rnd_eta(x)`` falls on.
+
+        Values below the support floor clamp to index 0 and values above the
+        ceiling clamp to the last index, mirroring the truncation of the
+        dynamic range to ``[1/poly(n), poly(n)]`` in the paper.
+        """
+        if x <= 0:
+            raise InvalidParameterError("index_of expects a positive value")
+        q = math.floor(math.log(x, 1.0 + self.eta) + 1e-12)
+        q = min(max(q, self.q_min), self.q_max)
+        return q - self.q_min
+
+
+def discretize_support(eta: float, dynamic_range: float) -> DiscretizedSupport:
+    """Build the support of ``rnd_eta`` for values in ``[1/R, R]``.
+
+    Parameters
+    ----------
+    eta:
+        Discretisation parameter (``0 < eta``); the paper uses
+        ``eta = O(epsilon) / sqrt(log n)``.
+    dynamic_range:
+        ``R >= 1`` such that all values of interest lie in ``[1/R, R]``.
+        For a turnstile stream with ``poly(n)``-bounded entries this is a
+        fixed polynomial in ``n``.
+    """
+    if eta <= 0:
+        raise InvalidParameterError(f"eta must be positive, got {eta}")
+    if dynamic_range < 1:
+        raise InvalidParameterError("dynamic_range must be at least 1")
+    base = 1.0 + eta
+    q_max = math.ceil(math.log(dynamic_range, base))
+    q_min = -q_max
+    exponents = np.arange(q_min, q_max + 1)
+    values = base ** exponents.astype(float)
+    return DiscretizedSupport(eta=eta, q_min=q_min, q_max=q_max, values=values)
+
+
+def support_size(eta: float, dynamic_range: float) -> int:
+    """Number of distinct ``rnd_eta`` values over ``[1/R, R]`` (``O((1/eta) log R)``)."""
+    return len(discretize_support(eta, dynamic_range))

@@ -1,0 +1,141 @@
+"""Empirical-distribution statistics for evaluating samplers.
+
+A perfect sampler (Definition 1.1 with ``eps = 0``) should produce draws
+whose empirical distribution is statistically indistinguishable from the
+target distribution ``G(x_i) / sum_j G(x_j)``.  The helpers in this module
+quantify the remaining distance: total variation distance, chi-square
+goodness of fit, and per-coordinate relative errors.  They are used by unit
+tests, the evaluation harness, and every distribution-quality benchmark.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+
+def normalize_weights(weights: Sequence[float]) -> np.ndarray:
+    """Normalise non-negative weights into a probability vector."""
+    arr = np.asarray(weights, dtype=float)
+    if np.any(arr < 0):
+        raise InvalidParameterError("weights must be non-negative")
+    total = arr.sum()
+    if total <= 0:
+        raise InvalidParameterError("weights must have positive total mass")
+    return arr / total
+
+
+def empirical_distribution(samples: Iterable[int], n: int) -> np.ndarray:
+    """Empirical probability vector of ``samples`` over the universe ``[0, n)``.
+
+    Failed draws (``None``) should be filtered out by the caller; this
+    function only accepts integer indices.
+    """
+    counts = np.zeros(n, dtype=float)
+    total = 0
+    for index in samples:
+        if not (0 <= index < n):
+            raise InvalidParameterError(f"sample index {index} outside universe [0, {n})")
+        counts[index] += 1.0
+        total += 1
+    if total == 0:
+        raise InvalidParameterError("no samples provided")
+    return counts / total
+
+
+def total_variation_distance(p: Sequence[float], q: Sequence[float]) -> float:
+    """Total variation distance ``0.5 * sum_i |p_i - q_i|`` between two pmfs."""
+    p_arr = np.asarray(p, dtype=float)
+    q_arr = np.asarray(q, dtype=float)
+    if p_arr.shape != q_arr.shape:
+        raise InvalidParameterError("distributions must have the same shape")
+    return 0.5 * float(np.abs(p_arr - q_arr).sum())
+
+
+def chi_square_statistic(observed_counts: Sequence[float], expected_probs: Sequence[float],
+                         min_expected: float = 5.0) -> tuple[float, int]:
+    """Pearson chi-square statistic against ``expected_probs``.
+
+    Cells whose expected count falls below ``min_expected`` are pooled into a
+    single cell (the usual textbook remedy) so the asymptotic chi-square
+    approximation stays valid for heavy-tailed targets.
+
+    Returns
+    -------
+    (statistic, degrees_of_freedom)
+    """
+    observed = np.asarray(observed_counts, dtype=float)
+    probs = normalize_weights(expected_probs)
+    if observed.shape != probs.shape:
+        raise InvalidParameterError("observed and expected must have the same shape")
+    total = observed.sum()
+    if total <= 0:
+        raise InvalidParameterError("observed counts must have positive total")
+    expected = probs * total
+
+    large = expected >= min_expected
+    obs_cells = list(observed[large])
+    exp_cells = list(expected[large])
+    if np.any(~large):
+        obs_cells.append(observed[~large].sum())
+        exp_cells.append(expected[~large].sum())
+    obs_arr = np.asarray(obs_cells)
+    exp_arr = np.asarray(exp_cells)
+    positive = exp_arr > 0
+    statistic = float(np.sum((obs_arr[positive] - exp_arr[positive]) ** 2 / exp_arr[positive]))
+    dof = int(positive.sum()) - 1
+    return statistic, max(dof, 1)
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """``|estimate - truth| / |truth|`` with the convention 0/0 = 0."""
+    if truth == 0:
+        return 0.0 if estimate == 0 else float("inf")
+    return abs(estimate - truth) / abs(truth)
+
+
+def sample_counter(samples: Iterable[int | None]) -> tuple[Counter, int]:
+    """Count successful draws and failures in a sample sequence.
+
+    Returns a ``(counter_of_indices, num_failures)`` pair; ``None`` entries
+    are treated as the ``FAIL`` symbol.
+    """
+    counter: Counter = Counter()
+    failures = 0
+    for item in samples:
+        if item is None:
+            failures += 1
+        else:
+            counter[int(item)] += 1
+    return counter, failures
+
+
+def distribution_from_counter(counter: Mapping[int, int], n: int) -> np.ndarray:
+    """Convert an index counter into an empirical probability vector."""
+    counts = np.zeros(n, dtype=float)
+    for index, count in counter.items():
+        if not (0 <= index < n):
+            raise InvalidParameterError(f"index {index} outside universe [0, {n})")
+        counts[index] = count
+    total = counts.sum()
+    if total <= 0:
+        raise InvalidParameterError("counter holds no successful samples")
+    return counts / total
+
+
+def expected_tvd_noise_floor(target: Sequence[float], num_samples: int) -> float:
+    """Rough expected TVD between the target and an empirical pmf of that size.
+
+    For a multinomial sample of size ``m`` from pmf ``q``, the expected total
+    variation distance is about ``sum_i sqrt(q_i (1 - q_i) / m) / 2``.  Tests
+    compare a sampler's measured TVD against a small multiple of this floor
+    so that they are robust to the irreducible sampling noise.
+    """
+    q = normalize_weights(target)
+    if num_samples <= 0:
+        raise InvalidParameterError("num_samples must be positive")
+    return float(0.5 * np.sum(np.sqrt(q * (1 - q) / num_samples)))

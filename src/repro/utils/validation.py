@@ -1,0 +1,84 @@
+"""Uniform argument validation helpers.
+
+These helpers convert misuse of the public API into
+:class:`repro.exceptions.InvalidParameterError` with consistent, descriptive
+messages.  They are intentionally tiny wrappers so that call sites read like
+preconditions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.exceptions import InvalidParameterError
+
+
+def require_positive_int(value: int, name: str) -> int:
+    """Return ``value`` if it is a positive integer, else raise."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise InvalidParameterError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise InvalidParameterError(f"{name} must be positive, got {value}")
+    return value
+
+
+def require_nonnegative_int(value: int, name: str) -> int:
+    """Return ``value`` if it is a non-negative integer, else raise."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise InvalidParameterError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise InvalidParameterError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def require_in_open_interval(value: float, name: str, low: float, high: float) -> float:
+    """Return ``value`` if ``low < value < high``, else raise."""
+    value = float(value)
+    if not (low < value < high):
+        raise InvalidParameterError(
+            f"{name} must lie in the open interval ({low}, {high}), got {value}"
+        )
+    return value
+
+
+def require_probability(value: float, name: str) -> float:
+    """Return ``value`` if it is a valid probability in ``[0, 1]``."""
+    value = float(value)
+    if not (0.0 <= value <= 1.0):
+        raise InvalidParameterError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def require_moment_order(p: float, name: str = "p", minimum: float = 0.0,
+                         minimum_exclusive: bool = True,
+                         maximum: Optional[float] = None) -> float:
+    """Validate a moment order ``p``.
+
+    Parameters
+    ----------
+    p:
+        The moment order to validate.
+    minimum, minimum_exclusive:
+        Lower bound (exclusive by default).
+    maximum:
+        Optional inclusive upper bound.
+    """
+    p = float(p)
+    if minimum_exclusive:
+        if p <= minimum:
+            raise InvalidParameterError(f"{name} must be > {minimum}, got {p}")
+    else:
+        if p < minimum:
+            raise InvalidParameterError(f"{name} must be >= {minimum}, got {p}")
+    if maximum is not None and p > maximum:
+        raise InvalidParameterError(f"{name} must be <= {maximum}, got {p}")
+    return p
+
+
+def require_index_in_range(index: int, n: int, name: str = "index") -> int:
+    """Return ``index`` if ``0 <= index < n``, else raise."""
+    if not isinstance(index, (int,)) or isinstance(index, bool):
+        raise InvalidParameterError(f"{name} must be an int, got {type(index).__name__}")
+    if not (0 <= index < n):
+        raise InvalidParameterError(f"{name} must lie in [0, {n}), got {index}")
+    return index

@@ -1,0 +1,117 @@
+"""Tests for the heavy-hitter and duplicate-finding applications."""
+
+import numpy as np
+import pytest
+
+from repro.applications import (
+    DuplicateFinder,
+    LpSamplingHeavyHitters,
+    exact_duplicates,
+    exact_heavy_hitters,
+)
+from repro.exceptions import InvalidParameterError, SamplerStateError
+from repro.samplers import ExactLpSampler
+from repro.streams import planted_heavy_hitter_vector, stream_from_vector
+
+
+class TestExactHeavyHitters:
+    def test_identifies_planted_items(self):
+        vector = np.array([1.0, 50.0, 2.0, 60.0, 1.0])
+        heavy = exact_heavy_hitters(vector, p=3.0, phi=0.1)
+        assert set(heavy) == {1, 3}
+
+    def test_zero_vector_has_no_heavy_hitters(self):
+        assert exact_heavy_hitters(np.zeros(5), p=3.0, phi=0.1).size == 0
+
+
+class TestLpSamplingHeavyHitters:
+    def make_detector(self, n, p=3.0, phi=0.1, **kwargs):
+        factory = lambda seed: ExactLpSampler(n, p, seed=seed)  # noqa: E731
+        return LpSamplingHeavyHitters(factory, phi, **kwargs)
+
+    def test_default_draw_count_scales_with_phi(self):
+        assert self.make_detector(8, phi=0.1).num_draws == 80
+        assert self.make_detector(8, phi=0.5).num_draws == 16
+
+    def test_rejects_zero_phi(self):
+        with pytest.raises(InvalidParameterError):
+            self.make_detector(8, phi=0.0)
+
+    def test_detects_planted_heavy_hitters(self):
+        n = 64
+        vector = planted_heavy_hitter_vector(n, num_heavy=2, heavy_value=400.0,
+                                             noise_value=4.0, seed=3)
+        stream = stream_from_vector(vector, seed=4)
+        detector = self.make_detector(n, p=3.0, phi=0.2, num_draws=120)
+        report = detector.detect(stream)
+        truth = set(exact_heavy_hitters(vector, p=3.0, phi=0.2))
+        assert truth.issubset(set(int(i) for i in report.indices))
+
+    def test_light_items_not_reported(self):
+        n = 32
+        vector = np.ones(n)
+        vector[5] = 200.0
+        stream = stream_from_vector(vector, seed=8)
+        detector = self.make_detector(n, p=4.0, phi=0.25, num_draws=100)
+        report = detector.detect(stream)
+        assert list(report.indices) == [5]
+        assert 5 in report
+
+    def test_hit_fractions_are_normalised(self):
+        n = 16
+        vector = np.ones(n)
+        vector[0] = 100.0
+        stream = stream_from_vector(vector, seed=9)
+        detector = self.make_detector(n, p=3.0, phi=0.3, num_draws=60)
+        report = detector.detect(stream)
+        assert report.num_draws == 60
+        assert np.all(report.hit_fractions <= 1.0)
+        assert report.hit_fractions[0] > 0.9
+
+    def test_value_estimates_recorded_for_oracle_backends(self):
+        n = 16
+        vector = np.ones(n)
+        vector[3] = 80.0
+        stream = stream_from_vector(vector, seed=10)
+        detector = self.make_detector(n, p=3.0, phi=0.3, num_draws=40)
+        report = detector.detect(stream)
+        position = list(report.indices).index(3)
+        assert report.value_estimates[position] == pytest.approx(80.0)
+
+
+class TestDuplicateFinder:
+    def test_exact_duplicates_helper(self):
+        items = [0, 1, 2, 2, 4, 4, 4]
+        assert set(exact_duplicates(items, 6)) == {2, 4}
+
+    def test_finds_a_real_duplicate(self):
+        n = 32
+        rng = np.random.default_rng(0)
+        items = list(rng.integers(0, n, size=n + 5))
+        finder = DuplicateFinder(n, num_repetitions=24, seed=1)
+        finder.observe_stream(items)
+        verdict = finder.find_duplicate()
+        truth = set(exact_duplicates(items, n))
+        assert verdict.found
+        assert verdict.index in truth
+        assert verdict.multiplicity == items.count(verdict.index)
+
+    def test_no_false_positive_when_all_items_distinct(self):
+        n = 16
+        finder = DuplicateFinder(n, num_repetitions=16, seed=2)
+        finder.observe_stream(range(8))
+        verdict = finder.find_duplicate()
+        assert not verdict.found
+
+    def test_query_before_any_item_raises(self):
+        finder = DuplicateFinder(8, num_repetitions=4, seed=0)
+        with pytest.raises(SamplerStateError):
+            finder.find_duplicate()
+
+    def test_out_of_range_item_rejected(self):
+        finder = DuplicateFinder(8, num_repetitions=4, seed=0)
+        with pytest.raises(InvalidParameterError):
+            finder.observe(8)
+
+    def test_space_counters_positive(self):
+        assert DuplicateFinder(8, num_repetitions=4, seed=0).space_counters() > 0

@@ -1,0 +1,91 @@
+"""Tests for the right-to-be-forgotten application."""
+
+import numpy as np
+import pytest
+
+from repro.applications import ForgetRequestLog, RightToBeForgottenEstimator, retained_moment_exact
+from repro.exceptions import InvalidParameterError
+from repro.streams import stream_from_vector, zipfian_frequency_vector
+
+
+class TestForgetRequestLog:
+    def test_forget_and_rescind_are_idempotent(self):
+        log = ForgetRequestLog(10)
+        log.forget(3)
+        log.forget(3)
+        assert log.num_forgotten == 1
+        log.rescind(3)
+        log.rescind(3)
+        assert log.num_forgotten == 0
+
+    def test_retained_set_is_complement(self):
+        log = ForgetRequestLog(6)
+        log.forget_many([1, 4])
+        assert list(log.retained_set()) == [0, 2, 3, 5]
+        assert list(log.forgotten_set()) == [1, 4]
+
+    def test_out_of_range_entity_rejected(self):
+        log = ForgetRequestLog(4)
+        with pytest.raises(InvalidParameterError):
+            log.forget(4)
+
+
+class TestRetainedMomentExact:
+    def test_matches_manual_computation(self):
+        vector = np.array([2.0, -3.0, 4.0, 0.0])
+        value = retained_moment_exact(vector, forget_set=[1], p=3.0)
+        assert value == pytest.approx(8.0 + 64.0)
+
+    def test_empty_forget_set_is_full_moment(self):
+        vector = np.array([1.0, 2.0])
+        assert retained_moment_exact(vector, [], 3.0) == pytest.approx(1.0 + 8.0)
+
+
+class TestRightToBeForgottenEstimator:
+    def build(self, n, p=3.0, seed=0, repetitions=400):
+        return RightToBeForgottenEstimator(
+            n, p, epsilon=0.25, retained_fraction=0.2, seed=seed,
+            repetitions=repetitions, sampler_backend="oracle",
+            estimator_exact_recovery=True,
+        )
+
+    def test_forget_closes_stream(self):
+        estimator = self.build(16, repetitions=20)
+        estimator.update(0, 5.0)
+        estimator.forget(3)
+        with pytest.raises(InvalidParameterError):
+            estimator.update(1, 2.0)
+
+    def test_retained_moment_tracks_ground_truth(self):
+        n = 32
+        vector = zipfian_frequency_vector(n, skew=1.3, scale=60.0, seed=5)
+        stream = stream_from_vector(vector, seed=6)
+        estimator = self.build(n, seed=7)
+        estimator.update_stream(stream)
+        forget = [int(np.argmax(np.abs(vector)))]
+        estimator.forget_many(forget)
+        truth = retained_moment_exact(vector, forget, 3.0)
+        estimate = estimator.retained_moment()
+        assert estimate == pytest.approx(truth, rel=0.5)
+
+    def test_forgotten_moment_of_empty_set_is_zero(self):
+        estimator = self.build(8, repetitions=20)
+        estimator.update(2, 4.0)
+        estimator.close_stream()
+        assert estimator.forgotten_moment() == 0.0
+
+    def test_rescind_restores_entity(self):
+        n = 16
+        vector = np.zeros(n)
+        vector[2] = 10.0
+        vector[9] = 3.0
+        estimator = self.build(n, seed=11, repetitions=100)
+        estimator.update_stream(stream_from_vector(vector, seed=12))
+        estimator.forget(2)
+        estimator.rescind(2)
+        truth = retained_moment_exact(vector, [], 3.0)
+        assert estimator.retained_moment() == pytest.approx(truth, rel=0.5)
+
+    def test_space_counters_positive(self):
+        estimator = self.build(8, repetitions=10)
+        assert estimator.space_counters() > 0

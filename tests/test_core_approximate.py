@@ -1,0 +1,151 @@
+"""Tests for Algorithm 4: the approximate L_p sampler for p > 2."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.approximate_lp import ApproximateLpSampler
+from repro.exceptions import InvalidParameterError
+from repro.streams.generators import stream_from_vector
+from repro.utils.stats import total_variation_distance
+
+
+class TestConstruction:
+    def test_rejects_small_p(self):
+        with pytest.raises(InvalidParameterError):
+            ApproximateLpSampler(16, 2.0)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(InvalidParameterError):
+            ApproximateLpSampler(16, 3.0, epsilon=1.5)
+
+    def test_empty_stream_returns_none(self):
+        assert ApproximateLpSampler(16, 3.0, seed=0, duplication=32).sample() is None
+
+    def test_space_grows_with_accuracy(self):
+        coarse = ApproximateLpSampler(128, 3.0, epsilon=0.5, seed=1,
+                                      duplication=32).space_counters()
+        fine = ApproximateLpSampler(128, 3.0, epsilon=0.1, seed=1,
+                                    duplication=32).space_counters()
+        assert fine > coarse
+
+    def test_space_sublinear_in_universe(self):
+        small = ApproximateLpSampler(64, 4.0, epsilon=0.5, seed=2,
+                                     duplication=32, track_value=False).space_counters()
+        large = ApproximateLpSampler(1024, 4.0, epsilon=0.5, seed=2,
+                                     duplication=32, track_value=False).space_counters()
+        assert large < 16 * small
+
+
+class TestSampling:
+    def test_sample_in_range(self, small_vector, small_stream):
+        sampler = ApproximateLpSampler(len(small_vector), 3.0, epsilon=0.3, seed=3,
+                                       duplication=64)
+        sampler.update_stream(small_stream)
+        drawn = sampler.sample()
+        assert drawn is None or 0 <= drawn.index < len(small_vector)
+
+    def test_heavy_coordinates_dominate(self, heavy_vector, heavy_stream):
+        heavy_set = set(np.argsort(np.abs(heavy_vector))[-2:])
+        hits, successes = 0, 0
+        for seed in range(40):
+            sampler = ApproximateLpSampler(len(heavy_vector), 3.0, epsilon=0.3,
+                                           seed=seed, duplication=64)
+            sampler.update_stream(heavy_stream)
+            drawn = sampler.sample()
+            if drawn is None:
+                continue
+            successes += 1
+            hits += drawn.index in heavy_set
+        assert successes >= 15
+        assert hits / successes > 0.9
+
+    def test_failure_rate_bounded(self, small_vector, small_stream):
+        failures = 0
+        trials = 40
+        for seed in range(trials):
+            sampler = ApproximateLpSampler(len(small_vector), 3.0, epsilon=0.3,
+                                           seed=seed, duplication=64)
+            sampler.update_stream(small_stream)
+            if sampler.sample() is None:
+                failures += 1
+        assert failures < trials * 0.7
+
+    def test_distribution_roughly_matches_target(self):
+        # The approximate guarantee allows (1 +/- eps) multiplicative
+        # distortion; on a small universe the empirical TVD should stay
+        # well below that of, say, a uniform sampler.
+        n = 16
+        rng = np.random.default_rng(13)
+        vector = rng.integers(1, 20, size=n).astype(float)
+        vector[3] = 60.0
+        stream = stream_from_vector(vector, seed=14)
+        target = np.abs(vector) ** 3.0
+        target = target / target.sum()
+        counts = np.zeros(n)
+        draws = 250
+        for seed in range(draws):
+            sampler = ApproximateLpSampler(n, 3.0, epsilon=0.3, seed=seed, duplication=64)
+            sampler.update_stream(stream)
+            drawn = sampler.sample()
+            if drawn is not None:
+                counts[drawn.index] += 1
+        assert counts.sum() > draws * 0.25
+        empirical = counts / counts.sum()
+        tvd = total_variation_distance(empirical, target)
+        uniform_tvd = total_variation_distance(np.full(n, 1.0 / n), target)
+        assert tvd < 0.35
+        assert tvd < uniform_tvd
+
+    def test_value_estimate_reasonable_on_heavy_item(self, heavy_vector, heavy_stream):
+        estimates = []
+        for seed in range(20):
+            sampler = ApproximateLpSampler(len(heavy_vector), 3.0, epsilon=0.2,
+                                           seed=seed, duplication=64)
+            sampler.update_stream(heavy_stream)
+            drawn = sampler.sample()
+            if drawn is None or drawn.value_estimate is None:
+                continue
+            truth = heavy_vector[drawn.index]
+            if abs(truth) > 10:
+                estimates.append(abs(drawn.value_estimate - truth) / abs(truth))
+        if not estimates:
+            pytest.skip("no successful heavy draws with value estimates")
+        assert np.median(estimates) < 0.5
+
+    def test_fast_and_slow_update_paths_both_work(self, heavy_vector, heavy_stream):
+        heavy_set = set(np.argsort(np.abs(heavy_vector))[-2:])
+        for fast in (True, False):
+            hits = 0
+            successes = 0
+            for seed in range(10):
+                sampler = ApproximateLpSampler(len(heavy_vector), 3.0, epsilon=0.3,
+                                               seed=seed, duplication=32, fast_update=fast)
+                sampler.update_stream(heavy_stream)
+                drawn = sampler.sample()
+                if drawn is None:
+                    continue
+                successes += 1
+                hits += drawn.index in heavy_set
+            assert successes >= 3
+            assert hits >= 0.8 * successes
+
+    def test_metadata_contains_gap_information(self, heavy_vector, heavy_stream):
+        sampler = ApproximateLpSampler(len(heavy_vector), 3.0, epsilon=0.3, seed=99,
+                                       duplication=64)
+        sampler.update_stream(heavy_stream)
+        drawn = None
+        for _ in range(5):
+            drawn = sampler.sample()
+            if drawn is not None:
+                break
+        if drawn is None:
+            pytest.skip("sampler failed repeatedly")
+        assert drawn.metadata["gap"] > drawn.metadata["gap_threshold"]
+        assert drawn.metadata["candidate_set_size"] >= 1
+
+    def test_out_of_range_update(self):
+        sampler = ApproximateLpSampler(8, 3.0, seed=0, duplication=16)
+        with pytest.raises(InvalidParameterError):
+            sampler.update(8, 1.0)

@@ -1,0 +1,135 @@
+"""Tests for the duplication/discretisation fast-update machinery (Section 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fast_update import (
+    DiscretizedDuplication,
+    FastUpdateState,
+    default_eta,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestDefaultEta:
+    def test_scales_with_epsilon(self):
+        assert default_eta(0.1, 256) < default_eta(0.5, 256)
+
+    def test_shrinks_with_n(self):
+        assert default_eta(0.2, 2**16) < default_eta(0.2, 2**4)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(InvalidParameterError):
+            default_eta(1.5, 16)
+
+
+class TestDiscretizedDuplication:
+    def test_landing_probabilities_sum_to_one(self):
+        dup = DiscretizedDuplication(3.0, eta=0.2, duplication=64, seed=0)
+        assert dup.landing_probabilities.sum() == pytest.approx(1.0)
+
+    def test_profile_deterministic_per_coordinate(self):
+        dup = DiscretizedDuplication(3.0, eta=0.2, duplication=64, seed=1)
+        first = dup.profile(5)
+        second = dup.profile(5)
+        assert first.max_factor == second.max_factor
+        assert np.array_equal(first.residual_counts, second.residual_counts)
+
+    def test_profile_total_copies(self):
+        dup = DiscretizedDuplication(3.0, eta=0.2, duplication=32, seed=2)
+        profile = dup.profile(0)
+        assert profile.total_copies == 32
+
+    def test_max_factor_positive(self):
+        dup = DiscretizedDuplication(3.0, eta=0.3, duplication=16, seed=3)
+        assert dup.max_factor(7) > 0
+
+    def test_max_factor_grows_with_duplication(self):
+        # E[max of K copies] grows like K^{1/p}; compare averages over many
+        # coordinates.
+        small = DiscretizedDuplication(2.0, eta=0.1, duplication=4, seed=4)
+        large = DiscretizedDuplication(2.0, eta=0.1, duplication=4096, seed=4)
+        small_mean = np.mean([small.max_factor(i) for i in range(300)])
+        large_mean = np.mean([large.max_factor(i) for i in range(300)])
+        assert large_mean > 3 * small_mean
+
+    def test_fast_and_explicit_paths_have_same_distribution(self):
+        # The multinomial fast path and the explicit enumeration path must
+        # produce statistically indistinguishable max factors.
+        fast = DiscretizedDuplication(3.0, eta=0.25, duplication=128, seed=5)
+        slow = DiscretizedDuplication(3.0, eta=0.25, duplication=128, seed=6)
+        fast_maxima = np.array([fast.profile(i, fast=True).max_factor for i in range(400)])
+        slow_maxima = np.array([slow.profile(i, fast=False).max_factor for i in range(400)])
+        # Compare medians and means within 25%.
+        assert np.median(fast_maxima) == pytest.approx(np.median(slow_maxima), rel=0.25)
+        assert np.mean(np.log(fast_maxima)) == pytest.approx(np.mean(np.log(slow_maxima)),
+                                                             abs=0.25)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            DiscretizedDuplication(0.0, eta=0.1, duplication=4)
+        with pytest.raises(InvalidParameterError):
+            DiscretizedDuplication(3.0, eta=0.1, duplication=0)
+
+    def test_landing_distribution_matches_inverse_exponential(self):
+        # Empirically the multinomial counts over the support should match
+        # the analytic cell probabilities.
+        dup = DiscretizedDuplication(2.0, eta=0.3, duplication=20000, seed=7)
+        counts = dup.profile(0).residual_counts.astype(float)
+        # Reconstruct the full count vector including the maximum cell.
+        full = np.zeros(len(dup.support), dtype=float)
+        profile = dup.profile(0)
+        for value, count in zip(profile.residual_values, profile.residual_counts):
+            full[dup.support.index_of(value)] += count
+        full[dup.support.index_of(profile.max_factor)] += 1
+        empirical = full / full.sum()
+        assert np.abs(empirical - dup.landing_probabilities).max() < 0.02
+
+
+class TestFastUpdateState:
+    def test_coefficients_cached_and_deterministic(self):
+        dup = DiscretizedDuplication(3.0, eta=0.25, duplication=64, seed=0)
+        state = FastUpdateState(dup, rows=4, buckets=8, seed=1)
+        rows_a, buckets_a, coefficients_a = state.coefficients(3)
+        rows_b, buckets_b, coefficients_b = state.coefficients(3)
+        assert np.array_equal(rows_a, rows_b)
+        assert np.array_equal(buckets_a, buckets_b)
+        assert np.array_equal(coefficients_a, coefficients_b)
+
+    def test_apply_update_is_linear(self):
+        dup = DiscretizedDuplication(3.0, eta=0.25, duplication=64, seed=2)
+        state = FastUpdateState(dup, rows=4, buckets=8, seed=3)
+        table_once = np.zeros((4, 8))
+        table_twice = np.zeros((4, 8))
+        state.apply_update(table_once, 5, 2.0)
+        state.apply_update(table_twice, 5, 1.0)
+        state.apply_update(table_twice, 5, 1.0)
+        assert np.allclose(table_once, table_twice)
+
+    def test_apply_update_cancellation(self):
+        dup = DiscretizedDuplication(3.0, eta=0.25, duplication=64, seed=4)
+        state = FastUpdateState(dup, rows=4, buckets=8, seed=5)
+        table = np.zeros((4, 8))
+        state.apply_update(table, 2, 3.0)
+        state.apply_update(table, 2, -3.0)
+        assert np.allclose(table, 0.0)
+
+    def test_shape_mismatch_rejected(self):
+        dup = DiscretizedDuplication(3.0, eta=0.25, duplication=16, seed=6)
+        state = FastUpdateState(dup, rows=4, buckets=8, seed=7)
+        with pytest.raises(InvalidParameterError):
+            state.apply_update(np.zeros((2, 2)), 0, 1.0)
+
+    def test_residual_l2_scale_nonnegative(self):
+        dup = DiscretizedDuplication(3.0, eta=0.25, duplication=64, seed=8)
+        state = FastUpdateState(dup, rows=4, buckets=8, seed=9)
+        assert state.residual_l2_scale(1) >= 0.0
+
+    def test_duplication_one_has_no_residual(self):
+        dup = DiscretizedDuplication(3.0, eta=0.25, duplication=1, seed=10)
+        state = FastUpdateState(dup, rows=3, buckets=4, seed=11)
+        rows, buckets, coefficients = state.coefficients(0)
+        assert len(rows) == 0
+        assert state.residual_l2_scale(0) == 0.0

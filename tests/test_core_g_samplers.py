@@ -1,0 +1,158 @@
+"""Tests for Algorithms 6-8: cap, logarithmic, and general rejection G-samplers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.cap_sampler import CapSampler
+from repro.core.log_sampler import LogSampler, logarithmic_g
+from repro.core.rejection import RejectionGSampler
+from repro.exceptions import InvalidParameterError
+from repro.streams.generators import stream_from_vector
+from repro.utils.stats import total_variation_distance
+
+
+def empirical_counts(sampler_factory, stream, n, draws):
+    counts = np.zeros(n)
+    failures = 0
+    for seed in range(draws):
+        sampler = sampler_factory(seed)
+        sampler.update_stream(stream)
+        drawn = sampler.sample()
+        if drawn is None:
+            failures += 1
+        else:
+            counts[drawn.index] += 1
+    return counts, failures
+
+
+class TestRejectionGSampler:
+    def test_invalid_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            RejectionGSampler(8, lambda z: 1.0, upper_bound=0.0, lower_bound=0.0)
+        with pytest.raises(InvalidParameterError):
+            RejectionGSampler(8, lambda z: 1.0, upper_bound=1.0, lower_bound=2.0)
+
+    def test_empty_stream_returns_none(self):
+        sampler = RejectionGSampler(8, lambda z: 1.0, upper_bound=1.0, lower_bound=1.0,
+                                    seed=0)
+        assert sampler.sample() is None
+
+    def test_constant_g_is_l0_sampling(self):
+        n = 24
+        vector = np.zeros(n)
+        support = [1, 5, 9, 13, 17, 21]
+        for rank, index in enumerate(support):
+            vector[index] = float(2**rank)
+        stream = stream_from_vector(vector, seed=0)
+        counts, failures = empirical_counts(
+            lambda s: RejectionGSampler(n, lambda z: 1.0, upper_bound=1.0,
+                                        lower_bound=1.0, seed=s, num_repetitions=4),
+            stream, n, draws=240,
+        )
+        assert failures < 20
+        observed = counts[support]
+        _, p_value = stats.chisquare(observed)
+        assert p_value > 1e-4
+
+    def test_negative_g_raises_at_sample_time(self):
+        sampler = RejectionGSampler(8, lambda z: -1.0, upper_bound=1.0, lower_bound=1.0,
+                                    seed=1)
+        sampler.update(0, 1.0)
+        with pytest.raises(InvalidParameterError):
+            sampler.sample()
+
+    def test_returns_exact_value(self, small_vector, small_stream):
+        sampler = RejectionGSampler(len(small_vector), abs, upper_bound=200.0,
+                                    lower_bound=1.0, seed=2, num_repetitions=30)
+        sampler.update_stream(small_stream)
+        drawn = sampler.sample()
+        if drawn is not None:
+            assert drawn.exact_value == pytest.approx(small_vector[drawn.index])
+
+
+class TestCapSampler:
+    def test_invalid_threshold(self):
+        with pytest.raises(InvalidParameterError):
+            CapSampler(8, 0.0, 2.0)
+
+    def test_capped_distribution(self):
+        # Values 1 and 100 with T = 4, p = 2: weights min(4, 1) = 1 and 4, so
+        # the huge item only gets 4x the probability — not 10,000x.
+        n = 12
+        vector = np.zeros(n)
+        small_items = [0, 2, 4, 6]
+        big_items = [1, 3]
+        for index in small_items:
+            vector[index] = 1.0
+        for index in big_items:
+            vector[index] = 100.0
+        stream = stream_from_vector(vector, seed=1)
+        threshold = 4.0
+        counts, failures = empirical_counts(
+            lambda s: CapSampler(n, threshold, 2.0, seed=s, num_repetitions=16),
+            stream, n, draws=300,
+        )
+        assert failures < 60
+        weights = np.minimum(threshold, np.abs(vector) ** 2)
+        target = weights / weights.sum()
+        tvd = total_variation_distance(counts / counts.sum(), target)
+        assert tvd < 0.12
+
+    def test_target_distribution_helper(self):
+        sampler = CapSampler(4, 9.0, 2.0, seed=0)
+        target = sampler.target_distribution(np.array([1.0, 5.0, 0.0, 2.0]))
+        assert target[2] == 0.0
+        assert target.sum() == pytest.approx(1.0)
+        assert target[1] == pytest.approx(9.0 / (1 + 9 + 4))
+
+    def test_repetitions_scale_with_threshold(self):
+        small = CapSampler(8, 4.0, 2.0, seed=0).num_repetitions
+        large = CapSampler(8, 64.0, 2.0, seed=0).num_repetitions
+        assert large > small
+
+
+class TestLogSampler:
+    def test_invalid_max_value(self):
+        with pytest.raises(InvalidParameterError):
+            LogSampler(8, max_value=0.5)
+
+    def test_logarithmic_g(self):
+        assert logarithmic_g(-3.0) == pytest.approx(np.log(4.0))
+
+    def test_log_distribution(self):
+        n = 12
+        vector = np.zeros(n)
+        values = {0: 1.0, 2: 3.0, 4: 9.0, 6: 27.0, 8: 81.0}
+        for index, value in values.items():
+            vector[index] = value
+        stream = stream_from_vector(vector, seed=2)
+        counts, failures = empirical_counts(
+            lambda s: LogSampler(n, max_value=100.0, seed=s, num_repetitions=12),
+            stream, n, draws=300,
+        )
+        assert failures < 60
+        weights = np.log1p(np.abs(vector))
+        target = weights / weights.sum()
+        tvd = total_variation_distance(counts / counts.sum(), target)
+        assert tvd < 0.12
+
+    def test_space_counters_grow_logarithmically_with_n(self):
+        small = LogSampler(256, max_value=1000.0, seed=3, num_repetitions=8).space_counters()
+        large = LogSampler(256 * 64, max_value=1000.0, seed=3,
+                           num_repetitions=8).space_counters()
+        # 64x larger universe costs only a handful of extra subsampling
+        # levels, not a 64x blow-up.
+        assert large < 2 * small
+
+    def test_handles_cancellations(self, cancellation_vector, cancellation_stream):
+        support = set(np.flatnonzero(cancellation_vector))
+        sampler = LogSampler(len(cancellation_vector),
+                             max_value=float(np.abs(cancellation_vector).max() + 1),
+                             seed=4, num_repetitions=12)
+        sampler.update_stream(cancellation_stream)
+        drawn = sampler.sample()
+        if drawn is not None:
+            assert drawn.index in support

@@ -1,0 +1,196 @@
+"""Tests for Algorithms 1 and 2: perfect L_p samplers for p > 2."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.perfect_lp_general import PerfectLpSampler, make_perfect_lp_sampler
+from repro.core.perfect_lp_integer import PerfectLpSamplerInteger
+from repro.exceptions import InvalidParameterError
+from repro.streams.generators import stream_from_vector
+from repro.utils.stats import expected_tvd_noise_floor, total_variation_distance
+
+
+def lp_target(vector: np.ndarray, p: float) -> np.ndarray:
+    weights = np.abs(vector) ** p
+    return weights / weights.sum()
+
+
+class TestConstruction:
+    def test_integer_sampler_rejects_small_p(self):
+        with pytest.raises(InvalidParameterError):
+            PerfectLpSamplerInteger(16, 2)
+
+    def test_integer_sampler_rejects_fractional_p(self):
+        with pytest.raises(InvalidParameterError):
+            PerfectLpSamplerInteger(16, 2.5)
+
+    def test_general_sampler_rejects_small_p(self):
+        with pytest.raises(InvalidParameterError):
+            PerfectLpSampler(16, 2.0)
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            PerfectLpSamplerInteger(16, 3, backend="magic")
+
+    def test_factory_dispatch(self):
+        assert isinstance(make_perfect_lp_sampler(16, 3.0, backend="oracle"),
+                          PerfectLpSamplerInteger)
+        assert isinstance(make_perfect_lp_sampler(16, 2.5, backend="oracle"),
+                          PerfectLpSampler)
+
+    def test_default_l2_sample_count_scales_with_n(self):
+        small = PerfectLpSamplerInteger(64, 4, backend="oracle").num_l2_samples
+        large = PerfectLpSamplerInteger(4096, 4, backend="oracle").num_l2_samples
+        assert large > small
+
+    def test_empty_stream_returns_none(self):
+        assert PerfectLpSamplerInteger(16, 3, backend="oracle").sample() is None
+
+    def test_zero_vector_returns_none(self):
+        sampler = PerfectLpSamplerInteger(16, 3, backend="oracle", seed=0)
+        sampler.update(2, 4.0)
+        sampler.update(2, -4.0)
+        assert sampler.sample() is None
+
+
+class TestOracleDistribution:
+    @pytest.mark.parametrize("p,sampler_class", [(3, PerfectLpSamplerInteger),
+                                                 (4, PerfectLpSamplerInteger)])
+    def test_integer_p_distribution(self, p, sampler_class):
+        n = 18
+        rng = np.random.default_rng(p)
+        vector = rng.integers(1, 25, size=n).astype(float)
+        vector[4] *= -1
+        stream = stream_from_vector(vector, seed=p + 1)
+        target = lp_target(vector, float(p))
+        draws = 1200
+        counts = np.zeros(n)
+        failures = 0
+        for seed in range(draws):
+            sampler = sampler_class(n, p, seed=seed, backend="oracle",
+                                    failure_probability=0.1)
+            sampler.update_stream(stream)
+            drawn = sampler.sample()
+            if drawn is None:
+                failures += 1
+            else:
+                counts[drawn.index] += 1
+        assert failures < draws * 0.2
+        empirical = counts / counts.sum()
+        tvd = total_variation_distance(empirical, target)
+        floor = expected_tvd_noise_floor(target, int(counts.sum()))
+        assert tvd < 2.5 * floor + 0.025
+
+    def test_fractional_p_distribution(self):
+        n = 16
+        rng = np.random.default_rng(99)
+        vector = rng.integers(1, 20, size=n).astype(float)
+        stream = stream_from_vector(vector, seed=100)
+        p = 2.6
+        target = lp_target(vector, p)
+        draws = 1000
+        counts = np.zeros(n)
+        failures = 0
+        for seed in range(draws):
+            sampler = PerfectLpSampler(n, p, seed=seed, backend="oracle",
+                                       failure_probability=0.1)
+            sampler.update_stream(stream)
+            drawn = sampler.sample()
+            if drawn is None:
+                failures += 1
+            else:
+                counts[drawn.index] += 1
+        assert failures < draws * 0.2
+        tvd = total_variation_distance(counts / counts.sum(), target)
+        floor = expected_tvd_noise_floor(target, int(counts.sum()))
+        assert tvd < 2.5 * floor + 0.03
+
+    def test_heavy_coordinate_dominates(self, heavy_vector, heavy_stream):
+        heavy_set = set(np.argsort(np.abs(heavy_vector))[-2:])
+        hits, successes = 0, 0
+        for seed in range(120):
+            sampler = PerfectLpSamplerInteger(len(heavy_vector), 4, seed=seed,
+                                              backend="oracle", failure_probability=0.2)
+            sampler.update_stream(heavy_stream)
+            drawn = sampler.sample()
+            if drawn is None:
+                continue
+            successes += 1
+            hits += drawn.index in heavy_set
+        assert successes > 60
+        # For p = 4 the two planted items carry > 99.99% of F_p.
+        assert hits / successes > 0.97
+
+    def test_value_estimate_exact_in_oracle_mode(self, small_vector, small_stream):
+        sampler = PerfectLpSamplerInteger(len(small_vector), 3, seed=1, backend="oracle",
+                                          failure_probability=0.05)
+        sampler.update_stream(small_stream)
+        for _ in range(5):
+            drawn = sampler.sample()
+            if drawn is not None:
+                assert drawn.value_estimate == pytest.approx(small_vector[drawn.index])
+                return
+        pytest.skip("sampler failed on all attempts (probability < 1e-6)")
+
+    def test_acceptance_probabilities_well_defined(self, small_vector, small_stream):
+        sampler = PerfectLpSamplerInteger(len(small_vector), 3, seed=2, backend="oracle")
+        sampler.update_stream(small_stream)
+        for _ in range(20):
+            drawn = sampler.sample()
+            if drawn is not None:
+                assert 0.0 < drawn.metadata["acceptance_probability"] <= 1.0
+        assert sampler.clip_events == 0
+
+    def test_cancellation_stream_supported(self, cancellation_vector, cancellation_stream):
+        support = set(np.flatnonzero(cancellation_vector))
+        for seed in range(10):
+            sampler = PerfectLpSamplerInteger(len(cancellation_vector), 3, seed=seed,
+                                              backend="oracle", failure_probability=0.05)
+            sampler.update_stream(cancellation_stream)
+            drawn = sampler.sample()
+            if drawn is not None:
+                assert drawn.index in support
+
+
+class TestSketchBackend:
+    def test_sketch_draw_lands_on_heavy_mass(self, heavy_vector, heavy_stream):
+        heavy_set = set(np.argsort(np.abs(heavy_vector))[-2:])
+        hits, successes = 0, 0
+        for seed in range(6):
+            sampler = PerfectLpSamplerInteger(
+                len(heavy_vector), 3, seed=seed, backend="sketch",
+                num_l2_samples=40, value_instances=6,
+            )
+            sampler.update_stream(heavy_stream)
+            drawn = sampler.sample()
+            if drawn is None:
+                continue
+            successes += 1
+            hits += drawn.index in heavy_set
+        assert successes >= 3
+        assert hits == successes
+
+    def test_sketch_space_scales_sublinearly(self):
+        # Counters at n and 8n should grow far slower than 8x once the
+        # polylog factors are held fixed (same sketch parameters).
+        small = PerfectLpSamplerInteger(64, 4, seed=0, backend="sketch",
+                                        num_l2_samples=8).space_counters()
+        large = PerfectLpSamplerInteger(512, 4, seed=0, backend="sketch",
+                                        num_l2_samples=16).space_counters()
+        assert large < 8 * small
+
+    def test_sketch_value_estimate_close_on_heavy_item(self, heavy_vector, heavy_stream):
+        sampler = PerfectLpSamplerInteger(len(heavy_vector), 3, seed=11, backend="sketch",
+                                          num_l2_samples=40)
+        sampler.update_stream(heavy_stream)
+        drawn = None
+        for _ in range(3):
+            drawn = sampler.sample()
+            if drawn is not None:
+                break
+        if drawn is None:
+            pytest.skip("all sketch draws failed on this seed")
+        truth = heavy_vector[drawn.index]
+        assert drawn.value_estimate == pytest.approx(truth, rel=0.3)

@@ -1,0 +1,164 @@
+"""Tests for Algorithm 3: the perfect polynomial sampler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.polynomial_sampler import PolynomialFunction, PolynomialSampler
+from repro.exceptions import InvalidParameterError
+from repro.streams.generators import stream_from_vector
+from repro.utils.stats import expected_tvd_noise_floor, total_variation_distance
+
+
+class TestPolynomialFunction:
+    def test_evaluation(self):
+        g = PolynomialFunction.from_terms([(2.0, 3.0), (1.0, 1.0)])
+        assert g(2.0) == pytest.approx(2.0 * 8 + 2.0)
+
+    def test_uses_magnitudes(self):
+        g = PolynomialFunction.from_terms([(1.0, 3.0)])
+        assert g(-2.0) == pytest.approx(8.0)
+
+    def test_vectorised_evaluation(self):
+        g = PolynomialFunction.from_terms([(1.0, 2.0)])
+        assert np.allclose(g(np.array([1.0, -3.0])), [1.0, 9.0])
+
+    def test_degree_and_bounds(self):
+        g = PolynomialFunction.from_terms([(0.5, 1.0), (2.0, 2.5)])
+        assert g.degree == 2.5
+        assert g.num_terms == 2
+        assert g.max_coefficient == 2.0
+
+    def test_from_terms_sorts_exponents(self):
+        g = PolynomialFunction.from_terms([(1.0, 3.0), (2.0, 1.0)])
+        assert g.exponents == (1.0, 3.0)
+
+    @pytest.mark.parametrize("terms", [
+        [],
+        [(0.0, 1.0)],
+        [(-1.0, 1.0)],
+        [(1.0, 0.0)],
+        [(1.0, 2.0), (1.0, 2.0)],
+    ])
+    def test_invalid_polynomials_rejected(self, terms):
+        with pytest.raises(InvalidParameterError):
+            PolynomialFunction.from_terms(terms)
+
+    def test_not_scale_invariant(self):
+        # The whole point of Theorem 1.5: G(alpha x)/sum G(alpha x) differs
+        # from G(x)/sum G(x) for polynomials with multiple terms.
+        g = PolynomialFunction.from_terms([(1.0, 3.0), (50.0, 1.0)])
+        vector = np.array([1.0, 10.0])
+        base = g(vector) / g(vector).sum()
+        scaled = g(10.0 * vector) / g(10.0 * vector).sum()
+        assert not np.allclose(base, scaled, atol=1e-3)
+
+
+class TestPolynomialSamplerOracle:
+    def test_distribution_matches_polynomial_target(self):
+        n = 16
+        rng = np.random.default_rng(7)
+        vector = rng.integers(1, 15, size=n).astype(float)
+        stream = stream_from_vector(vector, seed=8)
+        g = PolynomialFunction.from_terms([(1.0, 3.0), (5.0, 2.0)])
+        target = g(vector) / g(vector).sum()
+        draws = 1000
+        counts = np.zeros(n)
+        failures = 0
+        for seed in range(draws):
+            sampler = PolynomialSampler(n, g, seed=seed, backend="oracle",
+                                        failure_probability=0.05)
+            sampler.update_stream(stream)
+            drawn = sampler.sample()
+            if drawn is None:
+                failures += 1
+            else:
+                counts[drawn.index] += 1
+        assert failures < draws * 0.1
+        tvd = total_variation_distance(counts / counts.sum(), target)
+        floor = expected_tvd_noise_floor(target, int(counts.sum()))
+        assert tvd < 2.5 * floor + 0.03
+
+    def test_fractional_exponent_polynomial(self):
+        n = 12
+        rng = np.random.default_rng(9)
+        vector = rng.integers(1, 12, size=n).astype(float)
+        stream = stream_from_vector(vector, seed=10)
+        g = PolynomialFunction.from_terms([(0.2, 2.5), (3.0, 1.0)])
+        target = g(vector) / g(vector).sum()
+        draws = 800
+        counts = np.zeros(n)
+        for seed in range(draws):
+            sampler = PolynomialSampler(n, g, seed=seed, backend="oracle",
+                                        failure_probability=0.05)
+            sampler.update_stream(stream)
+            drawn = sampler.sample()
+            if drawn is not None:
+                counts[drawn.index] += 1
+        assert counts.sum() > draws * 0.8
+        tvd = total_variation_distance(counts / counts.sum(), target)
+        floor = expected_tvd_noise_floor(target, int(counts.sum()))
+        assert tvd < 2.5 * floor + 0.035
+
+    def test_differs_from_plain_lp_distribution(self):
+        # Ablation behind experiment E5: on a skewed vector the polynomial
+        # target is measurably different from the pure L_p target, so a
+        # correct polynomial sampler cannot be replaced by an L_p sampler.
+        n = 10
+        vector = np.array([1.0, 1, 1, 1, 1, 2, 2, 3, 5, 30])
+        g = PolynomialFunction.from_terms([(1.0, 3.0), (200.0, 1.0)])
+        poly_target = g(vector) / g(vector).sum()
+        lp_target = np.abs(vector) ** 3 / np.sum(np.abs(vector) ** 3)
+        assert total_variation_distance(poly_target, lp_target) > 0.05
+
+    def test_single_term_polynomial_reduces_to_lp(self):
+        n = 12
+        rng = np.random.default_rng(11)
+        vector = rng.integers(1, 10, size=n).astype(float)
+        stream = stream_from_vector(vector, seed=12)
+        g = PolynomialFunction.from_terms([(2.0, 3.0)])
+        target = np.abs(vector) ** 3 / np.sum(np.abs(vector) ** 3)
+        counts = np.zeros(n)
+        for seed in range(600):
+            sampler = PolynomialSampler(n, g, seed=seed, backend="oracle",
+                                        failure_probability=0.05)
+            sampler.update_stream(stream)
+            drawn = sampler.sample()
+            if drawn is not None:
+                counts[drawn.index] += 1
+        tvd = total_variation_distance(counts / counts.sum(), target)
+        floor = expected_tvd_noise_floor(target, int(counts.sum()))
+        assert tvd < 2.5 * floor + 0.04
+
+    def test_empty_stream_returns_none(self):
+        g = PolynomialFunction.from_terms([(1.0, 3.0)])
+        assert PolynomialSampler(8, g, backend="oracle").sample() is None
+
+    def test_target_distribution_helper(self):
+        g = PolynomialFunction.from_terms([(1.0, 2.0)])
+        sampler = PolynomialSampler(4, g, backend="oracle")
+        target = sampler.target_distribution(np.array([1.0, 2.0, 0.0, 1.0]))
+        assert target.sum() == pytest.approx(1.0)
+        assert target[2] == 0.0
+
+    def test_target_distribution_zero_mass_rejected(self):
+        g = PolynomialFunction.from_terms([(1.0, 2.0)])
+        sampler = PolynomialSampler(4, g, backend="oracle")
+        with pytest.raises(InvalidParameterError):
+            sampler.target_distribution(np.zeros(4))
+
+    def test_sketch_backend_requires_degree_above_two(self):
+        g = PolynomialFunction.from_terms([(1.0, 1.5)])
+        with pytest.raises(InvalidParameterError):
+            PolynomialSampler(8, g, backend="sketch")
+
+    def test_acceptance_metadata(self, small_vector, small_stream):
+        g = PolynomialFunction.from_terms([(1.0, 3.0), (2.0, 2.0)])
+        sampler = PolynomialSampler(len(small_vector), g, seed=0, backend="oracle")
+        sampler.update_stream(small_stream)
+        for _ in range(10):
+            drawn = sampler.sample()
+            if drawn is not None:
+                assert 0 < drawn.metadata["acceptance_probability"] <= 1.0
+                break

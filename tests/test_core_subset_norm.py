@@ -1,0 +1,179 @@
+"""Tests for Algorithm 5: subset moment estimation (Theorem 1.6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.subset_norm import (
+    CountSketchSubsetBaseline,
+    SubsetMomentEstimator,
+    exact_subset_moment,
+)
+from repro.exceptions import InvalidParameterError, SamplerStateError
+from repro.streams.generators import (
+    forget_request_set,
+    random_query_set,
+    stream_from_vector,
+    zipfian_frequency_vector,
+)
+
+
+class TestExactSubsetMoment:
+    def test_simple(self):
+        vector = np.array([1.0, 2.0, 3.0, 4.0])
+        assert exact_subset_moment(vector, [1, 3], 2.0) == pytest.approx(4.0 + 16.0)
+
+    def test_duplicates_ignored(self):
+        vector = np.array([1.0, 2.0])
+        assert exact_subset_moment(vector, [1, 1], 2.0) == pytest.approx(4.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            exact_subset_moment(np.ones(3), [5], 2.0)
+
+
+class TestSubsetMomentEstimator:
+    def test_construction_validation(self):
+        with pytest.raises(InvalidParameterError):
+            SubsetMomentEstimator(16, 2.0, epsilon=0.2, alpha=0.5)
+        with pytest.raises(InvalidParameterError):
+            SubsetMomentEstimator(16, 3.0, epsilon=0.0, alpha=0.5)
+        with pytest.raises(InvalidParameterError):
+            SubsetMomentEstimator(16, 3.0, epsilon=0.2, alpha=0.0)
+
+    def test_query_before_update_rejected(self):
+        estimator = SubsetMomentEstimator(8, 3.0, epsilon=0.5, alpha=0.5, seed=0,
+                                          repetitions=5, estimator_exact_recovery=True)
+        with pytest.raises(SamplerStateError):
+            estimator.estimate([0, 1])
+
+    def test_query_set_validation(self, small_vector, small_stream):
+        estimator = SubsetMomentEstimator(len(small_vector), 3.0, epsilon=0.5, alpha=0.5,
+                                          seed=1, repetitions=5,
+                                          estimator_exact_recovery=True)
+        estimator.update_stream(small_stream)
+        with pytest.raises(InvalidParameterError):
+            estimator.estimate([len(small_vector) + 3])
+
+    def test_repetition_count_default(self):
+        estimator = SubsetMomentEstimator(16, 3.0, epsilon=0.5, alpha=0.25, seed=2,
+                                          estimator_exact_recovery=True)
+        assert estimator.repetitions == int(np.ceil(4.0 / (0.25 * 0.25)))
+
+    def test_full_universe_query_estimates_fp(self):
+        n = 32
+        vector = zipfian_frequency_vector(n, seed=3)
+        stream = stream_from_vector(vector, seed=4)
+        estimator = SubsetMomentEstimator(n, 3.0, epsilon=0.3, alpha=0.9, seed=5,
+                                          repetitions=80, estimator_exact_recovery=True)
+        estimator.update_stream(stream)
+        truth = exact_subset_moment(vector, range(n), 3.0)
+        estimate = estimator.estimate(range(n))
+        assert estimate == pytest.approx(truth, rel=0.35)
+
+    def test_heavy_query_set_accuracy(self):
+        n = 32
+        vector = zipfian_frequency_vector(n, seed=6)
+        stream = stream_from_vector(vector, seed=7)
+        # Query the half of the universe holding the heavy items.
+        heavy_half = np.argsort(np.abs(vector))[n // 2:]
+        truth_fraction = exact_subset_moment(vector, heavy_half, 3.0) / exact_subset_moment(
+            vector, range(n), 3.0)
+        assert truth_fraction > 0.9
+        estimator = SubsetMomentEstimator(n, 3.0, epsilon=0.3, alpha=0.8, seed=8,
+                                          repetitions=80, estimator_exact_recovery=True)
+        estimator.update_stream(stream)
+        estimate = estimator.estimate(heavy_half)
+        truth = exact_subset_moment(vector, heavy_half, 3.0)
+        assert estimate == pytest.approx(truth, rel=0.35)
+
+    def test_empty_query_set_estimates_zero(self):
+        n = 16
+        vector = zipfian_frequency_vector(n, seed=9)
+        stream = stream_from_vector(vector, seed=10)
+        estimator = SubsetMomentEstimator(n, 3.0, epsilon=0.4, alpha=0.5, seed=11,
+                                          repetitions=30, estimator_exact_recovery=True)
+        estimator.update_stream(stream)
+        assert estimator.estimate([]) == 0.0
+
+    def test_forget_model_complement_query(self):
+        # estimate_complement(Q_forget) queries the same retained set as
+        # estimate(retained); the two answers use independent draws from the
+        # same repetitions, so they agree up to the estimator's own accuracy.
+        n = 24
+        vector = zipfian_frequency_vector(n, seed=12)
+        stream = stream_from_vector(vector, seed=13)
+        retained = forget_request_set(vector, 0.2, seed=14)
+        forgotten = sorted(set(range(n)) - set(retained.tolist()))
+        truth = exact_subset_moment(vector, retained, 3.0)
+        estimator = SubsetMomentEstimator(n, 3.0, epsilon=0.35, alpha=0.3, seed=15,
+                                          repetitions=80, estimator_exact_recovery=True)
+        estimator.update_stream(stream)
+        direct = estimator.estimate(retained)
+        via_complement = estimator.estimate_complement(forgotten)
+        assert direct == pytest.approx(truth, rel=0.5)
+        assert via_complement == pytest.approx(truth, rel=0.5)
+
+    def test_unbiasedness_over_seeds(self):
+        n = 24
+        vector = zipfian_frequency_vector(n, seed=16)
+        stream = stream_from_vector(vector, seed=17)
+        query = random_query_set(n, 0.5, seed=18)
+        truth = exact_subset_moment(vector, query, 3.0)
+        estimates = []
+        for seed in range(25):
+            estimator = SubsetMomentEstimator(n, 3.0, epsilon=0.4, alpha=0.3, seed=seed,
+                                              repetitions=40, estimator_exact_recovery=True)
+            estimator.update_stream(stream)
+            estimates.append(estimator.estimate(query))
+        assert np.mean(estimates) == pytest.approx(truth, rel=0.2)
+
+    def test_space_counters_positive(self):
+        estimator = SubsetMomentEstimator(16, 3.0, epsilon=0.5, alpha=0.5, seed=19,
+                                          repetitions=4, estimator_exact_recovery=True)
+        assert estimator.space_counters() > 0
+
+
+class TestCountSketchSubsetBaseline:
+    def test_query_before_update_rejected(self):
+        baseline = CountSketchSubsetBaseline(16, 3.0, buckets=16, seed=0)
+        with pytest.raises(SamplerStateError):
+            baseline.estimate([0])
+
+    def test_query_validation(self, small_vector, small_stream):
+        baseline = CountSketchSubsetBaseline(len(small_vector), 3.0, buckets=16, seed=1)
+        baseline.update_stream(small_stream)
+        with pytest.raises(InvalidParameterError):
+            baseline.estimate([100])
+
+    def test_large_table_accurate(self):
+        n = 32
+        vector = zipfian_frequency_vector(n, seed=2)
+        stream = stream_from_vector(vector, seed=3)
+        baseline = CountSketchSubsetBaseline(n, 3.0, buckets=128, rows=7, seed=4)
+        baseline.update_stream(stream)
+        query = random_query_set(n, 0.5, seed=5)
+        truth = exact_subset_moment(vector, query, 3.0)
+        assert baseline.estimate(query) == pytest.approx(truth, rel=0.2)
+
+    def test_small_table_degrades(self):
+        # At a much smaller space budget the powered point-query errors blow
+        # up; this is the regime where Algorithm 5 wins (experiment E6).
+        n = 256
+        rng = np.random.default_rng(6)
+        vector = rng.integers(1, 6, size=n).astype(float)
+        heavy = rng.choice(n, size=4, replace=False)
+        vector[heavy] = 80.0
+        stream = stream_from_vector(vector, seed=7)
+        # Query set avoids the heavy items: its moment is tiny compared with F_p.
+        query = [int(i) for i in range(n) if i not in set(heavy.tolist())][:64]
+        truth = exact_subset_moment(vector, query, 3.0)
+        baseline = CountSketchSubsetBaseline(n, 3.0, buckets=8, rows=3, seed=8)
+        baseline.update_stream(stream)
+        estimate = baseline.estimate(query)
+        assert abs(estimate - truth) > 0.5 * truth
+
+    def test_space_counters(self):
+        baseline = CountSketchSubsetBaseline(16, 3.0, buckets=8, rows=4, seed=9)
+        assert baseline.space_counters() == 32

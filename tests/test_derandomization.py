@@ -1,0 +1,204 @@
+"""Tests for the half-space tester and PRG derandomisation machinery."""
+
+import numpy as np
+import pytest
+
+from repro.derandomization import (
+    BlockPRG,
+    HalfSpaceQuery,
+    HalfSpaceTester,
+    HashPRG,
+    empirical_distribution_shift,
+    exponential_from_prg,
+    gap_test_tester,
+    seed_length_bound,
+    signs_from_prg,
+    acceptance_bias,
+    uniforms_from_prg,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestHalfSpaceQuery:
+    def test_evaluation(self):
+        query = HalfSpaceQuery(np.array([1, -1, 0]), threshold=2)
+        assert query.evaluate(np.array([5.0, 1.0, 9.0]))
+        assert not query.evaluate(np.array([1.0, 0.0, 0.0]))
+
+    def test_dimension_and_bound(self):
+        query = HalfSpaceQuery(np.array([3, -7]), threshold=4)
+        assert query.dimension == 2
+        assert query.magnitude_bound() == 7
+
+    def test_dimension_mismatch_rejected(self):
+        query = HalfSpaceQuery(np.array([1, 1]), threshold=0)
+        with pytest.raises(InvalidParameterError):
+            query.evaluate(np.array([1.0, 2.0, 3.0]))
+
+    def test_empty_coefficients_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            HalfSpaceQuery(np.array([], dtype=np.int64), threshold=0)
+
+
+class TestHalfSpaceTester:
+    def test_default_combiner_is_and(self):
+        queries = [
+            HalfSpaceQuery(np.array([1, 0]), threshold=0),
+            HalfSpaceQuery(np.array([0, 1]), threshold=0),
+        ]
+        tester = HalfSpaceTester(queries)
+        assert tester.evaluate(np.array([1.0, 1.0]))
+        assert not tester.evaluate(np.array([1.0, -1.0]))
+
+    def test_custom_combiner(self):
+        queries = [
+            HalfSpaceQuery(np.array([1, 0]), threshold=0),
+            HalfSpaceQuery(np.array([0, 1]), threshold=0),
+        ]
+        tester = HalfSpaceTester(queries, combiner=lambda a, b: a or b)
+        assert tester.evaluate(np.array([1.0, -1.0]))
+
+    def test_magnitude_bound_enforced_on_queries(self):
+        query = HalfSpaceQuery(np.array([100, 0]), threshold=0)
+        with pytest.raises(InvalidParameterError):
+            HalfSpaceTester([query], magnitude_bound=10)
+
+    def test_magnitude_bound_enforced_on_inputs(self):
+        query = HalfSpaceQuery(np.array([1, 0]), threshold=0)
+        tester = HalfSpaceTester([query], magnitude_bound=10)
+        with pytest.raises(InvalidParameterError):
+            tester.evaluate(np.array([100.0, 0.0]))
+
+    def test_acceptance_probability(self):
+        tester = HalfSpaceTester([HalfSpaceQuery(np.array([1]), threshold=0)])
+        inputs = np.array([[1.0], [2.0], [-1.0], [-2.0]])
+        assert tester.acceptance_probability(inputs) == pytest.approx(0.5)
+
+    def test_requires_at_least_one_query(self):
+        with pytest.raises(InvalidParameterError):
+            HalfSpaceTester([])
+
+    def test_gap_test_tester_shape(self):
+        tester = gap_test_tester(scaled_dimension=5, gap_threshold=3,
+                                 top_index=0, runner_up_index=2)
+        assert tester.num_queries == 1
+        assert tester.evaluate(np.array([10.0, 0.0, 2.0, 0.0, 0.0]))
+        assert not tester.evaluate(np.array([4.0, 0.0, 2.0, 0.0, 0.0]))
+
+    def test_gap_test_tester_rejects_equal_indices(self):
+        with pytest.raises(InvalidParameterError):
+            gap_test_tester(4, 1, top_index=1, runner_up_index=1)
+
+
+class TestHashPRG:
+    def test_determinism(self):
+        a = HashPRG(seed_bits=32, seed=12345)
+        b = HashPRG(seed_bits=32, seed=12345)
+        assert a.cell("exp", 3) == b.cell("exp", 3)
+        assert a.uniform("u", 7) == b.uniform("u", 7)
+
+    def test_seed_truncation(self):
+        wide = HashPRG(seed_bits=8, seed=0x1FF)
+        narrow = HashPRG(seed_bits=8, seed=0xFF)
+        assert wide.seed == narrow.seed
+        assert wide.cell(1) == narrow.cell(1)
+
+    def test_uniforms_in_unit_interval(self):
+        prg = HashPRG(seed_bits=64, seed=9)
+        values = prg.uniforms(200, "test")
+        assert np.all(values >= 0.0) and np.all(values < 1.0)
+
+    def test_uniforms_look_uniform(self):
+        prg = HashPRG(seed_bits=64, seed=10)
+        values = prg.uniforms(2000, "uniformity")
+        assert abs(values.mean() - 0.5) < 0.05
+        assert abs(np.var(values) - 1.0 / 12.0) < 0.02
+
+    def test_rejects_huge_seed_lengths(self):
+        with pytest.raises(InvalidParameterError):
+            HashPRG(seed_bits=1024)
+
+    def test_seed_length_words(self):
+        assert HashPRG(seed_bits=64, seed=1).seed_length_words() == 1
+        assert HashPRG(seed_bits=128, seed=1).seed_length_words() == 2
+
+
+class TestBlockPRG:
+    def test_determinism_and_range(self):
+        a = BlockPRG(num_blocks=16, block_bits=32, seed=5)
+        b = BlockPRG(num_blocks=16, block_bits=32, seed=5)
+        for index in range(16):
+            assert a.block(index) == b.block(index)
+            assert 0 <= a.block(index) < 2**32
+
+    def test_seed_length_grows_with_log_blocks(self):
+        short = BlockPRG(num_blocks=4, block_bits=64, seed=1)
+        long = BlockPRG(num_blocks=4096, block_bits=64, seed=1)
+        assert long.seed_length_bits() > short.seed_length_bits()
+        assert long.seed_length_bits() <= 64 * (1 + 2 * 12)
+
+    def test_out_of_range_block_rejected(self):
+        prg = BlockPRG(num_blocks=8, seed=0)
+        with pytest.raises(InvalidParameterError):
+            prg.block(8)
+
+    def test_uniform_in_unit_interval(self):
+        prg = BlockPRG(num_blocks=64, block_bits=32, seed=2)
+        values = [prg.uniform(i) for i in range(64)]
+        assert all(0.0 <= v < 1.0 for v in values)
+
+
+class TestPRGAdapters:
+    def test_exponentials_have_unit_mean(self):
+        prg = HashPRG(seed_bits=64, seed=21)
+        draws = exponential_from_prg(prg, 4000, "exp")
+        assert draws.min() > 0
+        assert abs(draws.mean() - 1.0) < 0.1
+
+    def test_signs_are_balanced(self):
+        prg = HashPRG(seed_bits=64, seed=22)
+        signs = signs_from_prg(prg, 4000, "sign")
+        assert set(np.unique(signs)) == {-1.0, 1.0}
+        assert abs(signs.mean()) < 0.1
+
+    def test_uniform_adapter_avoids_endpoints(self):
+        prg = HashPRG(seed_bits=64, seed=23)
+        values = uniforms_from_prg(prg, 1000, "u")
+        assert values.min() > 0.0 and values.max() < 1.0
+
+
+class TestTheoremScaleHelpers:
+    def test_seed_length_bound_monotone_in_n(self):
+        assert seed_length_bound(2**16, 0.1) > seed_length_bound(2**8, 0.1)
+
+    def test_seed_length_bound_monotone_in_testers(self):
+        assert seed_length_bound(256, 0.1, num_testers=8) > seed_length_bound(256, 0.1)
+
+    def test_seed_length_bound_validates_epsilon(self):
+        with pytest.raises(InvalidParameterError):
+            seed_length_bound(256, 1.5)
+
+    def test_acceptance_bias_zero_for_identical_inputs(self):
+        tester = HalfSpaceTester([HalfSpaceQuery(np.array([1, -1]), threshold=0)])
+        inputs = np.array([[2.0, 1.0], [0.0, 1.0], [3.0, 0.0]])
+        assert acceptance_bias(tester, inputs, inputs) == pytest.approx(0.0)
+
+    def test_prg_fools_gap_tester_on_exponentials(self):
+        # The gap tester applied to true exponentials vs PRG-generated
+        # exponentials should accept with nearly identical probability.
+        rng = np.random.default_rng(3)
+        prg = HashPRG(seed_bits=64, seed=33)
+        dimension = 2
+        tester = gap_test_tester(dimension, gap_threshold=1)
+        true_inputs = rng.exponential(1.0, size=(3000, dimension))
+        prg_inputs = np.column_stack([
+            exponential_from_prg(prg, 3000, "col", 0),
+            exponential_from_prg(prg, 3000, "col", 1),
+        ])
+        assert acceptance_bias(tester, true_inputs, prg_inputs) < 0.05
+
+    def test_empirical_distribution_shift(self):
+        shift = empirical_distribution_shift([0, 0, 1, 1], [0, 0, 0, 0], n=2)
+        assert shift == pytest.approx(0.5)
+        with pytest.raises(InvalidParameterError):
+            empirical_distribution_shift([], [0], n=2)

@@ -1,0 +1,85 @@
+"""Tests for the estimator-accuracy reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    EstimatorAccuracyReport,
+    evaluate_estimator,
+    format_accuracy_rows,
+    summarize_estimates,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestSummarizeEstimates:
+    def test_perfect_estimates(self):
+        report = summarize_estimates([10.0, 10.0, 10.0], truth=10.0)
+        assert report.relative_bias == pytest.approx(0.0)
+        assert report.rms_relative_error == pytest.approx(0.0)
+        assert report.within_epsilon_fraction == pytest.approx(1.0)
+
+    def test_biased_estimates(self):
+        report = summarize_estimates([12.0, 12.0], truth=10.0, epsilon=0.1)
+        assert report.relative_bias == pytest.approx(0.2)
+        assert report.rms_relative_error == pytest.approx(0.2)
+        assert report.within_epsilon_fraction == pytest.approx(0.0)
+
+    def test_quantiles_reflect_spread(self):
+        estimates = [10.0] * 9 + [20.0]
+        report = summarize_estimates(estimates, truth=10.0)
+        assert report.median_relative_error == pytest.approx(0.0)
+        assert report.quantile_90_relative_error <= 1.0
+        assert report.quantile_90_relative_error >= 0.0
+
+    def test_requires_estimates_and_nonzero_truth(self):
+        with pytest.raises(InvalidParameterError):
+            summarize_estimates([], truth=1.0)
+        with pytest.raises(InvalidParameterError):
+            summarize_estimates([1.0], truth=0.0)
+
+
+class _NoisyEstimator:
+    """Deterministic stand-in estimator: truth plus a seed-dependent offset."""
+
+    def __init__(self, seed):
+        self._seed = seed
+        self._prepared = False
+
+    def prepare(self):
+        self._prepared = True
+
+    def estimate(self):
+        assert self._prepared
+        rng = np.random.default_rng(self._seed)
+        return 100.0 * (1.0 + 0.05 * rng.standard_normal())
+
+
+class TestEvaluateEstimator:
+    def test_drives_factory_and_prepare(self):
+        report = evaluate_estimator(
+            _NoisyEstimator, truth=100.0, num_repetitions=50,
+            query=lambda est: est.estimate(),
+            prepare=lambda est: est.prepare(),
+            epsilon=0.2,
+        )
+        assert isinstance(report, EstimatorAccuracyReport)
+        assert report.num_estimates == 50
+        assert abs(report.relative_bias) < 0.05
+        assert report.within_epsilon_fraction > 0.9
+
+    def test_requires_positive_repetitions(self):
+        with pytest.raises(InvalidParameterError):
+            evaluate_estimator(_NoisyEstimator, truth=1.0, num_repetitions=0,
+                               query=lambda est: 1.0)
+
+
+class TestFormatting:
+    def test_format_accuracy_rows_contains_labels(self):
+        report = summarize_estimates([1.0, 1.1, 0.9], truth=1.0)
+        text = format_accuracy_rows([("sampling estimator", report),
+                                     ("baseline", report)])
+        assert "sampling estimator" in text
+        assert "baseline" in text
+        assert "RMS rel. err" in text
+        assert len(text.splitlines()) == 3

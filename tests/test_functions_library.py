@@ -1,0 +1,213 @@
+"""Unit tests for the ``G``-function library."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.functions import (
+    CapFunction,
+    FairFunction,
+    GFunction,
+    HuberFunction,
+    L1L2Function,
+    LevyExponentFunction,
+    LevyTerm,
+    LogFunction,
+    LpFunction,
+    PolynomialGFunction,
+    SoftCapFunction,
+    SoftConcaveSublinearFunction,
+    SupportFunction,
+    as_g_function,
+    standard_m_estimators,
+)
+
+ALL_FUNCTIONS = [
+    LpFunction(1.0),
+    LpFunction(3.0),
+    SupportFunction(),
+    LogFunction(),
+    CapFunction(threshold=5.0, p=2.0),
+    PolynomialGFunction([1.0, 5.0], [2.0, 3.0]),
+    HuberFunction(tau=2.0),
+    FairFunction(tau=2.0),
+    L1L2Function(),
+    SoftCapFunction(tau=0.5),
+    LevyExponentFunction(killing=0.5, drift=0.1, terms=[LevyTerm(rate=1.0, weight=2.0)]),
+    SoftConcaveSublinearFunction(rates=[0.1, 1.0], weights=[1.0, 0.5]),
+]
+
+
+@pytest.mark.parametrize("g", ALL_FUNCTIONS, ids=lambda g: g.name)
+class TestCommonInvariants:
+    def test_non_negative(self, g):
+        values = np.array([-10.0, -1.0, 0.0, 0.5, 1.0, 7.0, 100.0])
+        assert np.all(g.evaluate(values) >= 0.0)
+
+    def test_zero_at_zero_or_constant(self, g):
+        # Every function in the library satisfies G(0) = 0.
+        assert g(0.0) == pytest.approx(0.0)
+
+    def test_monotone_in_magnitude(self, g):
+        magnitudes = np.linspace(0.0, 50.0, 101)
+        values = g.evaluate(magnitudes)
+        assert np.all(np.diff(values) >= -1e-9)
+
+    def test_symmetric_in_sign(self, g):
+        values = np.array([0.5, 1.0, 3.0, 17.0])
+        assert g.evaluate(values) == pytest.approx(g.evaluate(-values))
+
+    def test_target_distribution_sums_to_one(self, g):
+        vector = np.array([0.0, 1.0, 2.0, 5.0, 10.0])
+        target = g.target_distribution(vector)
+        assert target.sum() == pytest.approx(1.0)
+        assert target[0] == pytest.approx(0.0)
+
+    def test_upper_bound_dominates(self, g):
+        bound = g.upper_bound(20.0)
+        samples = np.linspace(-20.0, 20.0, 81)
+        assert np.all(g.evaluate(samples) <= bound + 1e-9)
+
+    def test_lower_bound_is_attained_or_below(self, g):
+        bound = g.lower_bound(1.0)
+        assert bound <= g(1.0) + 1e-12
+
+
+class TestLpFunction:
+    def test_matches_power(self):
+        g = LpFunction(3.0)
+        assert g(2.0) == pytest.approx(8.0)
+        assert g(-2.0) == pytest.approx(8.0)
+
+    def test_scale_invariance_flag(self):
+        assert LpFunction(2.5).scale_invariant
+        assert not PolynomialGFunction([1.0], [2.5]).scale_invariant
+
+    def test_scale_invariance_of_distribution(self):
+        g = LpFunction(3.0)
+        vector = np.array([1.0, 2.0, 3.0])
+        assert g.target_distribution(vector) == pytest.approx(
+            g.target_distribution(10.0 * vector))
+
+    def test_rejects_negative_order(self):
+        with pytest.raises(InvalidParameterError):
+            LpFunction(-1.0)
+
+
+class TestCapFunction:
+    def test_caps_at_threshold(self):
+        g = CapFunction(threshold=4.0, p=2.0)
+        assert g(1.0) == pytest.approx(1.0)
+        assert g(10.0) == pytest.approx(4.0)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(InvalidParameterError):
+            CapFunction(threshold=0.0)
+
+
+class TestPolynomialGFunction:
+    def test_evaluation(self):
+        g = PolynomialGFunction([1.0, 5.0], [3.0, 2.0][::-1])
+        # Coefficients [1, 5] with exponents [2, 3]: G(z) = |z|^2 + 5 |z|^3.
+        g = PolynomialGFunction([1.0, 5.0], [2.0, 3.0])
+        assert g(2.0) == pytest.approx(4.0 + 5.0 * 8.0)
+
+    def test_not_scale_invariant(self):
+        g = PolynomialGFunction([1.0, 5.0], [2.0, 3.0])
+        vector = np.array([1.0, 2.0, 3.0])
+        scaled = g.target_distribution(10.0 * vector)
+        assert not np.allclose(g.target_distribution(vector), scaled)
+
+    def test_degree_property(self):
+        assert PolynomialGFunction([1.0, 1.0], [1.5, 2.5]).degree == pytest.approx(2.5)
+
+    def test_requires_increasing_exponents(self):
+        with pytest.raises(InvalidParameterError):
+            PolynomialGFunction([1.0, 1.0], [3.0, 2.0])
+
+    def test_requires_positive_coefficients(self):
+        with pytest.raises(InvalidParameterError):
+            PolynomialGFunction([1.0, -1.0], [1.0, 2.0])
+
+
+class TestMEstimators:
+    def test_huber_quadratic_then_linear(self):
+        g = HuberFunction(tau=2.0)
+        assert g(1.0) == pytest.approx(1.0 / 4.0)
+        assert g(5.0) == pytest.approx(5.0 - 1.0)
+
+    def test_huber_continuous_at_tau(self):
+        g = HuberFunction(tau=3.0)
+        assert g(3.0) == pytest.approx(3.0 - 1.5)
+
+    def test_fair_small_argument_behaviour(self):
+        # For |z| << tau the Fair estimator behaves like z^2 / 2.
+        g = FairFunction(tau=100.0)
+        assert g(1.0) == pytest.approx(0.5, rel=0.02)
+
+    def test_l1l2_behaviour(self):
+        g = L1L2Function()
+        assert g(0.0) == pytest.approx(0.0)
+        # For large |z| it grows like sqrt(2) |z|.
+        assert g(1000.0) == pytest.approx(np.sqrt(2.0) * 1000.0, rel=0.01)
+
+    def test_standard_bundle(self):
+        bundle = standard_m_estimators(tau=2.0)
+        assert len(bundle) == 3
+        assert all(isinstance(g, GFunction) for g in bundle)
+
+
+class TestLevyClass:
+    def test_soft_cap_saturates(self):
+        g = SoftCapFunction(tau=1.0)
+        assert g(0.1) == pytest.approx(1.0 - np.exp(-0.1))
+        assert g(50.0) == pytest.approx(1.0, abs=1e-6)
+
+    def test_levy_exponent_combines_parts(self):
+        g = LevyExponentFunction(killing=1.0, drift=0.5,
+                                 terms=[LevyTerm(rate=2.0, weight=3.0)])
+        expected = 1.0 + 0.5 * 4.0 + 3.0 * (1.0 - np.exp(-8.0))
+        assert g(4.0) == pytest.approx(expected)
+
+    def test_levy_rejects_zero_function(self):
+        with pytest.raises(InvalidParameterError):
+            LevyExponentFunction()
+
+    def test_fractional_power_representation(self):
+        g = LevyExponentFunction.for_fractional_power(0.5, num_terms=64)
+        values = np.array([0.5, 1.0, 4.0, 25.0, 100.0])
+        approx = g.evaluate(values)
+        exact = values**0.5
+        ratios = approx / exact
+        assert np.all(ratios > 0.85)
+        assert np.all(ratios < 1.15)
+
+    def test_fractional_power_requires_p_below_one(self):
+        with pytest.raises(InvalidParameterError):
+            LevyExponentFunction.for_fractional_power(1.5)
+
+    def test_soft_concave_as_levy(self):
+        g = SoftConcaveSublinearFunction(rates=[0.5, 2.0], weights=[1.0, 1.0])
+        levy = g.as_levy()
+        values = np.array([0.0, 1.0, 3.0, 10.0])
+        assert levy.evaluate(values) == pytest.approx(g.evaluate(values))
+
+
+class TestAdapters:
+    def test_as_g_function_wraps_callable(self):
+        g = as_g_function(lambda z: abs(z) ** 1.5, name="custom-power")
+        assert isinstance(g, GFunction)
+        assert g(4.0) == pytest.approx(8.0)
+        assert g.name == "custom-power"
+
+    def test_as_g_function_passthrough(self):
+        g = LogFunction()
+        assert as_g_function(g) is g
+
+    def test_as_g_function_rejects_non_callable(self):
+        with pytest.raises(InvalidParameterError):
+            as_g_function(3.0)
+
+    def test_describe_mentions_invariance(self):
+        assert "not scale-invariant" in LogFunction().describe()
+        assert "scale-invariant" in LpFunction(2.0).describe()

@@ -1,0 +1,166 @@
+"""Cross-module integration tests.
+
+These tests exercise realistic end-to-end pipelines that combine workload
+generation, streaming, several samplers, and the evaluation harness — the
+same paths the examples and benchmarks use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ApproximateLpSampler,
+    CapSampler,
+    CountSketchSubsetBaseline,
+    LogSampler,
+    PerfectL0Sampler,
+    PerfectL2Sampler,
+    PerfectLpSamplerInteger,
+    PolynomialFunction,
+    PolynomialSampler,
+    SubsetMomentEstimator,
+    forget_request_set,
+    make_perfect_lp_sampler,
+    stream_from_vector,
+    turnstile_stream_with_cancellations,
+    zipfian_frequency_vector,
+)
+from repro.core.subset_norm import exact_subset_moment
+from repro.evaluation.distribution_tests import evaluate_sampler_distribution, lp_target_weights
+from repro.evaluation.space_model import fit_space_exponent, measure_space
+
+
+class TestEndToEndSamplingPipelines:
+    def test_all_sampler_families_run_on_the_same_turnstile_stream(self):
+        n = 24
+        vector = zipfian_frequency_vector(n, seed=0)
+        stream = turnstile_stream_with_cancellations(vector, churn=1.0, seed=1)
+        support = set(np.flatnonzero(vector))
+
+        samplers = [
+            PerfectLpSamplerInteger(n, 3, seed=2, backend="oracle", failure_probability=0.05),
+            make_perfect_lp_sampler(n, 2.5, 3, backend="oracle", failure_probability=0.05),
+            PerfectL2Sampler(n, seed=4),
+            PerfectL0Sampler(n, seed=5),
+            ApproximateLpSampler(n, 3.0, epsilon=0.3, seed=6, duplication=64),
+            CapSampler(n, 16.0, 2.0, seed=7, num_repetitions=12),
+            LogSampler(n, max_value=float(np.abs(vector).max() + 1), seed=8,
+                       num_repetitions=12),
+            PolynomialSampler(n, PolynomialFunction.from_terms([(1.0, 3.0), (2.0, 1.0)]),
+                              seed=9, backend="oracle"),
+        ]
+        for sampler in samplers:
+            sampler.update_stream(stream)
+        successes = 0
+        for sampler in samplers:
+            drawn = None
+            for _ in range(4):
+                drawn = sampler.sample()
+                if drawn is not None:
+                    break
+            if drawn is not None:
+                successes += 1
+                assert drawn.index in support or vector[drawn.index] != 0
+        assert successes >= 6
+
+    def test_oracle_and_sketch_backends_agree_on_heavy_vector(self, heavy_vector,
+                                                              heavy_stream):
+        heavy_set = set(np.argsort(np.abs(heavy_vector))[-2:])
+        for backend, budget in (("oracle", 60), ("sketch", 6)):
+            hits, successes = 0, 0
+            for seed in range(budget):
+                sampler = PerfectLpSamplerInteger(
+                    len(heavy_vector), 3, seed=seed, backend=backend,
+                    num_l2_samples=40 if backend == "sketch" else None,
+                )
+                sampler.update_stream(heavy_stream)
+                drawn = sampler.sample()
+                if drawn is None:
+                    continue
+                successes += 1
+                hits += drawn.index in heavy_set
+            assert successes > 0
+            assert hits / successes > 0.9
+
+    def test_evaluation_harness_on_perfect_lp(self):
+        n = 20
+        vector = zipfian_frequency_vector(n, seed=10)
+        stream = stream_from_vector(vector, seed=11)
+        report = evaluate_sampler_distribution(
+            lambda seed: PerfectLpSamplerInteger(n, 3, seed=seed, backend="oracle",
+                                                 failure_probability=0.1),
+            stream,
+            lp_target_weights(vector, 3.0),
+            num_draws=500,
+        )
+        assert report.failure_rate < 0.1
+        assert report.tvd < 3 * report.tvd_noise_floor + 0.04
+
+
+class TestRightToBeForgottenPipeline:
+    def test_forgetting_heavy_users_changes_the_answer(self):
+        n = 48
+        vector = zipfian_frequency_vector(n, skew=1.4, seed=12)
+        stream = stream_from_vector(vector, seed=13)
+        retained = forget_request_set(vector, 0.1, seed=14, bias_heavy=True)
+        truth_retained = exact_subset_moment(vector, retained, 3.0)
+        truth_all = exact_subset_moment(vector, range(n), 3.0)
+        # Forgetting the heavy users removes most of the moment mass.
+        assert truth_retained < 0.6 * truth_all
+
+        alpha = max(0.05, truth_retained / truth_all * 0.5)
+        estimator = SubsetMomentEstimator(n, 3.0, epsilon=0.35, alpha=alpha, seed=15,
+                                          repetitions=120, estimator_exact_recovery=True)
+        estimator.update_stream(stream)
+        estimate = estimator.estimate(retained)
+        # The estimator must reflect that change: its answer stays well below
+        # the full moment (the qualitative claim), and within the accuracy
+        # band implied by the actual mass fraction of the retained set.
+        assert estimate < 0.6 * truth_all
+        relative_band = max(0.5, 2.0 / np.sqrt(120 * truth_retained / truth_all))
+        assert estimate == pytest.approx(truth_retained, rel=relative_band)
+
+    def test_algorithm5_beats_equal_space_countsketch_baseline(self):
+        # The adversarial case for the baseline: the query set avoids the
+        # heavy hitters, so powered point-query noise dominates its answer.
+        n = 128
+        rng = np.random.default_rng(16)
+        vector = rng.integers(1, 5, size=n).astype(float)
+        heavy = rng.choice(n, size=3, replace=False)
+        vector[heavy] = 60.0
+        stream = stream_from_vector(vector, seed=17)
+        query = [int(i) for i in range(n) if i not in set(heavy.tolist())]
+        truth = exact_subset_moment(vector, query, 3.0)
+
+        estimator = SubsetMomentEstimator(n, 3.0, epsilon=0.4, alpha=0.05, seed=18,
+                                          repetitions=100, estimator_exact_recovery=True)
+        estimator.update_stream(stream)
+        sampler_error = abs(estimator.estimate(query) - truth) / truth
+
+        baseline = CountSketchSubsetBaseline(n, 3.0, buckets=16, rows=3, seed=19)
+        baseline.update_stream(stream)
+        baseline_error = abs(baseline.estimate(query) - truth) / truth
+
+        assert sampler_error < baseline_error
+
+
+class TestSpaceScalingIntegration:
+    def test_approximate_sampler_space_exponent_matches_theory(self):
+        p = 4.0
+        measurements = measure_space(
+            lambda n: ApproximateLpSampler(n, p, epsilon=0.5, seed=0, duplication=16,
+                                           track_value=False, fp_repetitions=5),
+            [256, 1024, 4096, 16384],
+        )
+        exponent = fit_space_exponent(measurements)
+        # Theory: 1 - 2/p = 0.5; polylog factors and additive terms blur the
+        # fit, so accept a generous band around it that still excludes both
+        # constant space (0) and linear space (1).
+        assert 0.2 < exponent < 0.85
+
+    def test_polylog_samplers_stay_far_below_linear(self):
+        for n in (1024, 4096):
+            assert PerfectL2Sampler(n, seed=0).space_counters() < n * 40
+            assert PerfectL0Sampler(n, seed=0).space_counters() < n * 10

@@ -1,0 +1,109 @@
+"""Tests for the Section 4 hard distributions and sampling distinguisher."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.perfect_lp_general import make_perfect_lp_sampler
+from repro.exceptions import InvalidParameterError
+from repro.lower_bound.distinguisher import SamplingDistinguisher, distinguishing_accuracy
+from repro.lower_bound.hard_distributions import (
+    expected_lp_norm_gaussian,
+    gaussian_absolute_moment,
+    sample_alpha,
+    sample_beta,
+    sample_instance,
+    spike_mass_fraction,
+)
+from repro.samplers.exact import ExactLpSampler
+
+
+class TestHardDistributions:
+    def test_gaussian_absolute_moment_known_values(self):
+        # E|g| = sqrt(2/pi), E g^2 = 1, E|g|^4 = 3.
+        assert gaussian_absolute_moment(1.0) == pytest.approx(np.sqrt(2 / np.pi))
+        assert gaussian_absolute_moment(2.0) == pytest.approx(1.0)
+        assert gaussian_absolute_moment(4.0) == pytest.approx(3.0)
+
+    def test_expected_lp_norm_scaling(self):
+        # E_n = Theta(n^{1/p}).
+        p = 4.0
+        small = expected_lp_norm_gaussian(64, p)
+        large = expected_lp_norm_gaussian(64 * 16, p)
+        assert large / small == pytest.approx(16 ** (1 / p), rel=0.01)
+
+    def test_expected_lp_norm_matches_simulation(self):
+        rng = np.random.default_rng(0)
+        n, p = 256, 3.0
+        norms = [np.sum(np.abs(rng.standard_normal(n)) ** p) ** (1 / p) for _ in range(200)]
+        assert expected_lp_norm_gaussian(n, p) == pytest.approx(np.mean(norms), rel=0.05)
+
+    def test_alpha_has_no_spike(self):
+        instance = sample_alpha(128, seed=1)
+        assert not instance.is_beta
+        assert instance.spike_index is None
+        assert spike_mass_fraction(instance, 3.0) == 0.0
+
+    def test_beta_spike_dominates_moment(self):
+        instance = sample_beta(256, 3.0, spike_constant=4.0, seed=2)
+        assert instance.is_beta
+        assert spike_mass_fraction(instance, 3.0) > 0.9
+
+    def test_beta_invalid_constant(self):
+        with pytest.raises(InvalidParameterError):
+            sample_beta(16, 3.0, spike_constant=0.0)
+
+    def test_sample_instance_mixes(self):
+        kinds = {sample_instance(32, 3.0, seed=seed).is_beta for seed in range(20)}
+        assert kinds == {True, False}
+
+
+class TestDistinguisher:
+    def test_exact_sampler_distinguishes_well(self):
+        n, p = 64, 3.0
+        accuracy = distinguishing_accuracy(
+            lambda seed: ExactLpSampler(n, p, seed=seed),
+            n, p, trials=30, seed=0,
+        )
+        assert accuracy >= 0.8
+
+    def test_oracle_perfect_sampler_beats_theorem_threshold(self):
+        n, p = 64, 3.0
+        accuracy = distinguishing_accuracy(
+            lambda seed: make_perfect_lp_sampler(n, p, seed, backend="oracle",
+                                                 failure_probability=0.1),
+            n, p, trials=24, seed=1,
+        )
+        assert accuracy >= 0.6
+
+    def test_degenerate_sampler_fails_to_distinguish(self):
+        # A sampler that always reports coordinate 0 answers "beta" for both
+        # distributions and therefore sits at chance level (0.5).
+        class ConstantSampler:
+            def __init__(self, seed):
+                pass
+
+            def update(self, index, delta):
+                pass
+
+            def update_stream(self, stream):
+                pass
+
+            def sample(self):
+                from repro.samplers.base import Sample
+
+                return Sample(index=0)
+
+            def space_counters(self):
+                return 1
+
+        accuracy = distinguishing_accuracy(ConstantSampler, 64, 3.0, trials=30, seed=2)
+        assert accuracy <= 0.6
+
+    def test_verdict_structure(self):
+        n, p = 32, 3.0
+        distinguisher = SamplingDistinguisher(lambda seed: ExactLpSampler(n, p, seed=seed))
+        verdict = distinguisher.classify(sample_beta(n, p, seed=3), seed=0)
+        assert verdict.truth_beta
+        assert verdict.first_index is not None

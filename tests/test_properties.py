@@ -1,0 +1,143 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fast_update import DiscretizedDuplication
+from repro.core.polynomial_sampler import PolynomialFunction
+from repro.samplers.l0_sampler import PerfectL0Sampler
+from repro.sketch.countsketch import CountSketch
+from repro.sketch.sparse_recovery import KSparseRecovery
+from repro.streams.stream import TurnstileStream
+from repro.utils.rounding import round_down_to_power
+from repro.utils.stats import normalize_weights, total_variation_distance
+from repro.utils.taylor import taylor_power_estimate
+
+update_lists = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=15),
+              st.integers(min_value=-20, max_value=20)),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestCountSketchProperties:
+    @given(update_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_linearity_stream_plus_negated_stream_is_zero(self, pairs):
+        updates = [(i, float(d)) for i, d in pairs]
+        negated = [(i, -float(d)) for i, d in pairs]
+        sketch = CountSketch(16, buckets=8, rows=5, seed=0)
+        sketch.update_stream(TurnstileStream(16, updates))
+        sketch.update_stream(TurnstileStream(16, negated))
+        assert np.allclose(sketch.estimate_all(), 0.0, atol=1e-9)
+
+    @given(update_lists, st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_merge_equals_concatenation(self, pairs, seed):
+        updates = [(i, float(d)) for i, d in pairs]
+        half = len(updates) // 2
+        merged_a = CountSketch(16, 8, 5, seed=seed)
+        merged_b = CountSketch(16, 8, 5, seed=seed)
+        merged_a.update_stream(TurnstileStream(16, updates[:half]))
+        merged_b.update_stream(TurnstileStream(16, updates[half:]))
+        merged_a.merge(merged_b)
+        single = CountSketch(16, 8, 5, seed=seed)
+        single.update_stream(TurnstileStream(16, updates))
+        assert np.allclose(merged_a.estimate_all(), single.estimate_all())
+
+
+class TestSparseRecoveryProperties:
+    @given(st.dictionaries(st.integers(min_value=0, max_value=63),
+                           st.integers(min_value=-30, max_value=30).filter(lambda v: v != 0),
+                           min_size=0, max_size=6),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_recovery_matches_ground_truth(self, truth, seed):
+        structure = KSparseRecovery(64, k=8, seed=seed)
+        for index, value in truth.items():
+            structure.update(index, float(value))
+        items = structure.recover()
+        if items is None:
+            # Permitted failure mode, but it should be rare for <= 6 items.
+            return
+        assert {item.index: item.value for item in items} == pytest.approx(
+            {index: float(value) for index, value in truth.items()}
+        )
+
+
+class TestL0SamplerProperties:
+    @given(st.sets(st.integers(min_value=0, max_value=31), min_size=1, max_size=10),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_sample_always_in_support_with_exact_value(self, support, seed):
+        sampler = PerfectL0Sampler(32, sparsity=12, seed=seed)
+        values = {}
+        rng = np.random.default_rng(seed)
+        for index in support:
+            value = float(rng.integers(1, 50)) * (1 if rng.random() < 0.5 else -1)
+            values[index] = value
+            sampler.update(index, value)
+        drawn = sampler.sample()
+        if drawn is None:
+            return
+        assert drawn.index in support
+        assert drawn.exact_value == pytest.approx(values[drawn.index])
+
+
+class TestScalarHelpersProperties:
+    @given(st.floats(min_value=1e-3, max_value=1e3),
+           st.floats(min_value=0.05, max_value=0.9),
+           st.floats(min_value=-2.0, max_value=2.0))
+    @settings(max_examples=60, deadline=None)
+    def test_taylor_estimate_exact_inputs_match_power(self, x, eta, exponent):
+        estimates = [x] * 40
+        value = taylor_power_estimate(estimates, pivot=x * (1 + eta / 10), exponent=exponent,
+                                      num_terms=40)
+        assert value == pytest.approx(x**exponent, rel=1e-3)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=2, max_size=10)
+           .filter(lambda ws: sum(ws) > 0))
+    @settings(max_examples=60, deadline=None)
+    def test_normalized_weights_form_distribution(self, weights):
+        probs = normalize_weights(weights)
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.all(probs >= 0)
+        assert total_variation_distance(probs, probs) == 0.0
+
+    @given(st.floats(min_value=1e-6, max_value=1e6),
+           st.floats(min_value=0.01, max_value=2.0))
+    @settings(max_examples=60, deadline=None)
+    def test_rounding_idempotent(self, value, eta):
+        once = round_down_to_power(value, eta)
+        twice = round_down_to_power(once, eta)
+        assert twice == pytest.approx(once, rel=1e-9)
+
+
+class TestPolynomialFunctionProperties:
+    @given(st.lists(st.tuples(st.floats(min_value=0.1, max_value=5.0),
+                              st.floats(min_value=0.5, max_value=4.0)),
+                    min_size=1, max_size=4, unique_by=lambda t: round(t[1], 3)),
+           st.floats(min_value=-50.0, max_value=50.0))
+    @settings(max_examples=60, deadline=None)
+    def test_non_negative_and_even(self, terms, z):
+        g = PolynomialFunction.from_terms(terms)
+        assert g(z) >= 0.0
+        assert g(z) == pytest.approx(g(-z))
+
+
+class TestDuplicationProperties:
+    @given(st.integers(min_value=1, max_value=512),
+           st.floats(min_value=0.05, max_value=0.5),
+           st.floats(min_value=2.1, max_value=6.0))
+    @settings(max_examples=30, deadline=None)
+    def test_profile_conserves_copies_and_orders_max(self, duplication, eta, p):
+        dup = DiscretizedDuplication(p, eta=eta, duplication=duplication, seed=0)
+        profile = dup.profile(3)
+        assert profile.total_copies == duplication
+        if len(profile.residual_values):
+            assert profile.max_factor >= profile.residual_values.max() - 1e-12

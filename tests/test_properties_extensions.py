@@ -1,0 +1,168 @@
+"""Property-based tests (hypothesis) for the extension modules.
+
+These complement ``test_properties.py`` (which covers the original core) by
+checking invariants of the ``G``-function library, the insertion-only truly
+perfect samplers, the p-stable sketch, the distinct-count substrates, and
+the derandomisation PRGs on generated inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.derandomization import HashPRG
+from repro.functions import (
+    CapFunction,
+    HuberFunction,
+    LogFunction,
+    LpFunction,
+    PolynomialGFunction,
+    SoftCapFunction,
+)
+from repro.samplers import ExponentialRaceSampler, TrulyPerfectGSampler
+from repro.sketch import KMinimumValues, PStableSketch
+from repro.streams import insertion_only_stream, stream_from_vector
+
+# Vectors of small non-negative integers with at least one positive entry.
+nonneg_int_vectors = st.lists(
+    st.integers(min_value=0, max_value=30), min_size=2, max_size=16,
+).filter(lambda values: sum(values) > 0)
+
+# Vectors of signed integers with at least one non-zero entry.
+signed_int_vectors = st.lists(
+    st.integers(min_value=-30, max_value=30), min_size=2, max_size=16,
+).filter(lambda values: any(v != 0 for v in values))
+
+g_functions = st.sampled_from([
+    LpFunction(1.0),
+    LpFunction(2.5),
+    LogFunction(),
+    CapFunction(threshold=6.0, p=2.0),
+    HuberFunction(tau=2.0),
+    SoftCapFunction(tau=0.3),
+    PolynomialGFunction([0.5, 2.0], [1.0, 2.0]),
+])
+
+
+class TestGFunctionProperties:
+    @given(g=g_functions, values=signed_int_vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_target_distribution_is_a_pmf(self, g, values):
+        vector = np.asarray(values, dtype=float)
+        target = g.target_distribution(vector)
+        assert np.all(target >= 0)
+        assert target.sum() == pytest.approx(1.0)
+        # Zero coordinates never receive probability mass (G(0) = 0).
+        assert np.all(target[vector == 0.0] == 0.0)
+
+    @given(g=g_functions, values=signed_int_vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_upper_bound_dominates_generated_values(self, g, values):
+        vector = np.asarray(values, dtype=float)
+        bound = g.upper_bound(float(np.max(np.abs(vector))))
+        assert np.all(g.evaluate(vector) <= bound + 1e-9)
+
+    @given(values=signed_int_vectors, scale=st.integers(min_value=2, max_value=9))
+    @settings(max_examples=60, deadline=None)
+    def test_lp_distribution_is_scale_invariant(self, values, scale):
+        g = LpFunction(3.0)
+        vector = np.asarray(values, dtype=float)
+        assert g.target_distribution(vector) == pytest.approx(
+            g.target_distribution(scale * vector))
+
+
+class TestInsertionOnlySamplerProperties:
+    @given(values=nonneg_int_vectors, seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_race_sampler_returns_support_element(self, values, seed):
+        vector = np.asarray(values, dtype=float)
+        stream = insertion_only_stream(vector, seed=seed)
+        sampler = ExponentialRaceSampler(len(vector), LogFunction(), seed=seed + 1)
+        sampler.update_stream(stream)
+        drawn = sampler.sample()
+        assert drawn is not None
+        assert vector[drawn.index] > 0
+
+    @given(values=nonneg_int_vectors, seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_truly_perfect_sampler_never_reports_zero_coordinate(self, values, seed):
+        vector = np.asarray(values, dtype=float)
+        stream = insertion_only_stream(vector, seed=seed)
+        sampler = TrulyPerfectGSampler(len(vector), LogFunction(),
+                                       max_value=float(vector.max() + 1),
+                                       num_repetitions=32, seed=seed + 1)
+        sampler.update_stream(stream)
+        drawn = sampler.sample()
+        if drawn is not None:
+            assert vector[drawn.index] > 0
+            assert 0 <= drawn.metadata["acceptance_probability"] <= 1.0
+
+    @given(values=nonneg_int_vectors, seed=st.integers(min_value=0, max_value=1_000))
+    @settings(max_examples=30, deadline=None)
+    def test_race_merge_is_order_insensitive(self, values, seed):
+        vector = np.asarray(values, dtype=float)
+        split = len(vector) // 2
+        left = vector.copy()
+        left[split:] = 0.0
+        right = vector.copy()
+        right[:split] = 0.0
+        g = LogFunction()
+        a = ExponentialRaceSampler(len(vector), g, seed=seed)
+        b = ExponentialRaceSampler(len(vector), g, seed=seed + 1)
+        if left.sum() > 0:
+            a.update_stream(insertion_only_stream(left, seed=seed + 2))
+        if right.sum() > 0:
+            b.update_stream(insertion_only_stream(right, seed=seed + 3))
+        merged_ab = a.merge(b)
+        merged_ba = b.merge(a)
+        assert merged_ab.sample().index == merged_ba.sample().index
+
+
+class TestSketchProperties:
+    @given(values=signed_int_vectors, seed=st.integers(min_value=0, max_value=1_000))
+    @settings(max_examples=25, deadline=None)
+    def test_pstable_merge_matches_single_pass(self, values, seed):
+        vector = np.asarray(values, dtype=float)
+        n = len(vector)
+        split = n // 2
+        left = vector.copy()
+        left[split:] = 0.0
+        right = vector.copy()
+        right[:split] = 0.0
+        a = PStableSketch(n, p=1.0, num_rows=16, seed=seed)
+        b = PStableSketch(n, p=1.0, num_rows=16, seed=seed)
+        whole = PStableSketch(n, p=1.0, num_rows=16, seed=seed)
+        a.update_stream(stream_from_vector(left, seed=seed + 1))
+        b.update_stream(stream_from_vector(right, seed=seed + 2))
+        whole.update_stream(stream_from_vector(vector, seed=seed + 3))
+        merged = a.merge(b)
+        assert merged.estimate_norm() == pytest.approx(whole.estimate_norm(), rel=1e-9)
+
+    @given(indices=st.lists(st.integers(min_value=0, max_value=199), min_size=1,
+                            max_size=150),
+           seed=st.integers(min_value=0, max_value=1_000))
+    @settings(max_examples=40, deadline=None)
+    def test_kmv_is_exact_below_capacity(self, indices, seed):
+        sketch = KMinimumValues(200, k=256, seed=seed)
+        for index in indices:
+            sketch.update(index)
+        assert sketch.estimate() == pytest.approx(len(set(indices)))
+
+
+class TestPRGProperties:
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+           keys=st.lists(st.integers(min_value=0, max_value=1_000), min_size=1, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_hash_prg_is_a_pure_function_of_seed_and_key(self, seed, keys):
+        a = HashPRG(seed_bits=64, seed=seed)
+        b = HashPRG(seed_bits=64, seed=seed)
+        assert a.cell(*keys) == b.cell(*keys)
+        assert 0.0 <= a.uniform(*keys) < 1.0
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_hash_prg_different_keys_differ(self, seed):
+        prg = HashPRG(seed_bits=64, seed=seed)
+        cells = {prg.cell("k", counter) for counter in range(32)}
+        assert len(cells) == 32

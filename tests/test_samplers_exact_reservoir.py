@@ -1,0 +1,115 @@
+"""Tests for the exact oracle samplers and reservoir sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError, StreamError
+from repro.samplers.exact import ExactGSampler, ExactLpSampler
+from repro.samplers.reservoir import (
+    KReservoirL1Sampler,
+    ReservoirL1Sampler,
+    reservoir_sample_indices,
+)
+from repro.streams.generators import insertion_only_stream
+from repro.utils.stats import total_variation_distance
+
+
+class TestExactSamplers:
+    def test_target_distribution_lp(self, small_vector, small_stream):
+        sampler = ExactLpSampler(len(small_vector), p=3.0, seed=0)
+        sampler.update_stream(small_stream)
+        target = sampler.target_distribution()
+        expected = np.abs(small_vector) ** 3
+        expected = expected / expected.sum()
+        assert np.allclose(target, expected)
+
+    def test_l0_special_case(self, small_vector, small_stream):
+        sampler = ExactLpSampler(len(small_vector), p=0.0, seed=0)
+        sampler.update_stream(small_stream)
+        target = sampler.target_distribution()
+        support = (small_vector != 0).astype(float)
+        assert np.allclose(target, support / support.sum())
+
+    def test_sample_returns_exact_value(self, small_vector, small_stream):
+        sampler = ExactLpSampler(len(small_vector), p=2.0, seed=1)
+        sampler.update_stream(small_stream)
+        draw = sampler.sample()
+        assert draw.exact_value == pytest.approx(small_vector[draw.index])
+
+    def test_empirical_distribution_matches_target(self, small_vector, small_stream):
+        sampler = ExactLpSampler(len(small_vector), p=2.0, seed=2)
+        sampler.update_stream(small_stream)
+        target = sampler.target_distribution()
+        counts = np.zeros(len(small_vector))
+        for _ in range(4000):
+            counts[sampler.sample().index] += 1
+        assert total_variation_distance(counts / counts.sum(), target) < 0.05
+
+    def test_negative_g_rejected(self):
+        sampler = ExactGSampler(4, g=lambda z: -1.0, seed=3)
+        sampler.update(0, 1.0)
+        with pytest.raises(InvalidParameterError):
+            sampler.sample()
+
+    def test_zero_mass_rejected(self):
+        sampler = ExactLpSampler(4, p=2.0, seed=4)
+        sampler.update(0, 1.0)
+        sampler.update(0, -1.0)
+        with pytest.raises(InvalidParameterError):
+            sampler.sample()
+
+    def test_out_of_range_update(self):
+        sampler = ExactLpSampler(4, p=2.0, seed=5)
+        with pytest.raises(InvalidParameterError):
+            sampler.update(9, 1.0)
+
+    def test_space_is_linear(self):
+        assert ExactLpSampler(37, p=2.0).space_counters() == 37
+
+
+class TestReservoirSampler:
+    def test_rejects_deletions(self):
+        sampler = ReservoirL1Sampler(8, seed=0)
+        with pytest.raises(StreamError):
+            sampler.update(1, -1.0)
+
+    def test_empty_returns_none(self):
+        assert ReservoirL1Sampler(8, seed=1).sample() is None
+
+    def test_single_item(self):
+        sampler = ReservoirL1Sampler(8, seed=2)
+        sampler.update(3, 5.0)
+        assert sampler.sample().index == 3
+
+    def test_l1_distribution(self):
+        values = np.array([10.0, 1.0, 5.0, 4.0])
+        target = values / values.sum()
+        counts = np.zeros(4)
+        for seed in range(3000):
+            sampler = ReservoirL1Sampler(4, seed=seed)
+            stream = insertion_only_stream(values, seed=seed)
+            sampler.update_stream(stream)
+            counts[sampler.sample().index] += 1
+        assert total_variation_distance(counts / counts.sum(), target) < 0.05
+
+    def test_space_constant(self):
+        assert ReservoirL1Sampler(1000, seed=3).space_counters() == 3
+
+    def test_k_reservoir_returns_k_samples(self):
+        sampler = KReservoirL1Sampler(8, k=5, seed=4)
+        stream = insertion_only_stream(np.arange(1.0, 9.0), seed=5)
+        sampler.update_stream(stream)
+        samples = sampler.samples()
+        assert len(samples) == 5
+        assert all(s is not None for s in samples)
+
+    def test_offline_helper_distribution(self):
+        values = np.array([8.0, 2.0])
+        draws = reservoir_sample_indices(values, 5000, seed=6)
+        assert np.mean(draws == 0) == pytest.approx(0.8, abs=0.03)
+
+    def test_offline_helper_rejects_negative(self):
+        with pytest.raises(StreamError):
+            reservoir_sample_indices(np.array([-1.0, 1.0]), 10)

@@ -1,0 +1,138 @@
+"""Tests for the JW18-style perfect L_p sampler (p <= 2) substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.samplers.jw18_lp_sampler import JW18LpSampler, PerfectL2Sampler
+from repro.streams.generators import stream_from_vector
+from repro.utils.stats import expected_tvd_noise_floor, total_variation_distance
+
+
+class TestConstruction:
+    def test_p_above_two_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            JW18LpSampler(16, 2.5)
+
+    def test_p_zero_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            JW18LpSampler(16, 0.0)
+
+    def test_empty_stream_returns_none(self):
+        assert PerfectL2Sampler(16, seed=0).sample() is None
+
+    def test_space_counters_positive_and_sublinear_shape(self):
+        # polylog-space sampler: counters should grow far slower than n.
+        small = PerfectL2Sampler(64, seed=1).space_counters()
+        large = PerfectL2Sampler(4096, seed=1).space_counters()
+        assert large < 64 * small
+        assert small > 0
+
+
+class TestSketchedSampling:
+    def test_sample_index_in_range(self, small_vector, small_stream):
+        sampler = PerfectL2Sampler(len(small_vector), seed=2)
+        sampler.update_stream(small_stream)
+        drawn = sampler.sample()
+        assert drawn is None or 0 <= drawn.index < len(small_vector)
+
+    def test_heavy_coordinate_dominates_draws(self, heavy_vector, heavy_stream):
+        # Two coordinates carry ~99.9% of the L_2 mass; nearly every
+        # successful draw must land on one of them.
+        heavy_set = set(np.argsort(np.abs(heavy_vector))[-2:])
+        hits, successes = 0, 0
+        for seed in range(40):
+            sampler = PerfectL2Sampler(len(heavy_vector), seed=seed)
+            sampler.update_stream(heavy_stream)
+            drawn = sampler.sample()
+            if drawn is None:
+                continue
+            successes += 1
+            if drawn.index in heavy_set:
+                hits += 1
+        assert successes >= 20
+        assert hits / successes > 0.9
+
+    def test_value_estimate_accuracy_on_heavy_item(self, heavy_vector, heavy_stream):
+        relative_errors = []
+        for seed in range(20):
+            sampler = PerfectL2Sampler(len(heavy_vector), seed=seed)
+            sampler.update_stream(heavy_stream)
+            drawn = sampler.sample()
+            if drawn is None or abs(heavy_vector[drawn.index]) < 10:
+                continue
+            relative_errors.append(
+                abs(drawn.value_estimate - heavy_vector[drawn.index])
+                / abs(heavy_vector[drawn.index])
+            )
+        assert relative_errors, "no successful draws on heavy items"
+        assert np.median(relative_errors) < 0.15
+
+    def test_independent_value_estimates_shape(self, small_vector, small_stream):
+        sampler = PerfectL2Sampler(len(small_vector), seed=3)
+        sampler.update_stream(small_stream)
+        estimates = sampler.independent_value_estimates(0, 4)
+        assert estimates.shape == (4,)
+
+    def test_gap_test_can_fail(self):
+        # A perfectly flat vector gives no gap, so the statistical test
+        # should reject at least sometimes.
+        n = 64
+        vector = np.ones(n)
+        stream = stream_from_vector(vector, seed=1)
+        failures = 0
+        for seed in range(30):
+            sampler = PerfectL2Sampler(n, seed=seed)
+            sampler.update_stream(stream)
+            if sampler.sample() is None:
+                failures += 1
+        assert failures > 0
+
+    def test_disabling_gap_test_always_returns(self, small_vector, small_stream):
+        for seed in range(10):
+            sampler = PerfectL2Sampler(len(small_vector), seed=seed, gap_test=False)
+            sampler.update_stream(small_stream)
+            assert sampler.sample() is not None
+
+    def test_update_stream_matches_pointwise_updates(self, small_vector, small_stream):
+        a = PerfectL2Sampler(len(small_vector), seed=4)
+        b = PerfectL2Sampler(len(small_vector), seed=4)
+        a.update_stream(small_stream)
+        for update in small_stream:
+            b.update(update.index, update.delta)
+        assert np.allclose(a.scaled_vector_estimate(), b.scaled_vector_estimate())
+
+
+class TestOracleDistribution:
+    @pytest.mark.parametrize("p", [1.0, 2.0])
+    def test_distribution_matches_lp_target(self, p):
+        # Oracle recovery isolates the exponential-scaling distribution
+        # (Lemma 1.16): the empirical law over many independent samplers
+        # must match |x_i|^p / ||x||_p^p.
+        n = 20
+        rng = np.random.default_rng(5)
+        vector = rng.integers(1, 30, size=n).astype(float)
+        vector[3] *= -1
+        stream = stream_from_vector(vector, seed=6)
+        target = np.abs(vector) ** p
+        target = target / target.sum()
+        draws = 1500
+        counts = np.zeros(n)
+        for seed in range(draws):
+            sampler = JW18LpSampler(n, p, seed=seed, exact_recovery=True)
+            sampler.update_stream(stream)
+            drawn = sampler.sample()
+            assert drawn is not None
+            counts[drawn.index] += 1
+        tvd = total_variation_distance(counts / counts.sum(), target)
+        floor = expected_tvd_noise_floor(target, draws)
+        assert tvd < 2.5 * floor + 0.02
+
+    def test_oracle_value_estimates_are_exact(self, small_vector, small_stream):
+        sampler = PerfectL2Sampler(len(small_vector), seed=7, exact_recovery=True)
+        sampler.update_stream(small_stream)
+        drawn = sampler.sample()
+        assert drawn is not None
+        assert drawn.value_estimate == pytest.approx(small_vector[drawn.index])

@@ -1,0 +1,111 @@
+"""Tests for the perfect L_0 sampler (Theorem 5.4 substrate)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.exceptions import InvalidParameterError
+from repro.samplers.l0_sampler import PerfectL0Sampler
+from repro.streams.generators import (
+    stream_from_vector,
+    turnstile_stream_with_cancellations,
+)
+
+
+class TestPerfectL0SamplerBasics:
+    def test_empty_stream_returns_none(self):
+        assert PerfectL0Sampler(16, seed=0).sample() is None
+
+    def test_zero_vector_returns_none(self):
+        sampler = PerfectL0Sampler(16, seed=1)
+        sampler.update(3, 4.0)
+        sampler.update(3, -4.0)
+        assert sampler.sample() is None
+
+    def test_single_item_recovered_exactly(self):
+        sampler = PerfectL0Sampler(16, seed=2)
+        sampler.update(7, -9.0)
+        draw = sampler.sample()
+        assert draw is not None
+        assert draw.index == 7
+        assert draw.exact_value == pytest.approx(-9.0)
+
+    def test_returned_value_is_exact(self, small_vector, small_stream):
+        sampler = PerfectL0Sampler(len(small_vector), seed=3)
+        sampler.update_stream(small_stream)
+        draw = sampler.sample()
+        assert draw is not None
+        assert draw.exact_value == pytest.approx(small_vector[draw.index])
+
+    def test_sample_lies_in_support(self, small_vector, small_stream):
+        sampler = PerfectL0Sampler(len(small_vector), seed=4)
+        sampler.update_stream(small_stream)
+        draw = sampler.sample()
+        assert draw is not None
+        assert small_vector[draw.index] != 0
+
+    def test_out_of_range_update(self):
+        sampler = PerfectL0Sampler(8, seed=5)
+        with pytest.raises(InvalidParameterError):
+            sampler.update(8, 1.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(InvalidParameterError):
+            PerfectL0Sampler(0)
+        with pytest.raises(InvalidParameterError):
+            PerfectL0Sampler(8, sparsity=0)
+
+    def test_space_counters_polylog_not_linear(self):
+        small = PerfectL0Sampler(64, seed=6).space_counters()
+        large = PerfectL0Sampler(4096, seed=6).space_counters()
+        # Space grows only logarithmically with the universe (more levels),
+        # far slower than the 64x universe growth.
+        assert large < 3 * small
+
+    def test_support_estimate_small_support(self):
+        sampler = PerfectL0Sampler(64, sparsity=8, seed=7)
+        for index in [1, 5, 9]:
+            sampler.update(index, 2.0)
+        support = sampler.support_estimate()
+        assert support is not None
+        assert sorted(support) == [1, 5, 9]
+
+
+class TestPerfectL0SamplerDistribution:
+    def test_uniform_over_support(self):
+        # Support of size 8 with wildly different magnitudes; an L_0 sampler
+        # must ignore the magnitudes entirely.
+        n = 64
+        vector = np.zeros(n)
+        support = [2, 9, 17, 23, 31, 40, 51, 60]
+        for rank, index in enumerate(support):
+            vector[index] = 10.0 ** (rank % 4) * (1 if rank % 2 == 0 else -1)
+        stream = stream_from_vector(vector, seed=0)
+        counts = np.zeros(n)
+        failures = 0
+        draws = 300
+        for seed in range(draws):
+            sampler = PerfectL0Sampler(n, sparsity=10, seed=seed)
+            sampler.update_stream(stream)
+            drawn = sampler.sample()
+            if drawn is None:
+                failures += 1
+            else:
+                counts[drawn.index] += 1
+        assert failures < draws * 0.1
+        observed = counts[support]
+        _, p_value = stats.chisquare(observed)
+        assert p_value > 1e-4
+
+    def test_survives_heavy_cancellation(self, cancellation_vector, cancellation_stream):
+        support = set(np.flatnonzero(cancellation_vector))
+        hits = 0
+        for seed in range(30):
+            sampler = PerfectL0Sampler(len(cancellation_vector), seed=seed)
+            sampler.update_stream(cancellation_stream)
+            drawn = sampler.sample()
+            if drawn is not None and drawn.index in support:
+                hits += 1
+        assert hits >= 27

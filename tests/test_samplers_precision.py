@@ -1,0 +1,65 @@
+"""Tests for the precision-sampling baseline (approximate L_p, p <= 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.samplers.precision_sampling import PrecisionLpSampler
+
+
+class TestPrecisionSampler:
+    def test_rejects_p_above_two(self):
+        with pytest.raises(InvalidParameterError):
+            PrecisionLpSampler(16, 3.0)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(InvalidParameterError):
+            PrecisionLpSampler(16, 2.0, epsilon=0.0)
+
+    def test_empty_returns_none(self):
+        assert PrecisionLpSampler(16, 2.0, seed=0).sample() is None
+
+    def test_sample_in_range(self, small_vector, small_stream):
+        sampler = PrecisionLpSampler(len(small_vector), 2.0, seed=1)
+        sampler.update_stream(small_stream)
+        drawn = sampler.sample()
+        assert drawn is None or 0 <= drawn.index < len(small_vector)
+
+    def test_heavy_item_favoured(self, heavy_vector, heavy_stream):
+        heavy_set = set(np.argsort(np.abs(heavy_vector))[-2:])
+        hits, successes = 0, 0
+        for seed in range(60):
+            sampler = PrecisionLpSampler(len(heavy_vector), 2.0, epsilon=0.3, seed=seed)
+            sampler.update_stream(heavy_stream)
+            drawn = sampler.sample()
+            if drawn is None:
+                continue
+            successes += 1
+            hits += drawn.index in heavy_set
+        assert successes > 10
+        assert hits / successes > 0.8
+
+    def test_smaller_epsilon_uses_more_space(self):
+        coarse = PrecisionLpSampler(256, 2.0, epsilon=0.5, seed=2).space_counters()
+        fine = PrecisionLpSampler(256, 2.0, epsilon=0.05, seed=2).space_counters()
+        assert fine > coarse
+
+    def test_update_stream_matches_updates(self, small_vector, small_stream):
+        a = PrecisionLpSampler(len(small_vector), 2.0, seed=3)
+        b = PrecisionLpSampler(len(small_vector), 2.0, seed=3)
+        a.update_stream(small_stream)
+        for update in small_stream:
+            b.update(update.index, update.delta)
+        drawn_a = a.sample()
+        drawn_b = b.sample()
+        if drawn_a is None or drawn_b is None:
+            assert (drawn_a is None) == (drawn_b is None)
+        else:
+            assert drawn_a.index == drawn_b.index
+
+    def test_out_of_range_update(self):
+        sampler = PrecisionLpSampler(8, 2.0, seed=4)
+        with pytest.raises(InvalidParameterError):
+            sampler.update(8, 1.0)

@@ -1,0 +1,122 @@
+"""Tests for the AMS F_2 sketch and the CountMin sketch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError, SamplerStateError
+from repro.sketch.ams import AMSSketch
+from repro.sketch.countmin import CountMin
+from repro.streams.generators import stream_from_vector, zipfian_frequency_vector
+
+
+class TestAMS:
+    def test_query_before_update_rejected(self):
+        sketch = AMSSketch(8, seed=0)
+        with pytest.raises(SamplerStateError):
+            sketch.estimate_f2()
+
+    def test_single_item(self):
+        sketch = AMSSketch(8, width=8, depth=3, seed=0)
+        sketch.update(3, 5.0)
+        assert sketch.estimate_f2() == pytest.approx(25.0)
+
+    def test_constant_factor_accuracy(self, small_vector, small_stream):
+        sketch = AMSSketch(len(small_vector), width=24, depth=5, seed=1)
+        sketch.update_stream(small_stream)
+        truth = float(np.sum(small_vector**2))
+        assert 0.5 * truth <= sketch.estimate_f2() <= 2.0 * truth
+
+    def test_update_vector_matches_stream(self, small_vector, small_stream):
+        a = AMSSketch(len(small_vector), width=8, depth=3, seed=2)
+        b = AMSSketch(len(small_vector), width=8, depth=3, seed=2)
+        a.update_stream(small_stream)
+        b.update_vector(small_vector)
+        assert a.estimate_f2() == pytest.approx(b.estimate_f2(), rel=1e-9)
+
+    def test_unbiasedness_over_seeds(self):
+        vector = zipfian_frequency_vector(64, seed=3)
+        truth = float(np.sum(vector**2))
+        estimates = []
+        for seed in range(40):
+            sketch = AMSSketch(64, width=8, depth=1, seed=seed)
+            sketch.update_vector(vector)
+            estimates.append(sketch.estimate_f2())
+        assert np.mean(estimates) == pytest.approx(truth, rel=0.2)
+
+    def test_cancellation_handled(self, cancellation_vector, cancellation_stream):
+        sketch = AMSSketch(len(cancellation_vector), width=24, depth=5, seed=4)
+        sketch.update_stream(cancellation_stream)
+        truth = float(np.sum(cancellation_vector**2))
+        assert 0.4 * truth <= sketch.estimate_f2() <= 2.5 * truth
+
+    def test_l2_estimate_is_sqrt(self, small_vector, small_stream):
+        sketch = AMSSketch(len(small_vector), width=16, depth=5, seed=5)
+        sketch.update_stream(small_stream)
+        assert sketch.estimate_l2() == pytest.approx(np.sqrt(sketch.estimate_f2()))
+
+    def test_out_of_range_update(self):
+        sketch = AMSSketch(4, seed=6)
+        with pytest.raises(InvalidParameterError):
+            sketch.update(9, 1.0)
+
+    def test_space_counters(self):
+        assert AMSSketch(8, width=10, depth=3, seed=7).space_counters() == 30
+
+
+class TestCountMin:
+    def test_single_item_exact(self):
+        sketch = CountMin(16, buckets=8, rows=4, seed=0)
+        sketch.update(2, 5.0)
+        assert sketch.estimate(2) == pytest.approx(5.0)
+
+    def test_conservative_overestimates_on_insertions(self):
+        n = 64
+        vector = np.abs(zipfian_frequency_vector(n, seed=1))
+        sketch = CountMin(n, buckets=16, rows=5, seed=2)
+        for i, value in enumerate(vector):
+            sketch.update(i, float(value))
+        estimates = sketch.estimate_all()
+        assert np.all(estimates >= vector - 1e-9)
+
+    def test_error_bounded_by_l1(self):
+        n = 64
+        vector = np.abs(zipfian_frequency_vector(n, seed=3))
+        buckets = 32
+        sketch = CountMin(n, buckets=buckets, rows=7, seed=4)
+        for i, value in enumerate(vector):
+            sketch.update(i, float(value))
+        errors = sketch.estimate_all() - vector
+        bound = 4.0 * vector.sum() / buckets
+        assert np.mean(errors <= bound) > 0.9
+
+    def test_median_mode_handles_negative_updates(self):
+        sketch = CountMin(16, buckets=16, rows=5, seed=5, conservative=False)
+        sketch.update(2, 5.0)
+        sketch.update(2, -3.0)
+        assert sketch.estimate(2) == pytest.approx(2.0, abs=1.0)
+
+    def test_update_stream(self, small_vector, small_stream):
+        sketch = CountMin(len(small_vector), buckets=32, rows=5, seed=6,
+                          conservative=False)
+        sketch.update_stream(small_stream)
+        heavy = int(np.argmax(np.abs(small_vector)))
+        assert sketch.estimate(heavy) == pytest.approx(small_vector[heavy], rel=0.5)
+
+    def test_heavy_hitters(self):
+        n = 64
+        vector = np.ones(n)
+        vector[10] = 300.0
+        sketch = CountMin(n, buckets=16, rows=5, seed=7)
+        for i, value in enumerate(vector):
+            sketch.update(i, float(value))
+        assert 10 in sketch.heavy_hitters(threshold=150.0)
+
+    def test_out_of_range(self):
+        sketch = CountMin(4, 4, 2, seed=8)
+        with pytest.raises(InvalidParameterError):
+            sketch.update(5, 1.0)
+
+    def test_space_counters(self):
+        assert CountMin(16, buckets=8, rows=4, seed=9).space_counters() == 32

@@ -1,0 +1,140 @@
+"""Tests for the exponential-scaling machinery (Lemmas 1.16-1.19)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.sketch.exponential import (
+    ExponentialScaler,
+    anti_rank_vector,
+    argmax_scaled,
+    heaviness_ratio,
+    max_stability_maximum,
+    sample_exponentials,
+    scale_vector,
+    top_two_gap,
+)
+
+
+class TestScaling:
+    def test_scale_vector_shape(self, rng):
+        vector = np.array([1.0, 2.0, 3.0])
+        exponentials = sample_exponentials(3, rng)
+        scaled = scale_vector(vector, exponentials, p=2.0)
+        assert scaled.shape == (3,)
+
+    def test_scale_vector_shape_mismatch(self, rng):
+        with pytest.raises(InvalidParameterError):
+            scale_vector(np.ones(3), np.ones(2), 2.0)
+
+    def test_scale_vector_invalid_p(self, rng):
+        with pytest.raises(InvalidParameterError):
+            scale_vector(np.ones(3), np.ones(3), 0.0)
+
+    def test_scale_vector_nonpositive_exponential(self):
+        with pytest.raises(InvalidParameterError):
+            scale_vector(np.ones(2), np.array([1.0, 0.0]), 2.0)
+
+    def test_anti_rank_sorted_by_magnitude(self):
+        scaled = np.array([1.0, -7.0, 3.0])
+        ranks = anti_rank_vector(scaled)
+        assert ranks.tolist() == [1, 2, 0]
+
+    def test_top_two_gap(self):
+        index, gap = top_two_gap(np.array([1.0, 5.0, -2.0]))
+        assert index == 1
+        assert gap == pytest.approx(3.0)
+
+    def test_heaviness_ratio(self):
+        assert heaviness_ratio(np.array([3.0, 4.0])) == pytest.approx(16.0 / 25.0)
+
+    def test_heaviness_ratio_zero_vector(self):
+        with pytest.raises(InvalidParameterError):
+            heaviness_ratio(np.zeros(3))
+
+
+class TestMaxStabilityDistribution:
+    def test_argmax_distribution_matches_lemma_1_16(self, rng):
+        # Pr[argmax |x_i / e_i^{1/p}| = i] should equal |x_i|^p / ||x||_p^p.
+        vector = np.array([4.0, 1.0, 2.0, 0.0])
+        p = 3.0
+        target = np.abs(vector) ** p / np.sum(np.abs(vector) ** p)
+        counts = np.zeros(4)
+        trials = 4000
+        for _ in range(trials):
+            exponentials = sample_exponentials(4, rng)
+            counts[argmax_scaled(vector, exponentials, p)] += 1
+        empirical = counts / trials
+        assert np.abs(empirical - target).max() < 0.03
+
+    def test_maximum_distributed_as_norm_over_exponential(self, rng):
+        # max_i |z_i| = ||x||_p / e^{1/p}; hence (||x||_p / max)^p ~ Exp(1).
+        vector = np.array([3.0, 5.0, 1.0, 2.0])
+        p = 4.0
+        norm = np.sum(np.abs(vector) ** p) ** (1.0 / p)
+        draws = np.array([max_stability_maximum(vector, p, rng) for _ in range(3000)])
+        implied_exponentials = (norm / draws) ** p
+        assert np.mean(implied_exponentials) == pytest.approx(1.0, abs=0.1)
+
+    def test_heaviness_lemma_1_17(self, rng):
+        # The maximum scaled coordinate (p=2) is 1/C log^2 n heavy w.h.p.
+        n = 256
+        vector = np.abs(rng.standard_normal(n)) + 0.1
+        failures = 0
+        for _ in range(50):
+            exponentials = sample_exponentials(n, rng)
+            scaled = scale_vector(vector, exponentials, p=2.0)
+            if heaviness_ratio(scaled) < 1.0 / (4 * np.log2(n) ** 2):
+                failures += 1
+        assert failures <= 2
+
+
+class TestExponentialScaler:
+    def test_multiplier_deterministic_per_coordinate(self):
+        scaler = ExponentialScaler(8, p=3.0, seed=0)
+        assert scaler.multiplier(3) == scaler.multiplier(3)
+
+    def test_different_coordinates_differ(self):
+        scaler = ExponentialScaler(8, p=3.0, seed=0)
+        assert scaler.multiplier(1) != scaler.multiplier(2)
+
+    def test_out_of_range(self):
+        scaler = ExponentialScaler(8, p=3.0, seed=0)
+        with pytest.raises(InvalidParameterError):
+            scaler.exponential(9)
+
+    def test_duplication_shifts_exponential_distribution(self):
+        # With duplication K the per-coordinate exponential is Exp(K), so its
+        # mean is 1/K.
+        single = ExponentialScaler(4000, p=2.0, seed=1, duplication=1)
+        boosted = ExponentialScaler(4000, p=2.0, seed=2, duplication=16)
+        single_mean = np.mean([single.exponential(i) for i in range(2000)])
+        boosted_mean = np.mean([boosted.exponential(i) for i in range(2000)])
+        assert single_mean == pytest.approx(1.0, abs=0.1)
+        assert boosted_mean == pytest.approx(1.0 / 16.0, abs=0.02)
+
+    def test_scale_full_vector(self):
+        scaler = ExponentialScaler(4, p=2.0, seed=3)
+        vector = np.array([1.0, 2.0, 3.0, 4.0])
+        scaled = scaler.scale_full_vector(vector)
+        factors = scaler.multipliers(np.arange(4))
+        assert np.allclose(scaled, vector * factors)
+
+    def test_residual_multipliers_below_max(self):
+        scaler = ExponentialScaler(4, p=2.0, seed=4, duplication=8)
+        maximum = scaler.multiplier(2)
+        residuals = scaler.residual_multipliers(2, 20)
+        assert len(residuals) == 20
+        assert np.all(residuals <= maximum + 1e-12)
+
+    def test_residual_multipliers_empty(self):
+        scaler = ExponentialScaler(4, p=2.0, seed=5)
+        assert len(scaler.residual_multipliers(1, 0)) == 0
+
+    def test_invalid_construction(self):
+        with pytest.raises(InvalidParameterError):
+            ExponentialScaler(4, p=0.0)
+        with pytest.raises(InvalidParameterError):
+            ExponentialScaler(0, p=2.0)

@@ -1,0 +1,117 @@
+"""Tests for the F_p estimators (Theorem 5.1 contract)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError, SamplerStateError
+from repro.sketch.fp_estimator import FpEstimator, MaxStabilityFpEstimator
+from repro.streams.generators import stream_from_vector, zipfian_frequency_vector
+
+
+def exact_fp(vector: np.ndarray, p: float) -> float:
+    return float(np.sum(np.abs(vector) ** p))
+
+
+class TestMaxStabilityFpEstimator:
+    def test_query_before_update_rejected(self):
+        estimator = MaxStabilityFpEstimator(8, 3.0, seed=0)
+        with pytest.raises(SamplerStateError):
+            estimator.estimate()
+
+    def test_repetition_minimum(self):
+        with pytest.raises(InvalidParameterError):
+            MaxStabilityFpEstimator(8, 3.0, repetitions=2)
+
+    def test_exact_recovery_single_run_reasonable(self, small_vector, small_stream):
+        estimator = MaxStabilityFpEstimator(len(small_vector), 3.0, repetitions=80,
+                                            seed=1, exact_recovery=True)
+        estimator.update_stream(small_stream)
+        truth = exact_fp(small_vector, 3.0)
+        assert 0.5 * truth <= estimator.estimate() <= 2.0 * truth
+
+    def test_unbiasedness_exact_recovery(self):
+        # E[F_hat_p] = F_p with relative variance 1/(k-2); averaging over
+        # seeds should concentrate tightly around the truth.
+        vector = zipfian_frequency_vector(48, seed=2)
+        stream = stream_from_vector(vector, seed=3)
+        truth = exact_fp(vector, 3.0)
+        estimates = []
+        for seed in range(60):
+            estimator = MaxStabilityFpEstimator(48, 3.0, repetitions=30, seed=seed,
+                                                exact_recovery=True)
+            estimator.update_stream(stream)
+            estimates.append(estimator.estimate())
+        assert np.mean(estimates) == pytest.approx(truth, rel=0.15)
+
+    def test_variance_bound_matches_theory(self):
+        vector = zipfian_frequency_vector(32, seed=4)
+        stream = stream_from_vector(vector, seed=5)
+        truth = exact_fp(vector, 3.0)
+        estimates = []
+        repetitions = 40
+        for seed in range(80):
+            estimator = MaxStabilityFpEstimator(32, 3.0, repetitions=repetitions, seed=seed,
+                                                exact_recovery=True)
+            estimator.update_stream(stream)
+            estimates.append(estimator.estimate())
+        relative_variance = np.var(estimates) / truth**2
+        # Theory: 1/(k-2) ~ 0.026; allow generous slack for sampling noise.
+        assert relative_variance < 4.0 / (repetitions - 2)
+
+    def test_sketched_recovery_constant_factor(self, heavy_vector, heavy_stream):
+        estimator = MaxStabilityFpEstimator(len(heavy_vector), 3.0, repetitions=40, seed=6)
+        estimator.update_stream(heavy_stream)
+        truth = exact_fp(heavy_vector, 3.0)
+        assert 0.3 * truth <= estimator.estimate() <= 3.0 * truth
+
+    def test_handles_cancellations(self, cancellation_vector, cancellation_stream):
+        estimator = MaxStabilityFpEstimator(len(cancellation_vector), 3.0, repetitions=40,
+                                            seed=7, exact_recovery=True)
+        estimator.update_stream(cancellation_stream)
+        truth = exact_fp(cancellation_vector, 3.0)
+        assert 0.3 * truth <= estimator.estimate() <= 3.0 * truth
+
+    def test_zero_vector_reports_zero(self):
+        estimator = MaxStabilityFpEstimator(8, 3.0, repetitions=10, seed=8,
+                                            exact_recovery=True)
+        estimator.update(0, 5.0)
+        estimator.update(0, -5.0)
+        assert estimator.estimate() == pytest.approx(0.0)
+
+    def test_out_of_range_update(self):
+        estimator = MaxStabilityFpEstimator(4, 3.0, seed=9)
+        with pytest.raises(InvalidParameterError):
+            estimator.update(4, 1.0)
+
+    def test_space_counters_positive(self):
+        estimator = MaxStabilityFpEstimator(16, 3.0, repetitions=5, seed=10)
+        assert estimator.space_counters() > 0
+
+    def test_variance_bound_property(self):
+        estimator = MaxStabilityFpEstimator(16, 3.0, repetitions=52, seed=11)
+        assert estimator.estimate_variance_bound() <= 1.0 / 50.0
+
+
+class TestFpEstimator:
+    def test_median_of_groups_two_approximation(self, small_vector, small_stream):
+        estimator = FpEstimator(len(small_vector), 3.0, groups=7,
+                                repetitions_per_group=20, seed=0, exact_recovery=True)
+        estimator.update_stream(small_stream)
+        truth = exact_fp(small_vector, 3.0)
+        assert 0.5 * truth <= estimator.estimate() <= 2.0 * truth
+
+    def test_update_paths_agree(self, small_vector, small_stream):
+        a = FpEstimator(len(small_vector), 3.0, groups=3, repetitions_per_group=10,
+                        seed=1, exact_recovery=True)
+        b = FpEstimator(len(small_vector), 3.0, groups=3, repetitions_per_group=10,
+                        seed=1, exact_recovery=True)
+        a.update_stream(small_stream)
+        for update in small_stream:
+            b.update(update.index, update.delta)
+        assert a.estimate() == pytest.approx(b.estimate(), rel=1e-9)
+
+    def test_space_counters(self):
+        estimator = FpEstimator(16, 3.0, groups=3, repetitions_per_group=5, seed=2)
+        assert estimator.space_counters() > 0

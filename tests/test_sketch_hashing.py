@@ -1,0 +1,103 @@
+"""Tests for the k-wise independent hash families."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.sketch.hashing import KWiseHash, PairwiseHash, SignHash, UniformHash
+
+
+class TestKWiseHash:
+    def test_range(self):
+        hasher = KWiseHash(4, 10, seed=0)
+        values = hasher(np.arange(1000))
+        assert values.min() >= 0
+        assert values.max() < 10
+
+    def test_deterministic(self):
+        a = KWiseHash(2, 100, seed=1)
+        b = KWiseHash(2, 100, seed=1)
+        keys = np.arange(50)
+        assert np.array_equal(a(keys), b(keys))
+
+    def test_seed_changes_function(self):
+        keys = np.arange(200)
+        a = KWiseHash(2, 1000, seed=1)(keys)
+        b = KWiseHash(2, 1000, seed=2)(keys)
+        assert not np.array_equal(a, b)
+
+    def test_scalar_input(self):
+        hasher = KWiseHash(3, 7, seed=3)
+        value = hasher(5)
+        assert isinstance(value, int)
+        assert 0 <= value < 7
+
+    def test_scalar_matches_vector(self):
+        hasher = KWiseHash(3, 7, seed=3)
+        assert hasher(5) == hasher(np.asarray([5]))[0]
+
+    def test_roughly_uniform(self):
+        hasher = KWiseHash(2, 4, seed=4)
+        values = hasher(np.arange(4000))
+        counts = np.bincount(values, minlength=4)
+        assert counts.min() > 800
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            KWiseHash(0, 10)
+        with pytest.raises(InvalidParameterError):
+            KWiseHash(2, 0)
+
+    def test_pairwise_collision_rate(self):
+        # Pairwise independence implies collision probability ~ 1/range.
+        hasher = PairwiseHash(64, seed=5)
+        values = hasher(np.arange(2000))
+        collisions = 0
+        pairs = 0
+        rng = np.random.default_rng(0)
+        for _ in range(4000):
+            i, j = rng.integers(0, 2000, size=2)
+            if i == j:
+                continue
+            pairs += 1
+            collisions += values[i] == values[j]
+        rate = collisions / pairs
+        assert rate < 3.0 / 64
+
+
+class TestSignHash:
+    def test_values_are_signs(self):
+        sign = SignHash(seed=0)
+        values = sign(np.arange(500))
+        assert set(np.unique(values)).issubset({-1, 1})
+
+    def test_scalar(self):
+        sign = SignHash(seed=0)
+        assert sign(7) in (-1, 1)
+
+    def test_roughly_balanced(self):
+        sign = SignHash(seed=1)
+        values = sign(np.arange(4000))
+        assert abs(values.mean()) < 0.1
+
+    def test_default_independence_level(self):
+        assert SignHash(seed=2).k == 4
+
+
+class TestUniformHash:
+    def test_unit_interval(self):
+        uniform = UniformHash(seed=0)
+        values = uniform(np.arange(1000))
+        assert values.min() >= 0.0
+        assert values.max() < 1.0
+
+    def test_deterministic_per_key(self):
+        uniform = UniformHash(seed=3)
+        assert uniform(42) == uniform(42)
+
+    def test_mean_near_half(self):
+        uniform = UniformHash(seed=4)
+        values = uniform(np.arange(5000))
+        assert abs(values.mean() - 0.5) < 0.05

@@ -1,0 +1,156 @@
+"""Tests for the p-stable norm sketch and the distinct-count substrates."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError, SamplerStateError
+from repro.sketch import (
+    KMinimumValues,
+    PStableSketch,
+    RoughL0Estimator,
+    chambers_mallows_stuck,
+    stable_median_scale,
+)
+from repro.streams import stream_from_vector, zipfian_frequency_vector
+
+
+class TestStableVariates:
+    def test_cauchy_special_case(self):
+        rng = np.random.default_rng(0)
+        draws = chambers_mallows_stuck(1.0, rng, 20_000)
+        # The Cauchy distribution has median 0 and |X| has median 1.
+        assert np.median(draws) == pytest.approx(0.0, abs=0.05)
+        assert np.median(np.abs(draws)) == pytest.approx(1.0, rel=0.1)
+
+    def test_gaussian_special_case_scale(self):
+        # For p = 2 the CMS construction yields sqrt(2)-scaled Gaussians, and
+        # the calibrated median scale accounts for exactly that factor.
+        scale = stable_median_scale(2.0)
+        from scipy.stats import norm
+
+        assert scale == pytest.approx(np.sqrt(2.0) * norm.ppf(0.75), rel=1e-6)
+
+    def test_invalid_order_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(InvalidParameterError):
+            chambers_mallows_stuck(2.5, rng, 10)
+
+
+class TestPStableSketch:
+    def test_estimates_l1_norm(self):
+        vector = zipfian_frequency_vector(64, skew=1.3, seed=1)
+        stream = stream_from_vector(vector, seed=2)
+        sketch = PStableSketch(64, p=1.0, num_rows=256, seed=3)
+        sketch.update_stream(stream)
+        truth = np.abs(vector).sum()
+        assert sketch.estimate_norm() == pytest.approx(truth, rel=0.35)
+
+    def test_estimates_l2_norm(self):
+        vector = zipfian_frequency_vector(64, skew=1.1, seed=4)
+        stream = stream_from_vector(vector, seed=5)
+        sketch = PStableSketch(64, p=2.0, num_rows=256, seed=6)
+        sketch.update_stream(stream)
+        truth = float(np.sqrt((vector**2).sum()))
+        assert sketch.estimate_norm() == pytest.approx(truth, rel=0.35)
+
+    def test_linear_under_cancellation(self):
+        # Inserting and fully deleting a heavy item leaves the estimate
+        # unaffected: the sketch is a linear function of the stream.
+        n = 32
+        base = np.ones(n)
+        sketch = PStableSketch(n, p=1.0, num_rows=128, seed=7)
+        sketch.update_stream(stream_from_vector(base, seed=8))
+        sketch.update(0, 1000.0)
+        sketch.update(0, -1000.0)
+        assert sketch.estimate_norm() == pytest.approx(n, rel=0.4)
+
+    def test_merge_requires_same_seed(self):
+        a = PStableSketch(16, p=1.5, num_rows=32, seed=1)
+        b = PStableSketch(16, p=1.5, num_rows=32, seed=2)
+        with pytest.raises(InvalidParameterError):
+            a.merge(b)
+
+    def test_merge_equals_single_pass(self):
+        vector = np.arange(1.0, 17.0)
+        first_half = vector.copy()
+        first_half[8:] = 0.0
+        second_half = vector.copy()
+        second_half[:8] = 0.0
+        a = PStableSketch(16, p=1.0, num_rows=64, seed=9)
+        b = PStableSketch(16, p=1.0, num_rows=64, seed=9)
+        whole = PStableSketch(16, p=1.0, num_rows=64, seed=9)
+        a.update_stream(stream_from_vector(first_half, seed=10))
+        b.update_stream(stream_from_vector(second_half, seed=11))
+        whole.update_stream(stream_from_vector(vector, seed=12))
+        merged = a.merge(b)
+        assert merged.estimate_norm() == pytest.approx(whole.estimate_norm(), rel=1e-9)
+
+    def test_query_before_update_raises(self):
+        sketch = PStableSketch(8, p=1.0, num_rows=8, seed=0)
+        with pytest.raises(SamplerStateError):
+            sketch.estimate_norm()
+
+    def test_space_counters(self):
+        assert PStableSketch(8, p=1.0, num_rows=40, seed=0).space_counters() == 40
+
+    def test_rejects_p_above_two(self):
+        with pytest.raises(InvalidParameterError):
+            PStableSketch(8, p=3.0)
+
+
+class TestKMinimumValues:
+    def test_exact_for_small_support(self):
+        sketch = KMinimumValues(100, k=32, seed=0)
+        for index in [3, 5, 5, 7, 7, 7]:
+            sketch.update(index)
+        assert sketch.estimate() == pytest.approx(3.0)
+
+    def test_approximates_large_support(self):
+        n = 5000
+        sketch = KMinimumValues(n, k=256, seed=1)
+        for index in range(2000):
+            sketch.update(index)
+        assert sketch.estimate() == pytest.approx(2000, rel=0.25)
+
+    def test_duplicates_do_not_inflate(self):
+        sketch = KMinimumValues(100, k=16, seed=2)
+        for _ in range(50):
+            sketch.update(7)
+        assert sketch.estimate() == pytest.approx(1.0)
+
+    def test_query_before_update_raises(self):
+        with pytest.raises(SamplerStateError):
+            KMinimumValues(10, k=4, seed=0).estimate()
+
+    def test_index_validation(self):
+        sketch = KMinimumValues(10, k=4, seed=0)
+        with pytest.raises(InvalidParameterError):
+            sketch.update(10)
+
+
+class TestRoughL0Estimator:
+    def test_exact_when_support_fits(self):
+        vector = np.zeros(64)
+        vector[[1, 5, 9]] = [3.0, -2.0, 7.0]
+        estimator = RoughL0Estimator(64, sparsity=16, seed=0)
+        estimator.update_stream(stream_from_vector(vector, seed=1))
+        assert estimator.estimate() == pytest.approx(3.0)
+
+    def test_zero_vector_after_cancellation(self):
+        estimator = RoughL0Estimator(32, sparsity=8, seed=0)
+        estimator.update(3, 5.0)
+        estimator.update(3, -5.0)
+        assert estimator.estimate() == pytest.approx(0.0)
+
+    def test_constant_factor_for_large_support(self):
+        n = 512
+        vector = np.ones(n)
+        estimator = RoughL0Estimator(n, sparsity=24, seed=3)
+        estimator.update_stream(stream_from_vector(vector, seed=4))
+        estimate = estimator.estimate()
+        assert estimate is not None
+        assert n / 6 <= estimate <= 6 * n
+
+    def test_query_before_update_raises(self):
+        with pytest.raises(SamplerStateError):
+            RoughL0Estimator(16, seed=0).estimate()

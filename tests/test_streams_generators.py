@@ -1,0 +1,143 @@
+"""Tests for the synthetic workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.streams.generators import (
+    forget_request_set,
+    gaussian_vector,
+    insertion_only_stream,
+    planted_heavy_hitter_vector,
+    random_query_set,
+    realize_workload,
+    standard_workloads,
+    stream_from_vector,
+    turnstile_stream_with_cancellations,
+    uniform_frequency_vector,
+    zipfian_frequency_vector,
+)
+from repro.streams.updates import StreamKind
+
+
+class TestVectorGenerators:
+    def test_zipfian_shape_and_positivity(self):
+        vector = zipfian_frequency_vector(50, seed=0)
+        assert vector.shape == (50,)
+        assert np.all(vector >= 1)
+
+    def test_zipfian_reproducible(self):
+        assert np.allclose(zipfian_frequency_vector(20, seed=3),
+                           zipfian_frequency_vector(20, seed=3))
+
+    def test_zipfian_skew_concentrates_mass(self):
+        flat = zipfian_frequency_vector(100, skew=0.5, seed=1, shuffle=False)
+        steep = zipfian_frequency_vector(100, skew=2.0, seed=1, shuffle=False)
+        assert steep[0] / steep.sum() > flat[0] / flat.sum()
+
+    def test_zipfian_invalid_skew(self):
+        with pytest.raises(InvalidParameterError):
+            zipfian_frequency_vector(10, skew=0.0)
+
+    def test_uniform_within_bounds(self):
+        vector = uniform_frequency_vector(100, low=5, high=9, seed=2)
+        assert vector.min() >= 5
+        assert vector.max() <= 9
+
+    def test_planted_heavy_hitters_present(self):
+        vector = planted_heavy_hitter_vector(64, num_heavy=3, heavy_value=500.0, seed=4)
+        assert np.sum(vector == 500.0) >= 3
+
+    def test_planted_too_many_heavy_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            planted_heavy_hitter_vector(4, num_heavy=10)
+
+    def test_gaussian_vector_moments(self):
+        vector = gaussian_vector(5000, seed=5)
+        assert abs(vector.mean()) < 0.1
+        assert abs(vector.std() - 1.0) < 0.1
+
+
+class TestStreamRealisations:
+    def test_stream_from_vector_exact(self):
+        vector = np.array([3.0, -2.0, 0.0, 7.0])
+        stream = stream_from_vector(vector, updates_per_unit=3, seed=0)
+        assert np.allclose(stream.frequency_vector(), vector)
+
+    def test_stream_from_vector_single_update_per_coordinate(self):
+        vector = np.array([3.0, -2.0])
+        stream = stream_from_vector(vector, updates_per_unit=1, seed=0)
+        assert stream.length == 2
+
+    def test_insertion_only_stream_exact_and_nonnegative(self):
+        vector = np.array([5.0, 0.0, 2.0])
+        stream = insertion_only_stream(vector, seed=1)
+        assert stream.kind is StreamKind.INSERTION_ONLY
+        assert np.all(stream.deltas >= 0)
+        assert np.allclose(stream.frequency_vector(), vector)
+
+    def test_insertion_only_rejects_negative_vector(self):
+        with pytest.raises(InvalidParameterError):
+            insertion_only_stream(np.array([-1.0, 2.0]))
+
+    def test_cancellation_stream_final_vector_exact(self):
+        vector = np.array([10.0, 0.0, -4.0, 2.0])
+        stream = turnstile_stream_with_cancellations(vector, churn=2.0, seed=2)
+        assert np.allclose(stream.frequency_vector(), vector)
+
+    def test_cancellation_stream_has_deletions(self):
+        vector = np.array([10.0, 3.0, 5.0])
+        stream = turnstile_stream_with_cancellations(vector, churn=1.0, seed=3)
+        assert np.any(stream.deltas < 0)
+
+    def test_cancellation_intermediate_mass_exceeds_final(self):
+        vector = np.array([10.0, 3.0, 5.0])
+        stream = turnstile_stream_with_cancellations(vector, churn=2.0, seed=3)
+        total_insertions = stream.deltas[stream.deltas > 0].sum()
+        assert total_insertions > np.abs(vector).sum()
+
+
+class TestQuerySets:
+    def test_random_query_set_size(self):
+        query = random_query_set(100, 0.25, seed=0)
+        assert len(query) == 25
+        assert len(np.unique(query)) == 25
+
+    def test_random_query_set_bounds(self):
+        query = random_query_set(50, 0.1, seed=1)
+        assert query.min() >= 0
+        assert query.max() < 50
+
+    def test_forget_request_set_complement_size(self):
+        vector = np.arange(1, 41, dtype=float)
+        retained = forget_request_set(vector, 0.25, seed=2)
+        assert len(retained) == 30
+
+    def test_forget_request_zero_fraction_keeps_all(self):
+        vector = np.ones(10)
+        retained = forget_request_set(vector, 0.0, seed=3)
+        assert len(retained) == 10
+
+    def test_forget_request_bias_heavy_removes_more_mass(self):
+        rng_seed = 7
+        vector = zipfian_frequency_vector(200, skew=1.5, seed=rng_seed, shuffle=False)
+        unbiased = forget_request_set(vector, 0.2, seed=rng_seed, bias_heavy=False)
+        biased = forget_request_set(vector, 0.2, seed=rng_seed, bias_heavy=True)
+        assert vector[biased].sum() <= vector[unbiased].sum()
+
+
+class TestWorkloadSpecs:
+    def test_standard_workloads_realise(self):
+        for spec in standard_workloads(32, seed=5):
+            stream = realize_workload(spec)
+            assert stream.n == 32
+            assert stream.length > 0
+
+    def test_unknown_workload_rejected(self):
+        from repro.streams.generators import WorkloadSpec
+
+        spec = WorkloadSpec("nonsense", 8, StreamKind.TURNSTILE, {})
+        with pytest.raises(InvalidParameterError):
+            realize_workload(spec)

@@ -1,0 +1,150 @@
+"""Tests for the turnstile stream model (updates, streams, frequency vectors)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError, StreamError
+from repro.streams.stream import FrequencyVector, TurnstileStream
+from repro.streams.updates import StreamKind, Update
+
+
+class TestUpdate:
+    def test_unpacking(self):
+        index, delta = Update(3, -2.0)
+        assert (index, delta) == (3, -2.0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(StreamError):
+            Update(-1, 1.0)
+
+    def test_insertion_only_validation(self):
+        with pytest.raises(StreamError):
+            Update(0, -1.0).validate_for(StreamKind.INSERTION_ONLY)
+
+    def test_turnstile_allows_negative(self):
+        Update(0, -1.0).validate_for(StreamKind.TURNSTILE)
+
+    def test_scaled(self):
+        assert Update(2, 3.0).scaled(2.0).delta == 6.0
+
+
+class TestFrequencyVector:
+    def test_accumulates_updates(self):
+        vector = FrequencyVector(4)
+        vector.update(1, 5.0)
+        vector.update(1, -2.0)
+        vector.update(3, 1.0)
+        assert vector.values.tolist() == [0.0, 3.0, 0.0, 1.0]
+        assert vector.num_updates == 3
+
+    def test_out_of_range_rejected(self):
+        vector = FrequencyVector(4)
+        with pytest.raises(StreamError):
+            vector.update(4, 1.0)
+
+    def test_insertion_only_rejects_negative(self):
+        vector = FrequencyVector(4, kind=StreamKind.INSERTION_ONLY)
+        with pytest.raises(StreamError):
+            vector.update(0, -1.0)
+
+    def test_strict_turnstile_rejects_negative_prefix(self):
+        vector = FrequencyVector(4, kind=StreamKind.STRICT_TURNSTILE)
+        vector.update(0, 2.0)
+        with pytest.raises(StreamError):
+            vector.update(0, -3.0)
+
+    def test_moments(self):
+        vector = FrequencyVector(3)
+        vector.update(0, 2.0)
+        vector.update(1, -3.0)
+        assert vector.moment(0) == 2
+        assert vector.moment(2) == pytest.approx(13.0)
+        assert vector.lp_norm(2) == pytest.approx(np.sqrt(13.0))
+
+    def test_moment_negative_p_rejected(self):
+        vector = FrequencyVector(3)
+        with pytest.raises(InvalidParameterError):
+            vector.moment(-1)
+
+    def test_support(self):
+        vector = FrequencyVector(4)
+        vector.update(2, 1.0)
+        assert vector.support().tolist() == [2]
+
+
+class TestTurnstileStream:
+    def test_frequency_vector_matches_updates(self):
+        stream = TurnstileStream(4, [(0, 2.0), (1, -1.0), (0, 3.0)])
+        assert stream.frequency_vector().tolist() == [5.0, -1.0, 0.0, 0.0]
+        assert stream.length == 3
+
+    def test_iteration_yields_updates(self):
+        stream = TurnstileStream(4, [(0, 2.0), (3, -1.0)])
+        updates = list(stream)
+        assert updates[1].index == 3
+        assert updates[1].delta == -1.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(StreamError):
+            TurnstileStream(2, [(5, 1.0)])
+
+    def test_insertion_only_validation(self):
+        with pytest.raises(StreamError):
+            TurnstileStream(2, [(0, -1.0)], kind=StreamKind.INSERTION_ONLY)
+
+    def test_moment_and_norm(self):
+        stream = TurnstileStream(3, [(0, 3.0), (1, 4.0)])
+        assert stream.moment(2) == pytest.approx(25.0)
+        assert stream.lp_norm(2) == pytest.approx(5.0)
+        assert stream.moment(0) == 2
+
+    def test_lp_norm_requires_positive_p(self):
+        stream = TurnstileStream(3, [(0, 3.0)])
+        with pytest.raises(InvalidParameterError):
+            stream.lp_norm(0)
+
+    def test_concatenation(self):
+        a = TurnstileStream(3, [(0, 1.0)])
+        b = TurnstileStream(3, [(0, 2.0), (2, 1.0)])
+        combined = a.concatenated_with(b)
+        assert combined.frequency_vector().tolist() == [3.0, 0.0, 1.0]
+
+    def test_concatenation_universe_mismatch(self):
+        a = TurnstileStream(3, [(0, 1.0)])
+        b = TurnstileStream(4, [(0, 1.0)])
+        with pytest.raises(StreamError):
+            a.concatenated_with(b)
+
+    def test_shuffled_preserves_vector(self):
+        rng = np.random.default_rng(0)
+        stream = TurnstileStream(5, [(i % 5, float(i)) for i in range(20)])
+        shuffled = stream.shuffled(rng)
+        assert np.allclose(shuffled.frequency_vector(), stream.frequency_vector())
+
+    def test_from_arrays_roundtrip(self):
+        stream = TurnstileStream.from_arrays(4, [0, 1, 1], [1.0, 2.0, -1.0])
+        assert stream.frequency_vector().tolist() == [1.0, 1.0, 0.0, 0.0]
+
+    def test_from_arrays_length_mismatch(self):
+        with pytest.raises(StreamError):
+            TurnstileStream.from_arrays(4, [0, 1], [1.0])
+
+    def test_indices_readonly(self):
+        stream = TurnstileStream(3, [(0, 1.0)])
+        with pytest.raises(ValueError):
+            stream.indices[0] = 2
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=7),
+                              st.integers(min_value=-5, max_value=5)),
+                    min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_frequency_vector_matches_reference(self, pairs):
+        stream = TurnstileStream(8, [(i, float(d)) for i, d in pairs])
+        reference = np.zeros(8)
+        for i, d in pairs:
+            reference[i] += d
+        assert np.allclose(stream.frequency_vector(), reference)

@@ -1,0 +1,85 @@
+"""Tests for the scenario-level workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.streams import (
+    bursty_traffic_stream,
+    distributed_shard_streams,
+    sliding_window_stream,
+    zipfian_frequency_vector,
+    stream_from_vector,
+)
+
+
+class TestBurstyTrafficStream:
+    def test_flows_dominate_final_vector(self):
+        stream = bursty_traffic_stream(128, num_flows=3, burst_volume=800.0,
+                                       background_updates=500, retraction_fraction=0.25,
+                                       seed=1)
+        vector = stream.frequency_vector()
+        top = np.argsort(np.abs(vector))[-3:]
+        # After retraction each planted flow retains ~600 units, far above
+        # the background noise.
+        assert np.abs(vector[top]).min() > 100.0
+
+    def test_contains_negative_updates(self):
+        stream = bursty_traffic_stream(64, seed=2)
+        assert stream.deltas.min() < 0
+
+    def test_reproducible_with_seed(self):
+        a = bursty_traffic_stream(64, seed=7)
+        b = bursty_traffic_stream(64, seed=7)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.deltas, b.deltas)
+
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            bursty_traffic_stream(4, num_flows=5)
+        with pytest.raises(InvalidParameterError):
+            bursty_traffic_stream(8, burst_volume=-1.0)
+        with pytest.raises(InvalidParameterError):
+            bursty_traffic_stream(8, retraction_fraction=1.5)
+
+
+class TestSlidingWindowStream:
+    def test_live_vector_equals_window_histogram(self):
+        stream = sliding_window_stream(32, window=50, total_items=200, seed=3)
+        vector = stream.frequency_vector()
+        assert vector.min() >= 0
+        assert vector.sum() == pytest.approx(50.0)
+
+    def test_window_equal_to_stream_keeps_everything(self):
+        stream = sliding_window_stream(16, window=80, total_items=80, seed=4)
+        assert stream.frequency_vector().sum() == pytest.approx(80.0)
+
+    def test_total_items_must_cover_window(self):
+        with pytest.raises(InvalidParameterError):
+            sliding_window_stream(16, window=100, total_items=50)
+
+    def test_skew_validation(self):
+        with pytest.raises(InvalidParameterError):
+            sliding_window_stream(16, window=10, total_items=20, skew=0.0)
+
+
+class TestDistributedShardStreams:
+    def test_shards_partition_the_workload(self):
+        vector = zipfian_frequency_vector(48, seed=5)
+        stream = stream_from_vector(vector, seed=6)
+        shards = distributed_shard_streams(stream, num_shards=4, seed=7)
+        assert len(shards) == 4
+        total = np.zeros(48)
+        for shard in shards:
+            total += shard.frequency_vector()
+        assert total == pytest.approx(vector)
+
+    def test_each_coordinate_routed_to_one_shard(self):
+        vector = np.ones(32)
+        stream = stream_from_vector(vector, updates_per_unit=1, seed=8)
+        shards = distributed_shard_streams(stream, num_shards=3, seed=9)
+        owners = np.zeros(32, dtype=int)
+        for shard_id, shard in enumerate(shards):
+            touched = np.flatnonzero(shard.frequency_vector())
+            owners[touched] += 1
+        assert np.all(owners == 1)

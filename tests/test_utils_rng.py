@@ -1,0 +1,102 @@
+"""Tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    derive_seed,
+    ensure_rng,
+    interleave_seeds,
+    oracle_rng,
+    random_seed_array,
+    spawn_rng,
+)
+
+
+class TestEnsureRng:
+    def test_integer_seed_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).random(5)
+        b = ensure_rng(2).random(5)
+        assert not np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestSpawnRng:
+    def test_children_count(self):
+        children = spawn_rng(7, 5)
+        assert len(children) == 5
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rng(7, 2)
+        a = children[0].random(10)
+        b = children[1].random(10)
+        assert not np.allclose(a, b)
+
+    def test_spawn_from_generator(self):
+        rng = np.random.default_rng(3)
+        children = spawn_rng(rng, 3)
+        assert len(children) == 3
+
+    def test_spawn_zero_children(self):
+        assert spawn_rng(1, 0) == []
+
+    def test_negative_children_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rng(1, -1)
+
+    def test_spawn_deterministic_for_integer_seed(self):
+        a = spawn_rng(9, 2)[0].random(4)
+        b = spawn_rng(9, 2)[0].random(4)
+        assert np.allclose(a, b)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(5, 1, "x") == derive_seed(5, 1, "x")
+
+    def test_key_sensitivity(self):
+        assert derive_seed(5, 1) != derive_seed(5, 2)
+
+    def test_root_sensitivity(self):
+        assert derive_seed(5, 1) != derive_seed(6, 1)
+
+    def test_within_uint64(self):
+        value = derive_seed(123456789, "coordinate", 42)
+        assert 0 <= value < 2**64
+
+    def test_oracle_rng_repeatable(self):
+        a = oracle_rng(7, 3).exponential()
+        b = oracle_rng(7, 3).exponential()
+        assert a == b
+
+    def test_oracle_rng_key_dependent(self):
+        assert oracle_rng(7, 3).exponential() != oracle_rng(7, 4).exponential()
+
+
+class TestSeedHelpers:
+    def test_random_seed_array_shape_and_range(self):
+        seeds = random_seed_array(np.random.default_rng(0), 10)
+        assert seeds.shape == (10,)
+        assert seeds.min() >= 0
+
+    def test_interleave_seeds_deterministic(self):
+        assert interleave_seeds([1, 2, 3]) == interleave_seeds([1, 2, 3])
+
+    def test_interleave_seeds_order_sensitive(self):
+        assert interleave_seeds([1, 2]) != interleave_seeds([2, 1])
+
+    def test_interleave_salt_changes_result(self):
+        assert interleave_seeds([1, 2], salt="a") != interleave_seeds([1, 2], salt="b")

@@ -1,0 +1,81 @@
+"""Tests for repro.utils.rounding (the rnd_eta discretisation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.utils.rounding import discretize_support, round_down_to_power, support_size
+
+
+class TestRoundDownToPower:
+    def test_exact_power_is_fixed_point(self):
+        eta = 0.5
+        value = (1 + eta) ** 3
+        assert round_down_to_power(value, eta) == pytest.approx(value)
+
+    def test_rounds_down(self):
+        assert round_down_to_power(10.0, 0.5) <= 10.0
+
+    def test_zero_maps_to_zero(self):
+        assert round_down_to_power(0.0, 0.1) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            round_down_to_power(-1.0, 0.1)
+
+    def test_non_positive_eta_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            round_down_to_power(1.0, 0.0)
+
+    def test_array_input(self):
+        values = np.array([0.0, 1.0, 2.5, 100.0])
+        rounded = round_down_to_power(values, 0.25)
+        assert rounded.shape == values.shape
+        assert np.all(rounded <= values + 1e-12)
+
+    @given(st.floats(min_value=1e-6, max_value=1e6),
+           st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_multiplicative_error_bounded(self, value, eta):
+        rounded = round_down_to_power(value, eta)
+        assert rounded <= value * (1 + 1e-9)
+        assert rounded * (1 + eta) >= value * (1 - 1e-9)
+
+
+class TestDiscretizedSupport:
+    def test_support_is_increasing(self):
+        support = discretize_support(0.3, 1e3)
+        assert np.all(np.diff(support.values) > 0)
+
+    def test_support_covers_dynamic_range(self):
+        support = discretize_support(0.3, 1e3)
+        assert support.values[0] <= 1e-3 * (1 + 0.3)
+        assert support.values[-1] >= 1e3 / (1 + 0.3)
+
+    def test_index_of_matches_rounding(self):
+        eta = 0.4
+        support = discretize_support(eta, 1e4)
+        for value in [0.01, 1.0, 3.7, 999.0]:
+            index = support.index_of(value)
+            assert support.values[index] <= value * (1 + 1e-9)
+
+    def test_index_of_clamps_out_of_range(self):
+        support = discretize_support(0.4, 10.0)
+        assert support.index_of(1e-9) == 0
+        assert support.index_of(1e9) == len(support) - 1
+
+    def test_index_of_rejects_non_positive(self):
+        support = discretize_support(0.4, 10.0)
+        with pytest.raises(InvalidParameterError):
+            support.index_of(0.0)
+
+    def test_support_size_scales_inversely_with_eta(self):
+        assert support_size(0.1, 1e3) > support_size(0.5, 1e3)
+
+    def test_invalid_dynamic_range(self):
+        with pytest.raises(InvalidParameterError):
+            discretize_support(0.3, 0.5)

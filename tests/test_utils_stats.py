@@ -1,0 +1,159 @@
+"""Tests for repro.utils.stats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.utils.stats import (
+    chi_square_statistic,
+    distribution_from_counter,
+    empirical_distribution,
+    expected_tvd_noise_floor,
+    normalize_weights,
+    relative_error,
+    sample_counter,
+    total_variation_distance,
+)
+
+
+class TestNormalizeWeights:
+    def test_sums_to_one(self):
+        probs = normalize_weights([1.0, 2.0, 3.0])
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            normalize_weights([1.0, -1.0])
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            normalize_weights([0.0, 0.0])
+
+
+class TestTotalVariation:
+    def test_identical_distributions(self):
+        p = np.array([0.2, 0.3, 0.5])
+        assert total_variation_distance(p, p) == 0.0
+
+    def test_disjoint_distributions(self):
+        assert total_variation_distance([1.0, 0.0], [0.0, 1.0]) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        p = np.array([0.1, 0.9])
+        q = np.array([0.4, 0.6])
+        assert total_variation_distance(p, q) == pytest.approx(total_variation_distance(q, p))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            total_variation_distance([0.5, 0.5], [1.0])
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=2, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_by_one(self, weights):
+        p = normalize_weights(weights)
+        q = normalize_weights(list(reversed(weights)))
+        assert 0.0 <= total_variation_distance(p, q) <= 1.0 + 1e-12
+
+
+class TestEmpiricalDistribution:
+    def test_counts_normalised(self):
+        dist = empirical_distribution([0, 0, 1, 2], 4)
+        assert dist.tolist() == pytest.approx([0.5, 0.25, 0.25, 0.0])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            empirical_distribution([5], 4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            empirical_distribution([], 4)
+
+
+class TestChiSquare:
+    def test_perfect_fit_small_statistic(self):
+        observed = np.array([100.0, 100.0, 100.0, 100.0])
+        stat, dof = chi_square_statistic(observed, [0.25] * 4)
+        assert stat == pytest.approx(0.0)
+        assert dof == 3
+
+    def test_bad_fit_large_statistic(self):
+        observed = np.array([400.0, 0.0, 0.0, 0.0])
+        stat, _ = chi_square_statistic(observed, [0.25] * 4)
+        assert stat > 100
+
+    def test_small_cells_pooled(self):
+        observed = np.concatenate([[500.0, 480.0], np.ones(20)])
+        expected = np.concatenate([[0.48, 0.48], np.full(20, 0.002)])
+        stat, dof = chi_square_statistic(observed, expected)
+        assert dof <= 3
+        assert np.isfinite(stat)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            chi_square_statistic([1.0, 2.0], [0.5, 0.25, 0.25])
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            chi_square_statistic([0.0, 0.0], [0.5, 0.5])
+
+
+class TestRelativeError:
+    def test_exact(self):
+        assert relative_error(5.0, 5.0) == 0.0
+
+    def test_off_by_ten_percent(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+
+    def test_zero_truth_zero_estimate(self):
+        assert relative_error(0.0, 0.0) == 0.0
+
+    def test_zero_truth_nonzero_estimate(self):
+        assert relative_error(1.0, 0.0) == np.inf
+
+
+class TestCounterHelpers:
+    def test_sample_counter_counts_failures(self):
+        counter, failures = sample_counter([1, None, 1, 2, None])
+        assert counter[1] == 2
+        assert counter[2] == 1
+        assert failures == 2
+
+    def test_distribution_from_counter(self):
+        dist = distribution_from_counter({0: 3, 2: 1}, 3)
+        assert dist.tolist() == pytest.approx([0.75, 0.0, 0.25])
+
+    def test_distribution_from_empty_counter_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            distribution_from_counter({}, 3)
+
+    def test_distribution_from_counter_range_check(self):
+        with pytest.raises(InvalidParameterError):
+            distribution_from_counter({7: 1}, 3)
+
+
+class TestNoiseFloor:
+    def test_decreases_with_samples(self):
+        target = [0.5, 0.3, 0.2]
+        assert expected_tvd_noise_floor(target, 10000) < expected_tvd_noise_floor(target, 100)
+
+    def test_positive(self):
+        assert expected_tvd_noise_floor([0.5, 0.5], 100) > 0
+
+    def test_matches_simulation_order_of_magnitude(self):
+        rng = np.random.default_rng(5)
+        target = np.array([0.6, 0.25, 0.1, 0.05])
+        draws = 400
+        tvds = []
+        for _ in range(200):
+            counts = rng.multinomial(draws, target)
+            tvds.append(0.5 * np.abs(counts / draws - target).sum())
+        floor = expected_tvd_noise_floor(target, draws)
+        assert 0.3 * np.mean(tvds) < floor < 3.0 * np.mean(tvds)
+
+    def test_invalid_sample_count(self):
+        with pytest.raises(InvalidParameterError):
+            expected_tvd_noise_floor([1.0], 0)

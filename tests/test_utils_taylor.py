@@ -1,0 +1,112 @@
+"""Tests for the Lemma 2.7 truncated Taylor estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.utils.taylor import (
+    TaylorPowerEstimator,
+    default_num_terms,
+    generalized_binomial,
+    taylor_power_estimate,
+)
+
+
+class TestGeneralizedBinomial:
+    def test_integer_case_matches_comb(self):
+        from math import comb
+
+        assert generalized_binomial(5.0, 2) == pytest.approx(comb(5, 2))
+
+    def test_zeroth_coefficient(self):
+        assert generalized_binomial(2.7, 0) == 1.0
+
+    def test_fractional_first_coefficient(self):
+        assert generalized_binomial(0.5, 1) == pytest.approx(0.5)
+
+    def test_negative_q_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            generalized_binomial(1.0, -1)
+
+
+class TestTaylorPowerEstimate:
+    def test_exact_when_estimates_equal_value(self):
+        # With x_hat == x == pivot the series collapses to pivot**r exactly.
+        value = taylor_power_estimate([7.0] * 10, pivot=7.0, exponent=1.5)
+        assert value == pytest.approx(7.0**1.5)
+
+    def test_recovers_fractional_power_with_close_pivot(self):
+        x = 50.0
+        pivot = 49.0  # 2% off
+        estimates = [x] * 30
+        value = taylor_power_estimate(estimates, pivot, exponent=0.7, num_terms=30)
+        assert value == pytest.approx(x**0.7, rel=1e-6)
+
+    def test_recovers_negative_exponent(self):
+        x = 20.0
+        estimates = [x] * 40
+        value = taylor_power_estimate(estimates, pivot=19.5, exponent=-1.3, num_terms=40)
+        assert value == pytest.approx(x**-1.3, rel=1e-6)
+
+    def test_unbiased_under_noisy_estimates(self):
+        # E[prod (x_hat - y)] = (x - y)^q for independent unbiased estimates,
+        # so averaging many runs should land near x**r.
+        rng = np.random.default_rng(0)
+        x, pivot, r = 30.0, 29.0, 1.4
+        runs = []
+        for _ in range(4000):
+            estimates = x + rng.normal(scale=0.3, size=12)
+            runs.append(taylor_power_estimate(estimates, pivot, r, num_terms=12))
+        assert np.mean(runs) == pytest.approx(x**r, rel=0.01)
+
+    def test_requires_enough_estimates(self):
+        with pytest.raises(InvalidParameterError):
+            taylor_power_estimate([1.0, 2.0], pivot=1.0, exponent=0.5, num_terms=5)
+
+    def test_zero_pivot_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            taylor_power_estimate([1.0], pivot=0.0, exponent=0.5, num_terms=1)
+
+    @given(st.floats(min_value=1.0, max_value=1000.0),
+           st.floats(min_value=2.1, max_value=5.0))
+    @settings(max_examples=40, deadline=None)
+    def test_integer_free_exponent_close_pivot(self, x, p):
+        estimates = [x] * 25
+        pivot = x * 1.01
+        value = taylor_power_estimate(estimates, pivot, exponent=p - 2.0, num_terms=25)
+        assert value == pytest.approx(x ** (p - 2.0), rel=1e-4)
+
+
+class TestTaylorPowerEstimator:
+    def test_required_estimates(self):
+        estimator = TaylorPowerEstimator(exponent=0.5, num_terms=7)
+        assert estimator.required_estimates() == 7
+
+    def test_estimate_delegates(self):
+        estimator = TaylorPowerEstimator(exponent=2.0, num_terms=5)
+        assert estimator.estimate([3.0] * 5, pivot=3.0) == pytest.approx(9.0)
+
+    def test_truncation_error_bound_small_for_close_pivot(self):
+        estimator = TaylorPowerEstimator(exponent=1.3, num_terms=20)
+        bound = estimator.truncation_error_bound(100.0, 99.0)
+        assert bound < 1e-6 * 100.0**1.3
+
+    def test_truncation_error_bound_infinite_for_bad_pivot(self):
+        estimator = TaylorPowerEstimator(exponent=1.3, num_terms=5)
+        assert estimator.truncation_error_bound(10.0, 30.0) == np.inf
+
+    def test_negative_terms_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            TaylorPowerEstimator(exponent=1.0, num_terms=-1)
+
+
+class TestDefaultNumTerms:
+    def test_grows_with_n(self):
+        assert default_num_terms(2**16) > default_num_terms(2**4)
+
+    def test_minimum_one(self):
+        assert default_num_terms(1) == 1

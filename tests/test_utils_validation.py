@@ -1,0 +1,94 @@
+"""Tests for repro.utils.validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.utils.validation import (
+    require_in_open_interval,
+    require_index_in_range,
+    require_moment_order,
+    require_nonnegative_int,
+    require_positive_int,
+    require_probability,
+)
+
+
+class TestPositiveInt:
+    def test_accepts_positive(self):
+        assert require_positive_int(3, "x") == 3
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(InvalidParameterError):
+            require_positive_int(bad, "x")
+
+    @pytest.mark.parametrize("bad", [1.5, "3", True])
+    def test_rejects_non_int(self, bad):
+        with pytest.raises(InvalidParameterError):
+            require_positive_int(bad, "x")
+
+
+class TestNonNegativeInt:
+    def test_accepts_zero(self):
+        assert require_nonnegative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            require_nonnegative_int(-2, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(InvalidParameterError):
+            require_nonnegative_int(True, "x")
+
+
+class TestOpenInterval:
+    def test_accepts_interior(self):
+        assert require_in_open_interval(0.5, "x", 0.0, 1.0) == 0.5
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.1, 1.1])
+    def test_rejects_boundary_and_outside(self, bad):
+        with pytest.raises(InvalidParameterError):
+            require_in_open_interval(bad, "x", 0.0, 1.0)
+
+
+class TestProbability:
+    @pytest.mark.parametrize("ok", [0.0, 0.3, 1.0])
+    def test_accepts_unit_interval(self, ok):
+        assert require_probability(ok, "x") == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01])
+    def test_rejects_outside(self, bad):
+        with pytest.raises(InvalidParameterError):
+            require_probability(bad, "x")
+
+
+class TestMomentOrder:
+    def test_accepts_p_above_minimum(self):
+        assert require_moment_order(3.0, minimum=2.0) == 3.0
+
+    def test_rejects_at_exclusive_minimum(self):
+        with pytest.raises(InvalidParameterError):
+            require_moment_order(2.0, minimum=2.0)
+
+    def test_inclusive_minimum_accepts_boundary(self):
+        assert require_moment_order(0.0, minimum=0.0, minimum_exclusive=False) == 0.0
+
+    def test_maximum_enforced(self):
+        with pytest.raises(InvalidParameterError):
+            require_moment_order(2.5, minimum=0.0, maximum=2.0)
+
+
+class TestIndexInRange:
+    def test_accepts_in_range(self):
+        assert require_index_in_range(3, 5) == 3
+
+    @pytest.mark.parametrize("bad", [-1, 5])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(InvalidParameterError):
+            require_index_in_range(bad, 5)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(InvalidParameterError):
+            require_index_in_range(1.5, 5)
