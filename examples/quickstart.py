@@ -58,7 +58,22 @@ def main() -> None:
     print(f"total variation distance to target: "
           f"{total_variation_distance(empirical, target):.3f}")
 
-    # 4. A single fully sketched (streaming-space) sampler, for flavour.
+    # 4. Batched ingest: every sketch and sampler accepts whole arrays of
+    #    updates through update_batch (and update_stream replays streams
+    #    through it in chunks), which is how hot paths should feed data —
+    #    the state is equivalent to scalar update() replay, but the cost is
+    #    a handful of numpy operations per chunk instead of one Python call
+    #    per update.
+    batched = make_perfect_lp_sampler(n, p, seed=99, backend="oracle",
+                                      failure_probability=0.1)
+    for indices, deltas in stream.batches(1024):   # zero-copy array chunks
+        batched.update_batch(indices, deltas)
+    draw = batched.sample()
+    print(f"batched-ingest sampler drew "
+          f"{'FAIL' if draw is None else f'index {draw.index}'} "
+          f"after {stream.length} updates in {-(-stream.length // 1024)} batches")
+
+    # 5. A single fully sketched (streaming-space) sampler, for flavour.
     sketched = make_perfect_lp_sampler(n, 3, seed=1234, backend="sketch",
                                        num_l2_samples=48)
     sketched.update_stream(stream)

@@ -30,7 +30,7 @@ from typing import Callable, Iterable, Optional, Sequence
 import numpy as np
 
 from repro.exceptions import InvalidParameterError
-from repro.samplers.base import Sample
+from repro.samplers.base import BatchUpdateMixin, Sample, check_batch_bounds, coerce_batch
 from repro.streams.stream import TurnstileStream
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import (
@@ -42,7 +42,7 @@ from repro.utils.validation import (
 SamplerFactory = Callable[[int], object]
 
 
-class PropertyLeakingSampler:
+class PropertyLeakingSampler(BatchUpdateMixin):
     """A compliant-but-leaky approximate ``L_p`` sampler.
 
     The sampler answers queries with distribution
@@ -96,13 +96,13 @@ class PropertyLeakingSampler:
             raise InvalidParameterError(f"index {index} outside universe [0, {self._n})")
         self._vector[index] += delta
 
-    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
-        """Replay a whole stream."""
-        if isinstance(stream, TurnstileStream):
-            self._vector += stream.frequency_vector()
+    def update_batch(self, indices, deltas) -> None:
+        """Apply a batch with one scatter-add into the tracked vector."""
+        indices, deltas = coerce_batch(indices, deltas)
+        if indices.size == 0:
             return
-        for update in stream:
-            self.update(update.index, update.delta)
+        check_batch_bounds(indices, self._n)
+        np.add.at(self._vector, indices, deltas)
 
     def biased_distribution(self) -> np.ndarray:
         """The tilted pmf the sampler actually answers with."""

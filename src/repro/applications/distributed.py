@@ -30,7 +30,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from repro.exceptions import InvalidParameterError, SamplerStateError
-from repro.samplers.base import Sample
+from repro.samplers.base import BatchUpdateMixin, Sample, check_batch_bounds, coerce_batch
 from repro.streams.stream import TurnstileStream
 from repro.streams.updates import StreamKind
 from repro.utils.rng import SeedLike, derive_seed, ensure_rng
@@ -76,7 +76,7 @@ class _Shard:
     num_updates: int = 0
 
 
-class DistributedSamplingCoordinator:
+class DistributedSamplingCoordinator(BatchUpdateMixin):
     """Coordinator combining per-shard samplers into global ``L_p`` samples.
 
     Parameters
@@ -148,10 +148,30 @@ class DistributedSamplingCoordinator:
         shard.num_updates += 1
         self._num_updates += 1
 
-    def update_stream(self, stream: TurnstileStream) -> None:
-        """Route a whole stream, update by update."""
-        for update in stream:
-            self.update(update.index, update.delta)
+    def update_batch(self, indices, deltas) -> None:
+        """Route a batch to the responsible machines, one sub-batch per shard."""
+        indices, deltas = coerce_batch(indices, deltas)
+        if indices.size == 0:
+            return
+        check_batch_bounds(indices, self._n)
+        owners = self._assignment[indices]
+        for shard_id in np.unique(owners).tolist():
+            shard = self._shards[int(shard_id)]
+            mask = owners == shard_id
+            shard_indices = indices[mask]
+            shard_deltas = deltas[mask]
+            # Factories may build third-party structures that only implement
+            # scalar ``update``; replay for those.
+            for structure in (shard.sampler, shard.estimator):
+                structure_batch = getattr(structure, "update_batch", None)
+                if structure_batch is not None:
+                    structure_batch(shard_indices, shard_deltas)
+                else:
+                    for index, delta in zip(shard_indices.tolist(),
+                                            shard_deltas.tolist()):
+                        structure.update(index, delta)
+            shard.num_updates += int(shard_indices.size)
+        self._num_updates += int(indices.size)
 
     def shard_weights(self) -> np.ndarray:
         """Per-shard moment estimates used as shard-selection weights."""

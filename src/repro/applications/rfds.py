@@ -153,13 +153,22 @@ class RightToBeForgottenEstimator:
             )
         self._estimator.update(index, delta)
 
-    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
+    def update_batch(self, indices, deltas) -> None:
+        """Apply a batch of updates (only valid before the stream is closed)."""
+        if self._stream_closed:
+            raise InvalidParameterError(
+                "the stream has been closed; forget requests arrive only at the end"
+            )
+        self._estimator.update_batch(indices, deltas)
+
+    def update_stream(self, stream: TurnstileStream | Iterable, *,
+                      batch_size: int | None = None) -> None:
         """Replay a whole turnstile stream."""
         if self._stream_closed:
             raise InvalidParameterError(
                 "the stream has been closed; forget requests arrive only at the end"
             )
-        self._estimator.update_stream(stream)
+        self._estimator.update_stream(stream, batch_size=batch_size)
 
     def close_stream(self) -> None:
         """Declare the data-curation phase over; forget requests may now arrive."""

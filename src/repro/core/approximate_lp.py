@@ -35,17 +35,16 @@ and fast update time.  The ingredients, following Section 3:
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional
+from typing import Optional
 
 import numpy as np
 
 from repro.core.fast_update import DiscretizedDuplication, FastUpdateState, default_eta
 from repro.exceptions import InvalidParameterError
-from repro.samplers.base import Sample
+from repro.samplers.base import BatchUpdateMixin, Sample, check_batch_bounds, coerce_batch
 from repro.sketch.ams import AMSSketch
 from repro.sketch.countsketch import CountSketch
 from repro.sketch.fp_estimator import MaxStabilityFpEstimator
-from repro.streams.stream import TurnstileStream
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import (
     require_in_open_interval,
@@ -54,7 +53,7 @@ from repro.utils.validation import (
 )
 
 
-class ApproximateLpSampler:
+class ApproximateLpSampler(BatchUpdateMixin):
     """Approximate ``L_p`` sampler for ``p > 2`` on turnstile streams.
 
     Parameters
@@ -223,36 +222,40 @@ class ApproximateLpSampler:
             self._value_sketch.update(index, scaled_delta)
         self._num_updates += 1
 
-    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
-        """Replay a whole stream (vectorised across the linear sketch stages)."""
-        if not isinstance(stream, TurnstileStream):
-            for update in stream:
-                self.update(update.index, update.delta)
+    def update_batch(self, indices, deltas) -> None:
+        """Apply a batch of updates across every stage of the sampler.
+
+        The per-coordinate duplication profiles (max factor, residual L2
+        scale, sparse residual coefficients) are looked up once per
+        *distinct* coordinate through their caches; all sketch stages then
+        ingest the batch with their own vectorised ``update_batch``.
+        """
+        indices, deltas = coerce_batch(indices, deltas)
+        if indices.size == 0:
             return
-        indices = stream.indices
-        deltas = stream.deltas
-        if len(indices) == 0:
-            return
-        max_factors = np.asarray(
-            [self._dup.max_factor(int(index), fast=self._fast_update) for index in indices]
+        check_batch_bounds(indices, self._n)
+        unique, inverse = np.unique(indices, return_inverse=True)
+        unique_factors = np.asarray(
+            [self._dup.max_factor(int(item), fast=self._fast_update) for item in unique]
         )
-        scaled = deltas * max_factors
-        scaled_stream = TurnstileStream.from_arrays(self._n, indices, scaled)
-        self._cs1.update_stream(scaled_stream)
-        self._ams_max.update_stream(scaled_stream)
+        scaled = deltas * unique_factors[inverse]
+        self._cs1.update_batch(indices, scaled)
+        self._ams_max.update_batch(indices, scaled)
         if self._value_sketch is not None:
-            self._value_sketch.update_stream(scaled_stream)
-        residual_scales = np.asarray(
-            [self._fast_state.residual_l2_scale(int(index)) for index in indices]
+            self._value_sketch.update_batch(indices, scaled)
+        unique_residual_scales = np.asarray(
+            [self._fast_state.residual_l2_scale(int(item)) for item in unique]
         )
-        if np.any(residual_scales > 0):
-            self._ams_residual.update_stream(
-                TurnstileStream.from_arrays(self._n, indices, deltas * residual_scales)
+        residual_scales = unique_residual_scales[inverse]
+        residual_mask = residual_scales > 0
+        if residual_mask.any():
+            self._ams_residual.update_batch(
+                indices[residual_mask],
+                (deltas * residual_scales)[residual_mask],
             )
-        self._fp_estimator.update_stream(stream)
-        for index, delta in zip(indices, deltas):
-            self._fast_state.apply_update(self._cs2_table, int(index), float(delta))
-        self._num_updates += len(indices)
+        self._fp_estimator.update_batch(indices, deltas)
+        self._fast_state.apply_update_batch(self._cs2_table, indices, deltas)
+        self._num_updates += int(indices.size)
 
     # ------------------------------------------------------------------ #
     # Sampling

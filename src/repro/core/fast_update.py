@@ -34,6 +34,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import InvalidParameterError
+from repro.utils.batching import aggregate_scatter
 from repro.utils.rounding import DiscretizedSupport, discretize_support
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import require_positive_int
@@ -292,6 +293,26 @@ class FastUpdateState:
         rows, buckets, coefficients = self.coefficients(index)
         if rows.size:
             np.add.at(table, (rows, buckets), delta * coefficients)
+
+    def apply_update_batch(self, table: np.ndarray, indices: np.ndarray,
+                           deltas: np.ndarray) -> None:
+        """Add the residual contributions of a whole batch to ``table``.
+
+        Repeated coordinates are aggregated first (the residual table is a
+        linear function of the stream), the cached sparse coefficient lists
+        of the distinct coordinates are concatenated, and the whole batch
+        lands in one ``np.add.at`` scatter.
+        """
+        if table.shape != (self._rows, self._buckets):
+            raise InvalidParameterError("table shape does not match the fast-update state")
+        indices = np.asarray(indices, dtype=np.int64)
+        deltas = np.asarray(deltas, dtype=float)
+        if indices.size == 0:
+            return
+        scatter = aggregate_scatter(indices, deltas, self.coefficients)
+        if scatter is not None:
+            rows, buckets, values = scatter
+            np.add.at(table, (rows, buckets), values)
 
     def residual_l2_scale(self, index: int) -> float:
         """L2 scale of the coordinate's residual copies (for norm estimation)."""

@@ -42,16 +42,15 @@ Two execution backends are offered (see DESIGN.md "Substitutions"):
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional
+from typing import Optional
 
 import numpy as np
 
 from repro.exceptions import InvalidParameterError
-from repro.samplers.base import Sample
+from repro.samplers.base import BatchUpdateMixin, Sample, check_batch_bounds, coerce_batch
 from repro.samplers.jw18_lp_sampler import PerfectL2Sampler
 from repro.sketch.ams import AMSSketch
 from repro.sketch.fp_estimator import FpEstimator
-from repro.streams.stream import TurnstileStream
 from repro.utils.rng import SeedLike, ensure_rng, random_seed_array
 from repro.utils.validation import (
     require_in_open_interval,
@@ -62,7 +61,7 @@ from repro.utils.validation import (
 _VALID_BACKENDS = ("sketch", "oracle")
 
 
-class RejectionLpSamplerBase:
+class RejectionLpSamplerBase(BatchUpdateMixin):
     """Common driver of Algorithms 1 and 2 (do not instantiate directly).
 
     Parameters
@@ -207,18 +206,20 @@ class RejectionLpSamplerBase:
             self._fp_sketch.update(index, delta)
         self._num_updates += 1
 
-    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
-        """Replay a whole stream."""
-        if not isinstance(stream, TurnstileStream):
-            stream = TurnstileStream(self._n, list(stream))
+    def update_batch(self, indices, deltas) -> None:
+        """Apply a batch to every internal structure (vectorised per structure)."""
+        indices, deltas = coerce_batch(indices, deltas)
+        if indices.size == 0:
+            return
+        check_batch_bounds(indices, self._n)
         if self._backend == "oracle":
-            self._exact_vector += stream.frequency_vector()
+            np.add.at(self._exact_vector, indices, deltas)
         else:
             for sampler in self._l2_samplers:
-                sampler.update_stream(stream)
-            self._f2_sketch.update_stream(stream)
-            self._fp_sketch.update_stream(stream)
-        self._num_updates += stream.length
+                sampler.update_batch(indices, deltas)
+            self._f2_sketch.update_batch(indices, deltas)
+            self._fp_sketch.update_batch(indices, deltas)
+        self._num_updates += int(indices.size)
 
     # ------------------------------------------------------------------ #
     # Exponent estimation hook (implemented by Algorithms 1 and 2)

@@ -26,14 +26,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.core.perfect_lp_general import make_perfect_lp_sampler
 from repro.exceptions import InvalidParameterError
-from repro.samplers.base import Sample
-from repro.streams.stream import TurnstileStream
+from repro.samplers.base import BatchUpdateMixin, Sample, check_batch_bounds, coerce_batch
 from repro.utils.rng import SeedLike, ensure_rng, random_seed_array
 from repro.utils.taylor import TaylorPowerEstimator, default_num_terms
 from repro.utils.validation import require_positive_int
@@ -105,7 +104,7 @@ class PolynomialFunction:
         return result
 
 
-class PolynomialSampler:
+class PolynomialSampler(BatchUpdateMixin):
     """Perfect sampler for positive-coefficient polynomials of ``|x_i|``.
 
     Parameters
@@ -209,16 +208,18 @@ class PolynomialSampler:
                 sampler.update(index, delta)
         self._num_updates += 1
 
-    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
-        """Replay a whole stream."""
-        if not isinstance(stream, TurnstileStream):
-            stream = TurnstileStream(self._n, list(stream))
+    def update_batch(self, indices, deltas) -> None:
+        """Apply a batch to the oracle vector or every anchor sampler."""
+        indices, deltas = coerce_batch(indices, deltas)
+        if indices.size == 0:
+            return
+        check_batch_bounds(indices, self._n)
         if self._backend == "oracle":
-            self._exact_vector += stream.frequency_vector()
+            np.add.at(self._exact_vector, indices, deltas)
         else:
             for sampler in self._anchor_samplers:
-                sampler.update_stream(stream)
-        self._num_updates += stream.length
+                sampler.update_batch(indices, deltas)
+        self._num_updates += int(indices.size)
 
     # ------------------------------------------------------------------ #
     # Sampling

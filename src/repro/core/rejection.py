@@ -19,19 +19,18 @@ modules and delegate to :class:`RejectionGSampler`.
 from __future__ import annotations
 
 import math
-from typing import Callable, Iterable, Optional
+from typing import Callable, Optional
 
 import numpy as np
 
 from repro.exceptions import InvalidParameterError
-from repro.samplers.base import Sample
+from repro.samplers.base import BatchUpdateMixin, Sample, check_batch_bounds, coerce_batch
 from repro.samplers.l0_sampler import PerfectL0Sampler
-from repro.streams.stream import TurnstileStream
 from repro.utils.rng import SeedLike, ensure_rng, random_seed_array
 from repro.utils.validation import require_positive_int
 
 
-class RejectionGSampler:
+class RejectionGSampler(BatchUpdateMixin):
     """Perfect ``G``-sampler built from perfect ``L_0`` samples.
 
     Parameters
@@ -107,13 +106,15 @@ class RejectionGSampler:
             sampler.update(index, delta)
         self._num_updates += 1
 
-    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
-        """Replay a whole stream into every repetition."""
-        if not isinstance(stream, TurnstileStream):
-            stream = list(stream)
+    def update_batch(self, indices, deltas) -> None:
+        """Apply a batch to every ``L_0`` repetition (vectorised per level)."""
+        indices, deltas = coerce_batch(indices, deltas)
+        if indices.size == 0:
+            return
+        check_batch_bounds(indices, self._n)
         for sampler in self._l0_samplers:
-            sampler.update_stream(stream)
-        self._num_updates += len(stream) if hasattr(stream, "__len__") else 0
+            sampler.update_batch(indices, deltas)
+        self._num_updates += int(indices.size)
 
     def sample(self) -> Optional[Sample]:
         """Return a perfect ``G``-sample, or ``None`` for the ``FAIL`` symbol."""

@@ -23,15 +23,15 @@ less space than the naive CountSketch approach, which is implemented as
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.core.perfect_lp_general import make_perfect_lp_sampler
 from repro.exceptions import InvalidParameterError, SamplerStateError
+from repro.samplers.base import BatchUpdateMixin, coerce_batch
 from repro.sketch.countsketch import CountSketch
 from repro.sketch.fp_estimator import MaxStabilityFpEstimator
-from repro.streams.stream import TurnstileStream
 from repro.utils.rng import SeedLike, ensure_rng, random_seed_array
 from repro.utils.validation import (
     require_in_open_interval,
@@ -40,7 +40,7 @@ from repro.utils.validation import (
 )
 
 
-class SubsetMomentEstimator:
+class SubsetMomentEstimator(BatchUpdateMixin):
     """``(1 + eps)``-approximation of ``||x_Q||_p^p`` for a post-stream ``Q``.
 
     Parameters
@@ -128,15 +128,16 @@ class SubsetMomentEstimator:
             estimator.update(index, delta)
         self._num_updates += 1
 
-    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
-        """Replay a whole stream into every repetition."""
-        if not isinstance(stream, TurnstileStream):
-            stream = TurnstileStream(self._n, list(stream))
+    def update_batch(self, indices, deltas) -> None:
+        """Apply a batch to every repetition (vectorised per structure)."""
+        indices, deltas = coerce_batch(indices, deltas)
+        if indices.size == 0:
+            return
         for sampler in self._samplers:
-            sampler.update_stream(stream)
+            sampler.update_batch(indices, deltas)
         for estimator in self._estimators:
-            estimator.update_stream(stream)
-        self._num_updates += stream.length
+            estimator.update_batch(indices, deltas)
+        self._num_updates += int(indices.size)
 
     # ------------------------------------------------------------------ #
     # Post-stream query
@@ -183,7 +184,7 @@ class SubsetMomentEstimator:
         return self.estimate(retained)
 
 
-class CountSketchSubsetBaseline:
+class CountSketchSubsetBaseline(BatchUpdateMixin):
     """The naive CountSketch baseline Theorem 1.6 is compared against.
 
     Maintain a single CountSketch of the stream; at query time estimate
@@ -221,11 +222,13 @@ class CountSketchSubsetBaseline:
         self._sketch.update(index, delta)
         self._num_updates += 1
 
-    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
-        """Replay a whole stream."""
-        self._sketch.update_stream(stream)
-        if isinstance(stream, TurnstileStream):
-            self._num_updates += stream.length
+    def update_batch(self, indices, deltas) -> None:
+        """Apply a batch through the underlying CountSketch scatter-add."""
+        indices, deltas = coerce_batch(indices, deltas)
+        if indices.size == 0:
+            return
+        self._sketch.update_batch(indices, deltas)
+        self._num_updates += int(indices.size)
 
     def estimate(self, query_set: Sequence[int]) -> float:
         """Estimate ``||x_Q||_p^p`` by summing powered point queries."""

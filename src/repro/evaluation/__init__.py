@@ -13,6 +13,9 @@
 ``estimator_report``
     Bias / RMS-relative-error / success-rate summaries for scalar
     estimators (subset moments, RFDS retained moments, F_p estimators).
+``throughput``
+    Scalar-vs-batched ingest throughput measurement for the batch-update
+    engine (benchmark E9 and capacity planning).
 """
 
 from repro.evaluation.distribution_tests import (
@@ -27,6 +30,7 @@ from repro.evaluation.estimator_report import (
     format_accuracy_rows,
     summarize_estimates,
 )
+from repro.evaluation.throughput import UpdateThroughputRow, measure_update_throughput
 
 __all__ = [
     "DistributionReport",
@@ -40,4 +44,6 @@ __all__ = [
     "summarize_estimates",
     "evaluate_estimator",
     "format_accuracy_rows",
+    "UpdateThroughputRow",
+    "measure_update_throughput",
 ]

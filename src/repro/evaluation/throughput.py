@@ -1,0 +1,104 @@
+"""Scalar-vs-batched update-throughput measurement.
+
+The batch-update engine (see :mod:`repro.samplers.base`) claims that
+ingesting a stream through ``update_batch`` is much faster than scalar
+``update`` calls while producing equivalent state.  This module provides
+the measurement half of that claim for the evaluation harness and
+benchmark E9: drive a sampler factory with the same stream through both
+paths and report per-update times and speedups.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.exceptions import InvalidParameterError
+from repro.streams.stream import TurnstileStream
+from repro.utils.batching import DEFAULT_BATCH_SIZE
+
+__all__ = ["UpdateThroughputRow", "measure_update_throughput"]
+
+
+@dataclass(frozen=True)
+class UpdateThroughputRow:
+    """Throughput of one ingest mode for one sampler."""
+
+    mode: str
+    updates_per_second: float
+    microseconds_per_update: float
+    speedup_vs_scalar: float
+
+
+def measure_update_throughput(
+    factory: Callable[[], object],
+    stream: TurnstileStream,
+    *,
+    batch_sizes: Sequence[int | None] = (DEFAULT_BATCH_SIZE,),
+    scalar_limit: int | None = None,
+    batch_repeats: int = 3,
+) -> list[UpdateThroughputRow]:
+    """Time scalar ``update`` replay against batched ``update_stream`` ingest.
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable returning a fresh sampler; a new instance is
+        built per measured mode so caches and tables start cold each time.
+    stream:
+        The workload to ingest.
+    batch_sizes:
+        Chunk sizes to measure (``None`` means the library default).
+    scalar_limit:
+        Optional cap on the number of updates timed through the scalar path
+        (the per-update cost is constant, so a prefix gives the same
+        per-update figure without paying the full interpreter-speed replay
+        on long streams); the batched modes always ingest the full stream.
+    batch_repeats:
+        Number of fresh-instance ingests per batched mode; the *minimum*
+        elapsed time is reported.  Batched ingest is so fast that a single
+        run is vulnerable to scheduler noise on shared CI machines; the
+        minimum over a few runs is the stable figure.
+
+    Returns
+    -------
+    One :class:`UpdateThroughputRow` for the scalar mode followed by one per
+    batch size, with ``speedup_vs_scalar`` relative to the first row.
+    """
+    if stream.length == 0:
+        raise InvalidParameterError("cannot measure throughput of an empty stream")
+    limit = stream.length if scalar_limit is None else min(scalar_limit, stream.length)
+    if limit <= 0:
+        raise InvalidParameterError("scalar_limit must leave at least one update")
+
+    sampler = factory()
+    scalar_indices = stream.indices[:limit].tolist()
+    scalar_deltas = stream.deltas[:limit].tolist()
+    start = time.perf_counter()
+    for index, delta in zip(scalar_indices, scalar_deltas):
+        sampler.update(index, delta)
+    scalar_seconds_per_update = (time.perf_counter() - start) / limit
+
+    rows = [UpdateThroughputRow(
+        mode="scalar",
+        updates_per_second=1.0 / scalar_seconds_per_update,
+        microseconds_per_update=1e6 * scalar_seconds_per_update,
+        speedup_vs_scalar=1.0,
+    )]
+    for batch_size in batch_sizes:
+        best = float("inf")
+        for _repeat in range(max(1, batch_repeats)):
+            sampler = factory()
+            start = time.perf_counter()
+            sampler.update_stream(stream, batch_size=batch_size)
+            best = min(best, time.perf_counter() - start)
+        seconds_per_update = best / stream.length
+        label = "default" if batch_size is None else str(int(batch_size))
+        rows.append(UpdateThroughputRow(
+            mode=f"batch={label}",
+            updates_per_second=1.0 / seconds_per_update,
+            microseconds_per_update=1e6 * seconds_per_update,
+            speedup_vs_scalar=scalar_seconds_per_update / seconds_per_update,
+        ))
+    return rows

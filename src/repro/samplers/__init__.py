@@ -1,8 +1,11 @@
 """Substrate samplers the paper builds on, plus classical baselines.
 
 ``base``
-    The :class:`Sample` record and the :class:`StreamingSampler` protocol
-    every sampler in the library implements.
+    The :class:`Sample` record, the :class:`StreamingSampler` protocol
+    every sampler in the library implements, and the batch-update engine
+    (:class:`BatchUpdateMixin`, :func:`replay_stream`,
+    :data:`DEFAULT_BATCH_SIZE`) that gives every structure a vectorised
+    ``update_batch`` / chunked ``update_stream``.
 ``l0_sampler``
     Perfect ``L_0`` sampler of [JST11] (Theorem 5.4): subsampling levels +
     exact k-sparse recovery; returns the sampled coordinate's exact value.
@@ -26,7 +29,14 @@
     benchmarks (never inside the streaming algorithms).
 """
 
-from repro.samplers.base import Sample, StreamingSampler
+from repro.samplers.base import (
+    DEFAULT_BATCH_SIZE,
+    BatchUpdateMixin,
+    Sample,
+    StreamingSampler,
+    coerce_batch,
+    replay_stream,
+)
 from repro.samplers.exact import ExactGSampler, ExactLpSampler
 from repro.samplers.l0_sampler import PerfectL0Sampler
 from repro.samplers.l2_sampler import PerfectL2Sampler
@@ -40,8 +50,12 @@ from repro.samplers.truly_perfect import (
 )
 
 __all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "BatchUpdateMixin",
     "Sample",
     "StreamingSampler",
+    "coerce_batch",
+    "replay_stream",
     "ExactLpSampler",
     "ExactGSampler",
     "PerfectL0Sampler",

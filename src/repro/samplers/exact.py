@@ -9,18 +9,17 @@ and so that examples can display the ground truth next to sketched output.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional
+from typing import Callable, Optional
 
 import numpy as np
 
 from repro.exceptions import InvalidParameterError
-from repro.samplers.base import Sample
-from repro.streams.stream import TurnstileStream
+from repro.samplers.base import BatchUpdateMixin, Sample, check_batch_bounds, coerce_batch
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import require_moment_order, require_positive_int
 
 
-class ExactGSampler:
+class ExactGSampler(BatchUpdateMixin):
     """Exact sampler for an arbitrary non-negative function ``G``.
 
     Parameters
@@ -52,13 +51,13 @@ class ExactGSampler:
             raise InvalidParameterError(f"index {index} outside universe [0, {self._n})")
         self._vector[index] += delta
 
-    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
-        """Replay a whole stream."""
-        if isinstance(stream, TurnstileStream):
-            self._vector += stream.frequency_vector()
+    def update_batch(self, indices, deltas) -> None:
+        """Apply a batch with a single scatter-add into the exact vector."""
+        indices, deltas = coerce_batch(indices, deltas)
+        if indices.size == 0:
             return
-        for update in stream:
-            self.update(update.index, update.delta)
+        check_batch_bounds(indices, self._n)
+        np.add.at(self._vector, indices, deltas)
 
     def target_distribution(self) -> np.ndarray:
         """The exact target pmf ``G(x_i) / sum_j G(x_j)``."""

@@ -30,20 +30,19 @@ part of the algorithm.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional
+from typing import Optional
 
 import numpy as np
 
 from repro.exceptions import InvalidParameterError
-from repro.samplers.base import Sample
+from repro.samplers.base import BatchUpdateMixin, Sample, check_batch_bounds, coerce_batch
 from repro.sketch.ams import AMSSketch
 from repro.sketch.countsketch import AveragedCountSketch, CountSketch
-from repro.streams.stream import TurnstileStream
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import require_moment_order, require_positive_int
 
 
-class JW18LpSampler:
+class JW18LpSampler(BatchUpdateMixin):
     """Perfect ``L_p`` sampler for ``p in (0, 2]`` on turnstile streams.
 
     Parameters
@@ -151,26 +150,20 @@ class JW18LpSampler:
             self._ams.update(index, scaled_delta)
         self._num_updates += 1
 
-    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
-        """Replay a whole stream (vectorised where possible)."""
-        if isinstance(stream, TurnstileStream):
-            indices = stream.indices
-            deltas = stream.deltas
-        else:
-            pairs = [(u.index, u.delta) for u in stream]
-            if not pairs:
-                return
-            indices = np.asarray([p[0] for p in pairs], dtype=np.int64)
-            deltas = np.asarray([p[1] for p in pairs], dtype=float)
+    def update_batch(self, indices, deltas) -> None:
+        """Apply a batch of updates to the scaled vector in one pass."""
+        indices, deltas = coerce_batch(indices, deltas)
+        if indices.size == 0:
+            return
+        check_batch_bounds(indices, self._n)
         scaled = deltas * self._inverse_scale[indices]
         if self._exact_recovery:
             np.add.at(self._scaled_vector, indices, scaled)
         else:
-            scaled_stream = TurnstileStream.from_arrays(self._n, indices, scaled)
-            self._main_sketch.update_stream(scaled_stream)
-            self._value_bank.update_stream(scaled_stream)
-            self._ams.update_stream(scaled_stream)
-        self._num_updates += len(indices)
+            self._main_sketch.update_batch(indices, scaled)
+            self._value_bank.update_batch(indices, scaled)
+            self._ams.update_batch(indices, scaled)
+        self._num_updates += int(indices.size)
 
     # ------------------------------------------------------------------ #
     # Queries

@@ -27,19 +27,19 @@ probability ``2^{-Omega(k)}``.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional
+from typing import Optional
 
 import numpy as np
 
 from repro.exceptions import InvalidParameterError
-from repro.samplers.base import Sample
+from repro.samplers.base import BatchUpdateMixin, Sample, check_batch_bounds, coerce_batch
 from repro.sketch.sparse_recovery import KSparseRecovery
-from repro.streams.stream import TurnstileStream
+from repro.utils.batching import deepest_levels, route_subsampled_batch
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import require_positive_int
 
 
-class PerfectL0Sampler:
+class PerfectL0Sampler(BatchUpdateMixin):
     """Perfect ``L_0`` sampler with exact value recovery.
 
     Parameters
@@ -60,8 +60,13 @@ class PerfectL0Sampler:
         self._sparsity = sparsity
         rng = ensure_rng(seed)
         self._num_levels = int(math.ceil(math.log2(max(n, 2)))) + 2
-        # Per-coordinate level variates u_i (the "random oracle").
+        # Per-coordinate level variates u_i (the "random oracle"), and the
+        # precomputed deepest level of every coordinate so the scalar and
+        # batched routing share one vectorised computation.
         self._level_variates = rng.random(n)
+        self._deepest_of = deepest_levels(
+            self._level_variates, np.arange(n, dtype=np.int64), self._num_levels
+        )
         level_seeds = rng.integers(0, 2**63 - 1, size=self._num_levels)
         self._levels = [
             KSparseRecovery(n, sparsity, rows=6, seed=int(level_seed))
@@ -85,11 +90,7 @@ class PerfectL0Sampler:
 
     def _max_level(self, index: int) -> int:
         """Deepest level the coordinate participates in."""
-        u = self._level_variates[index]
-        if u <= 0.0:
-            return self._num_levels - 1
-        level = int(math.floor(-math.log2(u)))
-        return min(level, self._num_levels - 1)
+        return int(self._deepest_of[index])
 
     def update(self, index: int, delta: float) -> None:
         """Route the update to every level the coordinate participates in."""
@@ -100,10 +101,21 @@ class PerfectL0Sampler:
             self._levels[level].update(index, delta)
         self._num_updates += 1
 
-    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
-        """Replay a whole stream."""
-        for update in stream:
-            self.update(update.index, update.delta)
+    def update_batch(self, indices, deltas) -> None:
+        """Route a batch to every subsampling level with one mask per level.
+
+        Each level receives the sub-batch of coordinates participating in
+        it (in stream order), which the level's
+        :class:`~repro.sketch.sparse_recovery.KSparseRecovery` then applies
+        with its own grouped scatter strategy.
+        """
+        indices, deltas = coerce_batch(indices, deltas)
+        if indices.size == 0:
+            return
+        check_batch_bounds(indices, self._n)
+        route_subsampled_batch(self._levels, self._deepest_of[indices],
+                               indices, deltas)
+        self._num_updates += int(indices.size)
 
     def sample(self) -> Optional[Sample]:
         """Return a uniform support element with its exact value, or ``None``.

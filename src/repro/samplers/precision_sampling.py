@@ -17,20 +17,19 @@ Section 2.1 of the paper), so construction refuses larger ``p``.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional
+from typing import Optional
 
 import numpy as np
 
 from repro.exceptions import InvalidParameterError
-from repro.samplers.base import Sample
+from repro.samplers.base import BatchUpdateMixin, Sample, check_batch_bounds, coerce_batch
 from repro.sketch.ams import AMSSketch
 from repro.sketch.countsketch import CountSketch
-from repro.streams.stream import TurnstileStream
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import require_in_open_interval, require_moment_order, require_positive_int
 
 
-class PrecisionLpSampler:
+class PrecisionLpSampler(BatchUpdateMixin):
     """Approximate (``(1 ± eps)``-relative-error) ``L_p`` sampler, ``p <= 2``.
 
     Parameters
@@ -91,21 +90,16 @@ class PrecisionLpSampler:
         self._ams.update(index, delta)
         self._num_updates += 1
 
-    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
-        """Replay a whole stream (vectorised)."""
-        if isinstance(stream, TurnstileStream):
-            indices = stream.indices
-            deltas = stream.deltas
-        else:
-            pairs = [(u.index, u.delta) for u in stream]
-            if not pairs:
-                return
-            indices = np.asarray([p[0] for p in pairs], dtype=np.int64)
-            deltas = np.asarray([p[1] for p in pairs], dtype=float)
+    def update_batch(self, indices, deltas) -> None:
+        """Apply a batch: scaled deltas to the CountSketch, raw to the AMS."""
+        indices, deltas = coerce_batch(indices, deltas)
+        if indices.size == 0:
+            return
+        check_batch_bounds(indices, self._n)
         scaled = deltas * self._inverse_scale[indices]
-        self._sketch.update_stream(TurnstileStream.from_arrays(self._n, indices, scaled))
-        self._ams.update_stream(TurnstileStream.from_arrays(self._n, indices, deltas))
-        self._num_updates += len(indices)
+        self._sketch.update_batch(indices, scaled)
+        self._ams.update_batch(indices, deltas)
+        self._num_updates += int(indices.size)
 
     def sample(self) -> Optional[Sample]:
         """Return an approximate ``L_p`` draw, or ``None`` on failure."""

@@ -11,18 +11,17 @@ and examples can demonstrate that gap.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Optional
 
 import numpy as np
 
 from repro.exceptions import StreamError
-from repro.samplers.base import Sample
-from repro.streams.stream import TurnstileStream
+from repro.samplers.base import BatchUpdateMixin, Sample, coerce_batch
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import require_positive_int
 
 
-class ReservoirL1Sampler:
+class ReservoirL1Sampler(BatchUpdateMixin):
     """Weighted reservoir sampler over an insertion-only stream.
 
     Each update ``(i, delta)`` with ``delta > 0`` is treated as ``delta``
@@ -60,10 +59,9 @@ class ReservoirL1Sampler:
         elif self._current_index == index:
             self._current_mass += delta
 
-    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
-        """Replay a whole insertion-only stream."""
-        for update in stream:
-            self.update(update.index, update.delta)
+    # ``update_batch`` is the order-preserving scalar fallback from
+    # BatchUpdateMixin: the reservoir flips one coin per update, so batches
+    # must replay in stream order to keep the draw exact.
 
     def sample(self) -> Optional[Sample]:
         """Return the reservoir item (an exact ``L_1`` draw), or ``None`` if empty."""
@@ -76,7 +74,7 @@ class ReservoirL1Sampler:
         return 3
 
 
-class KReservoirL1Sampler:
+class KReservoirL1Sampler(BatchUpdateMixin):
     """A reservoir of ``k`` independent :class:`ReservoirL1Sampler` instances.
 
     Distinct draws come from distinct, independently seeded reservoirs, so
@@ -97,12 +95,11 @@ class KReservoirL1Sampler:
         for sampler in self._samplers:
             sampler.update(index, delta)
 
-    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
-        """Replay a whole insertion-only stream into every reservoir."""
-        if not isinstance(stream, TurnstileStream):
-            stream = list(stream)
+    def update_batch(self, indices, deltas) -> None:
+        """Process a batch in every reservoir (each keeps its own coin order)."""
+        indices, deltas = coerce_batch(indices, deltas)
         for sampler in self._samplers:
-            sampler.update_stream(stream)
+            sampler.update_batch(indices, deltas)
 
     def samples(self) -> list[Optional[Sample]]:
         """The ``k`` independent draws."""

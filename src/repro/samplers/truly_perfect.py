@@ -32,14 +32,13 @@ reports as ``sample_state_words``.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional
+from typing import Optional
 
 import numpy as np
 
 from repro.exceptions import InvalidParameterError, StreamError
 from repro.functions.base import GFunction, as_g_function
-from repro.samplers.base import Sample
-from repro.streams.stream import TurnstileStream
+from repro.samplers.base import BatchUpdateMixin, Sample
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import require_positive_int
 
@@ -97,7 +96,7 @@ class _UnitReservoir:
         self.total_mass = new_total
 
 
-class TrulyPerfectGSampler:
+class TrulyPerfectGSampler(BatchUpdateMixin):
     """Truly perfect ``G``-sampler for insertion-only integer streams ([JWZ22]).
 
     Parameters
@@ -170,10 +169,9 @@ class TrulyPerfectGSampler:
             reservoir.update(index, delta_int)
         self._num_updates += 1
 
-    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
-        """Replay a whole insertion-only stream."""
-        for update in stream:
-            self.update(update.index, update.delta)
+    # ``update_batch`` is the order-preserving scalar fallback from
+    # BatchUpdateMixin: the unit reservoirs consume randomness per update,
+    # so the batch must replay in stream order to stay exact.
 
     def sample(self) -> Optional[Sample]:
         """Return a truly perfect ``G``-sample, or ``None`` if every repetition rejects."""
@@ -203,7 +201,7 @@ class TrulyPerfectGSampler:
         return self._g.target_distribution(np.asarray(vector, dtype=float))
 
 
-class ExponentialRaceSampler:
+class ExponentialRaceSampler(BatchUpdateMixin):
     """Exponential-race truly perfect ``G``-sampler for insertion-only streams ([PW25]).
 
     Every unit of inserted mass at coordinate ``i`` (raising its level from
@@ -277,10 +275,9 @@ class ExponentialRaceSampler:
         self._levels[index] = new_level
         self._num_updates += 1
 
-    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
-        """Replay a whole insertion-only stream."""
-        for update in stream:
-            self.update(update.index, update.delta)
+    # ``update_batch`` is the order-preserving scalar fallback from
+    # BatchUpdateMixin: each update draws an exponential race key, so the
+    # batch must replay in stream order to keep the race reproducible.
 
     def sample(self) -> Optional[Sample]:
         """Return the winner of the race — a truly perfect ``G``-sample."""

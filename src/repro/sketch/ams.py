@@ -11,18 +11,16 @@ counters gives the high-probability guarantee.
 
 from __future__ import annotations
 
-from typing import Iterable
-
 import numpy as np
 
 from repro.exceptions import InvalidParameterError, SamplerStateError
 from repro.sketch.hashing import SignHash
-from repro.streams.stream import TurnstileStream
+from repro.utils.batching import BatchUpdateMixin, check_batch_bounds, coerce_batch
 from repro.utils.rng import SeedLike, ensure_rng, random_seed_array
 from repro.utils.validation import require_positive_int
 
 
-class AMSSketch:
+class AMSSketch(BatchUpdateMixin):
     """Tug-of-war sketch estimating ``F_2 = ||x||_2^2`` of a turnstile stream.
 
     Parameters
@@ -68,20 +66,14 @@ class AMSSketch:
         self._counters += self._signs[:, index] * delta
         self._num_updates += 1
 
-    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
-        """Replay a full stream through the sketch (vectorised)."""
-        if isinstance(stream, TurnstileStream):
-            indices = stream.indices
-            deltas = stream.deltas
-        else:
-            pairs = [(u.index, u.delta) for u in stream]
-            if not pairs:
-                return
-            indices = np.asarray([p[0] for p in pairs], dtype=np.int64)
-            deltas = np.asarray([p[1] for p in pairs], dtype=float)
-        contributions = self._signs[:, indices] * deltas[None, :]
-        self._counters += contributions.sum(axis=1)
-        self._num_updates += len(indices)
+    def update_batch(self, indices, deltas) -> None:
+        """Apply a whole batch through one dense sign-matrix accumulation."""
+        indices, deltas = coerce_batch(indices, deltas)
+        if indices.size == 0:
+            return
+        check_batch_bounds(indices, self._n)
+        self._counters += self._signs[:, indices] @ deltas
+        self._num_updates += int(indices.size)
 
     def update_vector(self, vector: np.ndarray) -> None:
         """Add a whole frequency vector at once."""

@@ -16,18 +16,16 @@ when all contributions are non-negative.
 
 from __future__ import annotations
 
-from typing import Iterable
-
 import numpy as np
 
 from repro.exceptions import InvalidParameterError
 from repro.sketch.hashing import PairwiseHash
-from repro.streams.stream import TurnstileStream
+from repro.utils.batching import BatchUpdateMixin, check_batch_bounds, coerce_batch
 from repro.utils.rng import SeedLike, ensure_rng, random_seed_array
 from repro.utils.validation import require_positive_int
 
 
-class CountMin:
+class CountMin(BatchUpdateMixin):
     """CountMin / CountMedian sketch over the universe ``[0, n)``.
 
     Parameters
@@ -77,17 +75,12 @@ class CountMin:
         rows = np.arange(self._rows)
         self._table[rows, self._bucket_of[:, index]] += delta
 
-    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
-        """Replay a full stream through the sketch (vectorised)."""
-        if isinstance(stream, TurnstileStream):
-            indices = stream.indices
-            deltas = stream.deltas
-        else:
-            pairs = [(u.index, u.delta) for u in stream]
-            if not pairs:
-                return
-            indices = np.asarray([p[0] for p in pairs], dtype=np.int64)
-            deltas = np.asarray([p[1] for p in pairs], dtype=float)
+    def update_batch(self, indices, deltas) -> None:
+        """Apply a whole batch of updates with one scatter-add per row."""
+        indices, deltas = coerce_batch(indices, deltas)
+        if indices.size == 0:
+            return
+        check_batch_bounds(indices, self._n)
         for row in range(self._rows):
             np.add.at(self._table[row], self._bucket_of[row, indices], deltas)
 

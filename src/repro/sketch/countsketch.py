@@ -32,18 +32,21 @@ be merged by adding tables entrywise.
 
 from __future__ import annotations
 
-from typing import Iterable
-
 import numpy as np
 
 from repro.exceptions import InvalidParameterError
 from repro.sketch.hashing import PairwiseHash, SignHash
-from repro.streams.stream import TurnstileStream
+from repro.utils.batching import (
+    BatchUpdateMixin,
+    aggregate_scatter,
+    check_batch_bounds,
+    coerce_batch,
+)
 from repro.utils.rng import SeedLike, ensure_rng, random_seed_array
 from repro.utils.validation import require_positive_int
 
 
-class CountSketch:
+class CountSketch(BatchUpdateMixin):
     """Classic CountSketch over the universe ``[0, n)``.
 
     Parameters
@@ -101,17 +104,12 @@ class CountSketch:
         rows = np.arange(self._rows)
         self._table[rows, self._bucket_of[:, index]] += self._sign_of[:, index] * delta
 
-    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
-        """Replay a full stream through the sketch (vectorised)."""
-        if isinstance(stream, TurnstileStream):
-            indices = stream.indices
-            deltas = stream.deltas
-        else:
-            pairs = [(u.index, u.delta) for u in stream]
-            if not pairs:
-                return
-            indices = np.asarray([p[0] for p in pairs], dtype=np.int64)
-            deltas = np.asarray([p[1] for p in pairs], dtype=float)
+    def update_batch(self, indices, deltas) -> None:
+        """Apply a whole batch of updates with one scatter-add per row."""
+        indices, deltas = coerce_batch(indices, deltas)
+        if indices.size == 0:
+            return
+        check_batch_bounds(indices, self._n)
         for row in range(self._rows):
             signed = deltas * self._sign_of[row, indices]
             np.add.at(self._table[row], self._bucket_of[row, indices], signed)
@@ -158,7 +156,7 @@ class CountSketch:
         return confidence_factor * l2_norm / np.sqrt(self._buckets)
 
 
-class AveragedCountSketch:
+class AveragedCountSketch(BatchUpdateMixin):
     """Average of ``num_instances`` independent CountSketch point queries.
 
     This is the estimator used in lines 8-9 of Algorithm 1 (and 11-12 of
@@ -192,12 +190,11 @@ class AveragedCountSketch:
         for instance in self._instances:
             instance.update(index, delta)
 
-    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
-        """Replay a stream into every instance."""
-        if not isinstance(stream, TurnstileStream):
-            stream = list(stream)
+    def update_batch(self, indices, deltas) -> None:
+        """Apply a batch of updates to every instance (vectorised per instance)."""
+        indices, deltas = coerce_batch(indices, deltas)
         for instance in self._instances:
-            instance.update_stream(stream)
+            instance.update_batch(indices, deltas)
 
     def update_vector(self, vector: np.ndarray) -> None:
         """Add a frequency vector to every instance."""
@@ -229,7 +226,7 @@ class AveragedCountSketch:
         return trimmed.reshape(num_groups, group_size).mean(axis=1)
 
 
-class RandomBucketCountSketch:
+class RandomBucketCountSketch(BatchUpdateMixin):
     """CountSketch with Bernoulli bucket membership (the [JW18] variant).
 
     Every (row, bucket, item) triple holds an independent indicator that is
@@ -252,6 +249,9 @@ class RandomBucketCountSketch:
         self._table = np.zeros((rows, buckets), dtype=float)
         self._membership_cache: dict[int, list[np.ndarray]] = {}
         self._sign_cache: dict[int, np.ndarray] = {}
+        # Flattened (rows, buckets, signed-coefficients) triples per item:
+        # the scatter pattern an update of that item applies to the table.
+        self._flat_cache: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -285,21 +285,58 @@ class RandomBucketCountSketch:
         self._sign_cache[index] = signs
         return signs
 
+    # Cap on cached flat scatter patterns: the cache is a pure
+    # recomputation shortcut on top of the membership/sign oracles, so
+    # bounding it keeps heavy-churn ingest from doubling the per-touched-
+    # coordinate memory the underlying caches already hold.
+    _FLAT_CACHE_LIMIT = 1 << 16
+
+    def _flat_scatter(self, index: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The item's scatter pattern as flat (rows, buckets, signed) arrays."""
+        cached = self._flat_cache.get(index)
+        if cached is not None:
+            return cached
+        membership = self._membership(index)
+        signs = self._sign(index)
+        row_ids = [np.full(buckets.size, row, dtype=np.int64)
+                   for row, buckets in enumerate(membership)]
+        signed = [np.full(buckets.size, signs[row])
+                  for row, buckets in enumerate(membership)]
+        if membership and any(buckets.size for buckets in membership):
+            flat = (np.concatenate(row_ids), np.concatenate(membership),
+                    np.concatenate(signed))
+        else:
+            empty_int = np.asarray([], dtype=np.int64)
+            flat = (empty_int, empty_int, np.asarray([], dtype=float))
+        if len(self._flat_cache) >= self._FLAT_CACHE_LIMIT:
+            self._flat_cache.clear()
+        self._flat_cache[index] = flat
+        return flat
+
     def update(self, index: int, delta: float) -> None:
         """Apply the stream update ``(index, delta)``."""
         if not (0 <= index < self._n):
             raise InvalidParameterError(f"index {index} outside universe [0, {self._n})")
-        membership = self._membership(index)
-        signs = self._sign(index)
-        for row in range(self._rows):
-            buckets = membership[row]
-            if buckets.size:
-                self._table[row, buckets] += signs[row] * delta
+        rows, buckets, signed = self._flat_scatter(index)
+        if rows.size:
+            self._table[rows, buckets] += signed * delta
 
-    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
-        """Replay a full stream through the sketch."""
-        for update in stream:
-            self.update(update.index, update.delta)
+    def update_batch(self, indices, deltas) -> None:
+        """Apply a batch of updates with one scatter-add over the table.
+
+        Repeated indices within the batch are aggregated first (the sketch
+        is linear), so the numpy work per batch is a single ``np.add.at``
+        plus one cached membership lookup per *distinct* item — the
+        Bernoulli membership oracle is inherently per-item randomness.
+        """
+        indices, deltas = coerce_batch(indices, deltas)
+        if indices.size == 0:
+            return
+        check_batch_bounds(indices, self._n)
+        scatter = aggregate_scatter(indices, deltas, self._flat_scatter)
+        if scatter is not None:
+            rows, buckets, values = scatter
+            np.add.at(self._table, (rows, buckets), values)
 
     def estimate(self, index: int) -> float:
         """Median estimate over every bucket containing ``index``."""

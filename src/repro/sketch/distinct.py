@@ -16,18 +16,24 @@ provides two small substrates used by the applications layer and examples:
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional
+from typing import Optional
 
 import numpy as np
 
 from repro.exceptions import InvalidParameterError, SamplerStateError
 from repro.sketch.sparse_recovery import KSparseRecovery
-from repro.streams.stream import TurnstileStream
+from repro.utils.batching import (
+    BatchUpdateMixin,
+    check_batch_bounds,
+    coerce_batch,
+    deepest_levels,
+    route_subsampled_batch,
+)
 from repro.utils.rng import SeedLike, derive_seed, ensure_rng
 from repro.utils.validation import require_positive_int
 
 
-class KMinimumValues:
+class KMinimumValues(BatchUpdateMixin):
     """KMV estimator of the number of distinct items appearing in a stream.
 
     Every item is mapped, through the random oracle, to a uniform value in
@@ -70,11 +76,8 @@ class KMinimumValues:
         seed = derive_seed(self._root_seed, "kmv", index)
         return (seed % (2**53)) / float(2**53)
 
-    def update(self, index: int, delta: float = 1.0) -> None:
-        """Record that ``index`` appeared in the stream (``delta`` is ignored)."""
-        if not (0 <= index < self._n):
-            raise InvalidParameterError(f"index {index} outside universe [0, {self._n})")
-        self._num_updates += 1
+    def _observe(self, index: int) -> None:
+        """Fold one touched index into the retained minima."""
         value = self._item_value(index)
         if index in self._minima:
             return
@@ -90,10 +93,33 @@ class KMinimumValues:
         self._minima[index] = value
         self._threshold = max(self._minima.values())
 
-    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
-        """Replay a whole stream (only the touched indices matter)."""
-        for update in stream:
-            self.update(update.index, update.delta)
+    def update(self, index: int, delta: float = 1.0) -> None:
+        """Record that ``index`` appeared in the stream (``delta`` is ignored)."""
+        if not (0 <= index < self._n):
+            raise InvalidParameterError(f"index {index} outside universe [0, {self._n})")
+        self._num_updates += 1
+        self._observe(index)
+
+    def update_batch(self, indices, deltas) -> None:
+        """Record a batch of appearances; only *distinct* new indices cost work.
+
+        The retained-minima set depends only on the set of touched indices
+        (item values are deterministic per index), so the batch collapses to
+        one :func:`numpy.unique` plus a membership filter against the
+        already-retained keys before the per-new-item observation loop.
+        """
+        indices, deltas = coerce_batch(indices, deltas)
+        if indices.size == 0:
+            return
+        check_batch_bounds(indices, self._n)
+        self._num_updates += int(indices.size)
+        unique = np.unique(indices)
+        if self._minima:
+            known = np.fromiter(self._minima.keys(), dtype=np.int64,
+                                count=len(self._minima))
+            unique = unique[~np.isin(unique, known)]
+        for index in unique.tolist():
+            self._observe(index)
 
     def estimate(self) -> float:
         """Estimate of the number of distinct items touched by the stream."""
@@ -106,7 +132,7 @@ class KMinimumValues:
         return (self._k - 1) / kth
 
 
-class RoughL0Estimator:
+class RoughL0Estimator(BatchUpdateMixin):
     """Rough turnstile estimator of the support size ``||x||_0``.
 
     Maintains subsampling levels (each halving the expected surviving
@@ -134,6 +160,11 @@ class RoughL0Estimator:
         rng = ensure_rng(seed)
         self._num_levels = int(math.ceil(math.log2(max(n, 2)))) + 1
         self._level_variates = rng.random(n)
+        # Precomputed deepest level per coordinate: one vectorised
+        # computation shared by the scalar and batched routing.
+        self._deepest_of = deepest_levels(
+            self._level_variates, np.arange(n, dtype=np.int64), self._num_levels
+        )
         level_seeds = rng.integers(0, 2**63 - 1, size=self._num_levels)
         self._levels = [
             KSparseRecovery(n, sparsity, rows=6, seed=int(level_seed))
@@ -146,10 +177,7 @@ class RoughL0Estimator:
         return sum(level.space_counters() for level in self._levels)
 
     def _max_level(self, index: int) -> int:
-        u = self._level_variates[index]
-        if u <= 0.0:
-            return self._num_levels - 1
-        return min(int(math.floor(-math.log2(u))), self._num_levels - 1)
+        return int(self._deepest_of[index])
 
     def update(self, index: int, delta: float) -> None:
         """Route the update to every level the coordinate participates in."""
@@ -160,10 +188,15 @@ class RoughL0Estimator:
             self._levels[level].update(index, delta)
         self._num_updates += 1
 
-    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
-        """Replay a whole stream."""
-        for update in stream:
-            self.update(update.index, update.delta)
+    def update_batch(self, indices, deltas) -> None:
+        """Route a batch to every subsampling level with one mask per level."""
+        indices, deltas = coerce_batch(indices, deltas)
+        if indices.size == 0:
+            return
+        check_batch_bounds(indices, self._n)
+        route_subsampled_batch(self._levels, self._deepest_of[indices],
+                               indices, deltas)
+        self._num_updates += int(indices.size)
 
     def estimate(self) -> Optional[float]:
         """Constant-factor estimate of ``||x||_0``, or ``None`` if no level decodes."""

@@ -26,18 +26,16 @@ Two estimators are provided, both linear sketches over turnstile streams:
 
 from __future__ import annotations
 
-from typing import Iterable
-
 import numpy as np
 
 from repro.exceptions import InvalidParameterError, SamplerStateError
 from repro.sketch.countsketch import CountSketch
-from repro.streams.stream import TurnstileStream
+from repro.utils.batching import BatchUpdateMixin, check_batch_bounds, coerce_batch
 from repro.utils.rng import SeedLike, ensure_rng, random_seed_array
 from repro.utils.validation import require_moment_order, require_positive_int
 
 
-class MaxStabilityFpEstimator:
+class MaxStabilityFpEstimator(BatchUpdateMixin):
     """Unbiased ``F_p`` estimation through exponential max-stability.
 
     Parameters
@@ -117,17 +115,12 @@ class MaxStabilityFpEstimator:
                 sketch.update(index, scaled_deltas[repetition])
         self._num_updates += 1
 
-    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
-        """Replay a full stream (vectorised per repetition)."""
-        if isinstance(stream, TurnstileStream):
-            indices = stream.indices
-            deltas = stream.deltas
-        else:
-            pairs = [(u.index, u.delta) for u in stream]
-            if not pairs:
-                return
-            indices = np.asarray([p[0] for p in pairs], dtype=np.int64)
-            deltas = np.asarray([p[1] for p in pairs], dtype=float)
+    def update_batch(self, indices, deltas) -> None:
+        """Apply a whole batch, vectorised per max-stability repetition."""
+        indices, deltas = coerce_batch(indices, deltas)
+        if indices.size == 0:
+            return
+        check_batch_bounds(indices, self._n)
         if self._exact_recovery:
             for repetition in range(self._repetitions):
                 scaled = deltas * self._inverse_scales[repetition, indices]
@@ -135,10 +128,8 @@ class MaxStabilityFpEstimator:
         else:
             for repetition, sketch in enumerate(self._sketches):
                 scaled = deltas * self._inverse_scales[repetition, indices]
-                sketch.update_stream(
-                    TurnstileStream.from_arrays(self._n, indices, scaled)
-                )
-        self._num_updates += len(indices)
+                sketch.update_batch(indices, scaled)
+        self._num_updates += int(indices.size)
 
     def _maximum_scaled_magnitudes(self) -> np.ndarray:
         """Per-repetition recovered maxima ``max_i |z^{(r)}_i|``."""
@@ -167,7 +158,7 @@ class MaxStabilityFpEstimator:
         return 1.0 / (self._repetitions - 2)
 
 
-class FpEstimator:
+class FpEstimator(BatchUpdateMixin):
     """High-probability constant-factor ``F_p`` approximation (``FpEst``).
 
     A median over ``groups`` independent :class:`MaxStabilityFpEstimator`
@@ -211,12 +202,11 @@ class FpEstimator:
         for group in self._groups:
             group.update(index, delta)
 
-    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
-        """Replay a stream into every group."""
-        if not isinstance(stream, TurnstileStream):
-            stream = list(stream)
+    def update_batch(self, indices, deltas) -> None:
+        """Apply a batch to every group (vectorised inside each group)."""
+        indices, deltas = coerce_batch(indices, deltas)
         for group in self._groups:
-            group.update_stream(stream)
+            group.update_batch(indices, deltas)
 
     def estimate(self) -> float:
         """Median-of-groups estimate of ``F_p``."""

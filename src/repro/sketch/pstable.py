@@ -19,12 +19,16 @@ oracle so the sketch is a genuine linear function of the stream.
 from __future__ import annotations
 
 import math
-from typing import Iterable
 
 import numpy as np
 
 from repro.exceptions import InvalidParameterError, SamplerStateError
-from repro.streams.stream import TurnstileStream
+from repro.utils.batching import (
+    BatchUpdateMixin,
+    aggregate_batch,
+    check_batch_bounds,
+    coerce_batch,
+)
 from repro.utils.rng import SeedLike, ensure_rng, oracle_rng
 from repro.utils.validation import require_moment_order, require_positive_int
 
@@ -67,7 +71,7 @@ def stable_median_scale(p: float, rng: np.random.Generator | None = None,
     return float(np.median(draws))
 
 
-class PStableSketch:
+class PStableSketch(BatchUpdateMixin):
     """Linear ``L_p`` norm sketch for ``p in (0, 2]`` ([Ind06]).
 
     Parameters
@@ -94,6 +98,12 @@ class PStableSketch:
         self._root_seed = int(rng.integers(0, 2**62))
         self._state = np.zeros(num_rows, dtype=float)
         self._scale = stable_median_scale(self._p, ensure_rng(self._root_seed + 1))
+        self._coefficient_cache: dict[int, np.ndarray] = {}
+        # The cache is a pure recomputation shortcut (coefficients are
+        # deterministic per index); bound the retained *floats*, not the
+        # entry count, so wide sketches cannot hoard memory — the sketch's
+        # whole point is O(num_rows) state.
+        self._coefficient_cache_limit = max(1, (1 << 20) // num_rows)
         self._num_updates = 0
 
     @property
@@ -111,9 +121,20 @@ class PStableSketch:
         return self._num_rows
 
     def _coefficients(self, index: int) -> np.ndarray:
-        """The ``num_rows`` stable coefficients of coordinate ``index``."""
-        rng = oracle_rng(self._root_seed, "pstable", index)
-        return chambers_mallows_stuck(self._p, rng, self._num_rows)
+        """The ``num_rows`` stable coefficients of coordinate ``index``.
+
+        Drawn lazily from the per-coordinate oracle and cached (bounded):
+        repeated touches and the batched path's coefficient-matrix assembly
+        cost one dict lookup instead of a generator construction.
+        """
+        cached = self._coefficient_cache.get(index)
+        if cached is None:
+            rng = oracle_rng(self._root_seed, "pstable", index)
+            cached = chambers_mallows_stuck(self._p, rng, self._num_rows)
+            if len(self._coefficient_cache) >= self._coefficient_cache_limit:
+                self._coefficient_cache.clear()
+            self._coefficient_cache[index] = cached
+        return cached
 
     def update(self, index: int, delta: float) -> None:
         """Apply a turnstile update to every projection."""
@@ -122,10 +143,21 @@ class PStableSketch:
         self._state += delta * self._coefficients(index)
         self._num_updates += 1
 
-    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
-        """Replay a whole stream."""
-        for update in stream:
-            self.update(update.index, update.delta)
+    def update_batch(self, indices, deltas) -> None:
+        """Apply a batch through one coefficient-matrix / delta product.
+
+        Repeated indices are aggregated first (the sketch is linear); the
+        remaining numpy work is a single ``matrix.T @ aggregated_deltas``.
+        Only cache-miss coordinates pay the per-coordinate oracle draw.
+        """
+        indices, deltas = coerce_batch(indices, deltas)
+        if indices.size == 0:
+            return
+        check_batch_bounds(indices, self._n)
+        unique, aggregated = aggregate_batch(indices, deltas)
+        matrix = np.stack([self._coefficients(int(item)) for item in unique])
+        self._state += matrix.T @ aggregated
+        self._num_updates += int(indices.size)
 
     def estimate_norm(self) -> float:
         """Median estimator of ``||x||_p``."""
@@ -148,6 +180,8 @@ class PStableSketch:
         merged._num_rows = self._num_rows
         merged._root_seed = self._root_seed
         merged._scale = self._scale
+        merged._coefficient_cache = {}
+        merged._coefficient_cache_limit = self._coefficient_cache_limit
         merged._state = self._state + other._state
         merged._num_updates = self._num_updates + other._num_updates
         return merged

@@ -33,11 +33,79 @@ import numpy as np
 
 from repro.exceptions import InvalidParameterError
 from repro.sketch.hashing import PairwiseHash
-from repro.streams.stream import TurnstileStream
+from repro.utils.batching import (
+    BatchUpdateMixin,
+    check_batch_bounds,
+    coerce_batch,
+)
 from repro.utils.rng import SeedLike, ensure_rng, random_seed_array
 from repro.utils.validation import require_positive_int
 
 _FINGERPRINT_PRIME = (1 << 61) - 1
+
+# Below this batch size the vectorised modular/grouping machinery costs more
+# in numpy dispatch than the scalar Python loop it replaces.  The integer
+# fingerprints are bit-identical either way; the float aggregates (cell
+# weights) may differ in the last ulp because vectorised sums re-associate.
+_VECTORIZE_CUTOFF = 32
+
+_MASK61 = np.uint64(_FINGERPRINT_PRIME)
+_MASK32 = np.uint64((1 << 32) - 1)
+_MASK29 = np.uint64((1 << 29) - 1)
+
+
+def _mersenne_reduce(values: np.ndarray) -> np.ndarray:
+    """Reduce ``uint64`` values modulo the Mersenne prime ``2^61 - 1``.
+
+    Uses the identity ``2^61 ≡ 1``: fold the high bits onto the low bits
+    twice, then subtract the prime once if needed.
+    """
+    values = (values >> np.uint64(61)) + (values & _MASK61)
+    values = (values >> np.uint64(61)) + (values & _MASK61)
+    return np.where(values >= _MASK61, values - _MASK61, values)
+
+
+def _mersenne_mulmod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Vectorised ``(a * b) mod (2^61 - 1)`` for operands already below the prime.
+
+    The 122-bit product is assembled from 32-bit limbs entirely in
+    ``uint64`` arithmetic: with ``a = ah·2^32 + al`` and likewise for ``b``,
+    ``a·b = ah·bh·2^64 + (ah·bl + al·bh)·2^32 + al·bl``, and the powers of
+    two reduce via ``2^61 ≡ 1`` (so ``2^64 ≡ 8``).  Every intermediate fits
+    in 64 bits, which is what makes the fingerprint batchable in numpy.
+    """
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    ah, al = a >> np.uint64(32), a & _MASK32
+    bh, bl = b >> np.uint64(32), b & _MASK32
+    hi = ah * bh                        # < 2^58, carries factor 2^64 ≡ 8
+    mid = ah * bl + al * bh             # < 2^62, carries factor 2^32
+    lo = al * bl                        # full 64-bit product
+    total = (hi << np.uint64(3))
+    total = total + (mid >> np.uint64(29))
+    total = total + ((mid & _MASK29) << np.uint64(32))
+    total = total + (lo >> np.uint64(61)) + (lo & _MASK61)
+    return _mersenne_reduce(total)
+
+
+def _mersenne_powmod(base: int, exponents: np.ndarray) -> np.ndarray:
+    """Vectorised ``base ** exponents mod (2^61 - 1)`` by square-and-multiply.
+
+    The square chain of the (scalar) base runs in exact Python integers;
+    the per-exponent multiplies are the vectorised
+    :func:`_mersenne_mulmod`, so the cost is ``O(log(max exponent))``
+    numpy passes over the exponent array.
+    """
+    exponents = np.asarray(exponents, dtype=np.uint64)
+    result = np.ones_like(exponents)
+    square = int(base) % _FINGERPRINT_PRIME
+    max_bits = int(exponents.max()).bit_length() if exponents.size else 0
+    for bit in range(max_bits):
+        mask = (exponents >> np.uint64(bit)) & np.uint64(1) == np.uint64(1)
+        if mask.any():
+            result[mask] = _mersenne_mulmod(result[mask], np.uint64(square))
+        square = (square * square) % _FINGERPRINT_PRIME
+    return result
 
 
 @dataclass(frozen=True)
@@ -74,6 +142,41 @@ class _Fingerprint:
         scaled = int(round(delta * self._scale))
         self._value = (self._value + scaled * pow(self._r, int(index) + 1, _FINGERPRINT_PRIME)) % _FINGERPRINT_PRIME
 
+    def update_many(self, indices: np.ndarray, deltas: np.ndarray) -> None:
+        """Fold a whole batch into the fingerprint with vectorised modular arithmetic.
+
+        Deltas are rounded to integers *individually* (exactly as the
+        scalar path does), so the result is bit-identical to replaying
+        :meth:`update` over the batch — modular arithmetic is exact.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        deltas = np.asarray(deltas, dtype=float)
+        if indices.size == 0:
+            return
+        magnitudes = np.abs(deltas * self._scale)
+        # int64-castable means strictly finite and below 2^62; NaN/inf
+        # compare False here, routing them to the scalar path, which raises
+        # exactly as scalar replay would.
+        castable = bool(np.all(magnitudes < 2.0**62))
+        if indices.size < _VECTORIZE_CUTOFF or not castable:
+            # Tiny batches: the scalar modular loop beats numpy dispatch.
+            # Huge deltas: the scalar path's unbounded Python ints stay
+            # exact where an int64 cast would wrap.
+            for index, delta in zip(indices.tolist(), deltas.tolist()):
+                self.update(index, delta)
+            return
+        scaled = np.rint(deltas * self._scale).astype(np.int64)
+        nonzero = scaled != 0
+        if not nonzero.any():
+            return
+        indices = indices[nonzero]
+        scaled = scaled[nonzero]
+        powers = _mersenne_powmod(self._r, (indices + 1).astype(np.uint64))
+        coefficients = np.remainder(scaled, _FINGERPRINT_PRIME).astype(np.uint64)
+        terms = _mersenne_mulmod(coefficients, powers)
+        total = int(terms.astype(object).sum()) % _FINGERPRINT_PRIME
+        self._value = (self._value + total) % _FINGERPRINT_PRIME
+
     def matches(self, items: Iterable[RecoveredItem]) -> bool:
         total = 0
         for item in items:
@@ -86,7 +189,7 @@ class _Fingerprint:
         return self._value == 0
 
 
-class OneSparseRecovery:
+class OneSparseRecovery(BatchUpdateMixin):
     """Detects and recovers a 1-sparse turnstile vector exactly."""
 
     def __init__(self, seed: SeedLike = None) -> None:
@@ -109,6 +212,18 @@ class OneSparseRecovery:
         self._weighted_index += index * delta
         self._fingerprint.update(index, delta)
         self._num_updates += 1
+
+    def update_batch(self, indices, deltas) -> None:
+        """Fold a batch into the three linear aggregates in one pass."""
+        indices, deltas = coerce_batch(indices, deltas)
+        if indices.size == 0:
+            return
+        if int(indices.min()) < 0:
+            raise InvalidParameterError("index must be non-negative")
+        self._weight += float(deltas.sum())
+        self._weighted_index += float((indices * deltas).sum())
+        self._fingerprint.update_many(indices, deltas)
+        self._num_updates += int(indices.size)
 
     def is_zero(self) -> bool:
         """True if the routed sub-vector is (with high probability) zero."""
@@ -137,7 +252,7 @@ class OneSparseRecovery:
         return candidate
 
 
-class KSparseRecovery:
+class KSparseRecovery(BatchUpdateMixin):
     """Exact recovery of vectors with at most ``k`` non-zero coordinates.
 
     Parameters
@@ -192,10 +307,31 @@ class KSparseRecovery:
             self._cells[row][bucket].update(index, delta)
         self._global_fingerprint.update(index, delta)
 
-    def update_stream(self, stream: TurnstileStream | Iterable) -> None:
-        """Replay a full stream through the structure."""
-        for update in stream:
-            self.update(update.index, update.delta)
+    def update_batch(self, indices, deltas) -> None:
+        """Apply a batch by grouping it per occupied (row, bucket) cell.
+
+        A batch of ``m`` updates collapses into at most
+        ``rows * 2k`` cell-level batch calls (stable sort preserves stream
+        order inside each cell, so cell fingerprints stay bit-identical to
+        scalar replay) plus one vectorised global-fingerprint fold.
+        """
+        indices, deltas = coerce_batch(indices, deltas)
+        if indices.size == 0:
+            return
+        check_batch_bounds(indices, self._n)
+        if indices.size < _VECTORIZE_CUTOFF:
+            for index, delta in zip(indices.tolist(), deltas.tolist()):
+                self.update(index, delta)
+            return
+        for row in range(self._rows):
+            buckets = self._bucket_of[row, indices]
+            order = np.argsort(buckets, kind="stable")
+            sorted_buckets = buckets[order]
+            boundaries = np.flatnonzero(np.diff(sorted_buckets)) + 1
+            for segment in np.split(order, boundaries):
+                bucket = int(buckets[segment[0]])
+                self._cells[row][bucket].update_batch(indices[segment], deltas[segment])
+        self._global_fingerprint.update_many(indices, deltas)
 
     def recover(self) -> list[RecoveredItem] | None:
         """Recover the exact non-zero coordinates, or ``None`` on failure.

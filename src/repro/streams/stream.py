@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.exceptions import InvalidParameterError, StreamError
 from repro.streams.updates import StreamKind, Update
+from repro.utils.batching import coerce_batch, replay_stream
 from repro.utils.validation import require_positive_int
 
 
@@ -70,10 +71,34 @@ class FrequencyVector:
                 f"value {self._values[index]}"
             )
 
-    def update_stream(self, stream: "TurnstileStream | Iterable[Update]") -> None:
-        """Replay every update of ``stream`` through :meth:`update`."""
-        for update in stream:
-            self.update(update.index, update.delta)
+    def update_batch(self, indices, deltas) -> None:
+        """Apply a whole batch of updates at once.
+
+        General turnstile and insertion-only streams are applied with one
+        scatter-add.  ``STRICT_TURNSTILE`` accumulators replay the batch
+        update by update, because the invariant is a statement about every
+        *prefix* of the stream — a coordinate may not dip negative even
+        transiently — which a post-batch check could not observe.
+        """
+        indices, deltas = coerce_batch(indices, deltas)
+        if indices.size == 0:
+            return
+        if self.kind is StreamKind.STRICT_TURNSTILE:
+            for index, delta in zip(indices.tolist(), deltas.tolist()):
+                self.update(index, delta)
+            return
+        if indices.min() < 0 or indices.max() >= self.n:
+            bad = int(indices[(indices < 0) | (indices >= self.n)][0])
+            raise StreamError(f"update index {bad} outside universe [0, {self.n})")
+        if self.kind is StreamKind.INSERTION_ONLY and deltas.min() < 0:
+            raise StreamError("insertion-only stream received a negative update")
+        np.add.at(self._values, indices, deltas)
+        self._num_updates += int(indices.size)
+
+    def update_stream(self, stream: "TurnstileStream | Iterable[Update]",
+                      *, batch_size: int | None = None) -> None:
+        """Replay every update of ``stream`` in chunks of ``batch_size``."""
+        replay_stream(self, stream, batch_size=batch_size)
 
     def __getitem__(self, index: int) -> float:
         return float(self._values[index])
@@ -168,6 +193,24 @@ class TurnstileStream:
     def __iter__(self) -> Iterator[Update]:
         for index, delta in zip(self._indices, self._deltas):
             yield Update(int(index), float(delta))
+
+    def batches(self, size: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Iterate over the stream in ``(indices, deltas)`` chunks of ``size``.
+
+        The chunks are read-only views into the stream's arrays (zero-copy)
+        in stream order, shaped exactly for ``update_batch``:
+
+        >>> for indices, deltas in stream.batches(8192):
+        ...     sketch.update_batch(indices, deltas)   # doctest: +SKIP
+        """
+        require_positive_int(size, "size")
+        for start in range(0, self.length, size):
+            stop = start + size
+            indices = self._indices[start:stop].view()
+            deltas = self._deltas[start:stop].view()
+            indices.flags.writeable = False
+            deltas.flags.writeable = False
+            yield indices, deltas
 
     def frequency_vector(self) -> np.ndarray:
         """The exact induced frequency vector ``x`` as a dense array."""

@@ -19,8 +19,21 @@ without import cycles:
 ``stats``
     Empirical-distribution statistics (total variation distance, chi-square
     goodness of fit) used by tests, benchmarks, and the evaluation harness.
+``batching``
+    The vectorised batch-update engine (``update_batch`` coercion, chunked
+    stream replay, and the :class:`~repro.utils.batching.BatchUpdateMixin`
+    base class) shared by every sketch and sampler; re-exported by
+    :mod:`repro.samplers.base` as the documented API surface.
 """
 
+from repro.utils.batching import (
+    DEFAULT_BATCH_SIZE,
+    BatchUpdateMixin,
+    coerce_batch,
+    iter_batches,
+    replay_stream,
+    stream_arrays,
+)
 from repro.utils.rng import spawn_rng, ensure_rng, derive_seed
 from repro.utils.rounding import round_down_to_power, discretize_support
 from repro.utils.taylor import TaylorPowerEstimator, taylor_power_estimate
@@ -32,6 +45,12 @@ from repro.utils.stats import (
 )
 
 __all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "BatchUpdateMixin",
+    "coerce_batch",
+    "iter_batches",
+    "replay_stream",
+    "stream_arrays",
     "spawn_rng",
     "ensure_rng",
     "derive_seed",

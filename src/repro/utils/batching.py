@@ -1,0 +1,287 @@
+"""Batch-update engine shared by every sketch and sampler.
+
+Every structure in the library is driven by turnstile updates.  The scalar
+entry point ``update(index, delta)`` is convenient but runs one interpreter
+round-trip per update, which dominates the cost of the (tiny) numpy work the
+linear substrates actually do.  This module provides the machinery that lets
+the whole library ingest updates in *batches*:
+
+``coerce_batch(indices, deltas)``
+    Validate and normalise a batch into parallel ``int64`` / ``float64``
+    arrays, raising :class:`~repro.exceptions.InvalidParameterError` on
+    mismatched lengths or non-1-D input.
+``stream_arrays(stream)``
+    Extract ``(indices, deltas)`` arrays from a
+    :class:`~repro.streams.stream.TurnstileStream` (zero-copy) or any
+    iterable of ``Update`` records / ``(index, delta)`` pairs.
+``replay_stream(sampler, stream, batch_size=None)``
+    The single shared ``update_stream`` implementation: chunk the stream
+    into batches of ``batch_size`` (default :data:`DEFAULT_BATCH_SIZE`) and
+    feed each chunk to ``sampler.update_batch``.
+``BatchUpdateMixin``
+    Base class giving every sketch/sampler a correct ``update_batch``
+    fallback (scalar replay in stream order, preserving any per-update
+    randomness consumption) and the shared batched ``update_stream``.
+
+Linear substrates override ``update_batch`` with genuinely vectorised numpy
+implementations (scatter-adds, matrix products, vectorised modular
+fingerprints); order-sensitive samplers (reservoirs, exponential races)
+keep the fallback, which is bit-identical to scalar replay by construction.
+
+The module deliberately imports nothing outside :mod:`numpy` and the
+exception hierarchy so that both the ``sketch`` and ``samplers`` packages
+can use it without import cycles; :mod:`repro.samplers.base` re-exports the
+public names as the documented API surface.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "BatchUpdateMixin",
+    "aggregate_batch",
+    "aggregate_scatter",
+    "coerce_batch",
+    "check_batch_bounds",
+    "stream_arrays",
+    "iter_batches",
+    "replay_stream",
+    "deepest_levels",
+    "route_subsampled_batch",
+]
+
+#: Default number of updates per chunk when replaying a stream through
+#: ``update_batch``.  Large enough that numpy dispatch overhead is amortised,
+#: small enough that per-batch scratch arrays stay cache-friendly.
+DEFAULT_BATCH_SIZE = 8192
+
+_EMPTY_INDICES = np.asarray([], dtype=np.int64)
+_EMPTY_DELTAS = np.asarray([], dtype=float)
+
+
+def coerce_batch(indices, deltas) -> Tuple[np.ndarray, np.ndarray]:
+    """Normalise a batch into parallel ``(int64, float64)`` arrays.
+
+    Raises
+    ------
+    InvalidParameterError
+        If either argument is not 1-D or the lengths differ.
+    """
+    try:
+        raw_indices = np.asarray(indices)
+        if raw_indices.dtype.kind in "fc":
+            # Reject fractional/non-finite indices instead of silently
+            # truncating them onto the wrong coordinate (e.g. swapped
+            # indices/deltas arguments); the scalar path would error too.
+            if not np.all(np.isfinite(raw_indices)) or np.any(
+                    raw_indices != np.trunc(raw_indices)):
+                raise InvalidParameterError(
+                    "batch indices must be integer-valued"
+                )
+        indices = raw_indices.astype(np.int64, copy=False)
+    except InvalidParameterError:
+        raise
+    except (TypeError, ValueError, OverflowError) as error:
+        raise InvalidParameterError(f"batch indices are not integer-like: {error}")
+    try:
+        deltas = np.asarray(deltas, dtype=float)
+    except (TypeError, ValueError, OverflowError) as error:
+        raise InvalidParameterError(f"batch deltas are not float-like: {error}")
+    if indices.ndim != 1 or deltas.ndim != 1:
+        raise InvalidParameterError(
+            f"batch indices and deltas must be 1-D, got shapes "
+            f"{indices.shape} and {deltas.shape}"
+        )
+    if indices.shape[0] != deltas.shape[0]:
+        raise InvalidParameterError(
+            f"batch indices and deltas must have the same length, got "
+            f"{indices.shape[0]} and {deltas.shape[0]}"
+        )
+    return indices, deltas
+
+
+def check_batch_bounds(indices: np.ndarray, n: int) -> None:
+    """Reject out-of-universe indices with the scalar paths' error type."""
+    if indices.size and (int(indices.min()) < 0 or int(indices.max()) >= n):
+        bad = int(indices[(indices < 0) | (indices >= n)][0])
+        raise InvalidParameterError(f"index {bad} outside universe [0, {n})")
+
+
+def stream_arrays(stream) -> Tuple[np.ndarray, np.ndarray]:
+    """``(indices, deltas)`` arrays of a stream or iterable of updates.
+
+    :class:`~repro.streams.stream.TurnstileStream` (anything exposing
+    parallel ``indices`` / ``deltas`` arrays) is handled zero-copy; other
+    iterables may contain ``Update`` records or ``(index, delta)`` pairs —
+    both unpack to two items.
+    """
+    indices = getattr(stream, "indices", None)
+    deltas = getattr(stream, "deltas", None)
+    if isinstance(indices, np.ndarray) and isinstance(deltas, np.ndarray):
+        return indices, deltas
+    index_list: list = []
+    delta_list: list = []
+    for item in stream:
+        index, delta = item
+        index_list.append(index)
+        delta_list.append(delta)
+    if not index_list:
+        return _EMPTY_INDICES, _EMPTY_DELTAS
+    # coerce_batch validates integer-ness so a float-typed index column is
+    # rejected here exactly as on the array path, never truncated.
+    return coerce_batch(index_list, delta_list)
+
+
+def iter_batches(indices: np.ndarray, deltas: np.ndarray,
+                 batch_size: int | None = None) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(indices, deltas)`` chunks of at most ``batch_size`` updates."""
+    if batch_size is None:
+        batch_size = DEFAULT_BATCH_SIZE
+    if batch_size <= 0:
+        raise InvalidParameterError(f"batch_size must be positive, got {batch_size}")
+    for start in range(0, len(indices), batch_size):
+        stop = start + batch_size
+        yield indices[start:stop], deltas[start:stop]
+
+
+def replay_stream(sampler, stream, batch_size: int | None = None) -> None:
+    """Shared ``update_stream``: replay ``stream`` through ``update_batch``.
+
+    This is the one replay loop in the library; every sketch and sampler
+    routes its ``update_stream`` here (via :class:`BatchUpdateMixin`), so
+    batched ingest speedups apply uniformly and the iterable-handling logic
+    exists exactly once.
+
+    Array-backed streams are chunked zero-copy.  Plain iterables (including
+    unbounded generators) are consumed lazily, one ``batch_size`` chunk at a
+    time, so replay memory stays ``O(batch_size)`` regardless of stream
+    length.
+    """
+    if batch_size is None:
+        batch_size = DEFAULT_BATCH_SIZE
+    if batch_size <= 0:
+        raise InvalidParameterError(f"batch_size must be positive, got {batch_size}")
+    indices = getattr(stream, "indices", None)
+    deltas = getattr(stream, "deltas", None)
+    if isinstance(indices, np.ndarray) and isinstance(deltas, np.ndarray):
+        for batch_indices, batch_deltas in iter_batches(indices, deltas, batch_size):
+            sampler.update_batch(batch_indices, batch_deltas)
+        return
+    index_chunk: list = []
+    delta_chunk: list = []
+
+    def flush() -> None:
+        # coerce_batch validates integer-ness so the lazy path rejects a
+        # fractional index exactly as the array path does.
+        batch_indices, batch_deltas = coerce_batch(index_chunk, delta_chunk)
+        sampler.update_batch(batch_indices, batch_deltas)
+        index_chunk.clear()
+        delta_chunk.clear()
+
+    for item in stream:
+        index, delta = item
+        index_chunk.append(index)
+        delta_chunk.append(delta)
+        if len(index_chunk) >= batch_size:
+            flush()
+    if index_chunk:
+        flush()
+
+
+class BatchUpdateMixin:
+    """Default batch machinery for sketches and samplers.
+
+    Subclasses get:
+
+    * ``update_batch(indices, deltas)`` — validated scalar replay in stream
+      order.  Linear structures override this with a vectorised
+      implementation; order-sensitive samplers (reservoirs, races) keep the
+      fallback so that per-update randomness is consumed exactly as in the
+      scalar path.
+    * ``update_stream(stream, *, batch_size=None)`` — the shared chunked
+      replay of :func:`replay_stream`.
+    """
+
+    def update_batch(self, indices, deltas) -> None:
+        """Apply a batch of updates by scalar replay (order-preserving)."""
+        indices, deltas = coerce_batch(indices, deltas)
+        for index, delta in zip(indices.tolist(), deltas.tolist()):
+            self.update(index, delta)
+
+    def update_stream(self, stream, *, batch_size: int | None = None) -> None:
+        """Replay a whole stream of updates in chunks of ``batch_size``."""
+        replay_stream(self, stream, batch_size=batch_size)
+
+
+def aggregate_batch(indices: np.ndarray, deltas: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Collapse a batch to ``(distinct indices, summed deltas)``.
+
+    Linear structures may aggregate repeated coordinates before touching
+    their tables; this is the shared group-by step.
+    """
+    unique, inverse = np.unique(indices, return_inverse=True)
+    return unique, np.bincount(inverse, weights=deltas)
+
+
+def aggregate_scatter(indices: np.ndarray, deltas: np.ndarray,
+                      lookup) -> Tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+    """Assemble one table-scatter for a batch from per-coordinate patterns.
+
+    ``lookup(index)`` must return the coordinate's cached scatter pattern as
+    parallel ``(rows, columns, coefficients)`` arrays.  The batch is
+    aggregated per distinct coordinate (linearity), every pattern is scaled
+    by its aggregated delta, and the concatenated triple — ready for a
+    single ``np.add.at(table, (rows, columns), values)`` — is returned, or
+    ``None`` when nothing lands in the table.
+    """
+    unique, aggregated = aggregate_batch(indices, deltas)
+    row_parts: list[np.ndarray] = []
+    column_parts: list[np.ndarray] = []
+    value_parts: list[np.ndarray] = []
+    for item, total in zip(unique.tolist(), aggregated.tolist()):
+        rows, columns, coefficients = lookup(int(item))
+        if rows.size:
+            row_parts.append(rows)
+            column_parts.append(columns)
+            value_parts.append(total * coefficients)
+    if not row_parts:
+        return None
+    return (np.concatenate(row_parts), np.concatenate(column_parts),
+            np.concatenate(value_parts))
+
+
+def deepest_levels(level_variates: np.ndarray, indices: np.ndarray,
+                   num_levels: int) -> np.ndarray:
+    """Vectorised deepest subsampling level per coordinate.
+
+    Coordinate ``i`` with uniform level variate ``u_i`` participates in
+    levels ``0 .. floor(-log2(u_i))`` (capped at ``num_levels - 1``;
+    ``u_i <= 0`` participates everywhere).  Shared by the perfect ``L_0``
+    sampler and the rough ``L_0`` estimator so the scalar and batched
+    routing use the same floating-point computation.
+    """
+    u = np.asarray(level_variates)[indices]
+    with np.errstate(divide="ignore"):
+        levels = np.floor(-np.log2(np.where(u > 0.0, u, 1.0)))
+    levels = np.where(u > 0.0, levels, float(num_levels - 1))
+    return np.minimum(levels, num_levels - 1).astype(np.int64)
+
+
+def route_subsampled_batch(levels, deepest: np.ndarray, indices: np.ndarray,
+                           deltas: np.ndarray) -> None:
+    """Feed each subsampling level its participating sub-batch.
+
+    ``deepest[j]`` is the deepest level update ``j``'s coordinate joins
+    (see :func:`deepest_levels`); level ``l`` receives, in stream order,
+    exactly the updates with ``deepest >= l``.  Shared by the perfect
+    ``L_0`` sampler and the rough ``L_0`` estimator.
+    """
+    for level in range(int(deepest.max()) + 1):
+        selected = deepest >= level
+        levels[level].update_batch(indices[selected], deltas[selected])
