@@ -22,13 +22,19 @@ def _fmt(cell) -> str:
 
 
 def empirical_counts(factory, stream, n, draws):
-    """Draw ``draws`` one-shot samples from fresh sampler instances."""
+    """Draw ``draws`` one-shot samples from fresh sampler instances.
+
+    Runs through the replica-ensemble engine: the ``draws`` replicas are
+    stacked into the sampler's registered native ensemble (or the generic
+    shared-stream fallback) and the stream is ingested once for all of
+    them.  Seed-for-seed, the counts are identical to the sequential
+    construct/replay/sample loop this helper used to run.
+    """
+    from repro.utils.ensemble import ensemble_samples
+
     counts = np.zeros(n)
     failures = 0
-    for seed in range(draws):
-        sampler = factory(seed)
-        sampler.update_stream(stream)
-        drawn = sampler.sample()
+    for drawn in ensemble_samples(factory, range(draws), stream):
         if drawn is None:
             failures += 1
         else:

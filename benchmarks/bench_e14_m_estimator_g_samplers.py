@@ -21,6 +21,7 @@ from _harness import EXPERIMENT_SEED, print_rows
 from repro.core.rejection import RejectionGSampler
 from repro.functions import FairFunction, HuberFunction, L1L2Function
 from repro.streams import turnstile_stream_with_cancellations, zipfian_frequency_vector
+from repro.utils.ensemble import ensemble_samples
 from repro.utils.stats import expected_tvd_noise_floor, total_variation_distance
 
 
@@ -34,16 +35,19 @@ def run_experiment(n: int = 28, draws: int = 90):
         target = g.target_distribution(vector)
         counts = np.zeros(n)
         failures = 0
-        space = 0
-        for seed in range(draws):
-            sampler = RejectionGSampler(
+
+        def factory(seed, g=g):
+            return RejectionGSampler(
                 n, g, upper_bound=g.upper_bound(max_magnitude),
                 lower_bound=g.lower_bound(1.0), seed=seed,
                 num_repetitions=24, sparsity=8,
             )
-            space = sampler.space_counters()
-            sampler.update_stream(stream)
-            drawn = sampler.sample()
+
+        space = factory(0).space_counters()
+        # The draws run through the replica-ensemble engine (shared stream
+        # ingest across all replicas), seed-for-seed identical to the old
+        # sequential loop.
+        for drawn in ensemble_samples(factory, range(draws), stream):
             if drawn is None:
                 failures += 1
             else:

@@ -1,5 +1,6 @@
 """E9 — per-update cost: fast-update (binomial counting) vs explicit duplication,
-plus scalar-vs-batched ingest throughput for the CountSketch-backed samplers.
+plus scalar-vs-batched ingest throughput for the CountSketch-backed samplers,
+plus the replica-ensemble draw throughput (E9c) recorded in ``BENCH_e9.json``.
 
 Paper artifact: the fast-update scheme of Section 3 / Theorem 3.21, which
 keeps the update time polylogarithmic regardless of the duplication
@@ -22,6 +23,16 @@ must be at least 5x faster per update than scalar ``update`` replay on the
 CountSketch-backed samplers (in practice the gap is 1-2 orders of
 magnitude).  ``REPRO_BENCH_QUICK=1`` shrinks stream lengths for CI smoke
 runs without changing the universe size or the assertions.
+
+The third experiment (E9c) measures the replica-ensemble engine on
+``empirical_counts``-style Monte-Carlo workloads (hundreds of one-shot
+draws from fresh independent replicas over a small universe): for
+CountSketch-backed samplers (JW18, precision) and the ``p``-stable sketch
+the ensemble path must be at least 10x faster than per-instance scalar
+replay while producing bit-identical draws.  All measured rows — scalar
+vs batched vs ensemble — are serialised to ``BENCH_e9.json`` (path
+overridable via ``REPRO_BENCH_JSON``) so the perf trajectory is tracked
+from this PR onward.
 """
 
 from __future__ import annotations
@@ -34,14 +45,32 @@ import numpy as np
 from _harness import EXPERIMENT_SEED, print_rows
 from repro.core.approximate_lp import ApproximateLpSampler
 from repro.core.fast_update import DiscretizedDuplication
-from repro.evaluation.throughput import measure_update_throughput
+from repro.evaluation.throughput import (
+    measure_ensemble_draws,
+    measure_update_throughput,
+    write_bench_json,
+)
 from repro.samplers.jw18_lp_sampler import JW18LpSampler
 from repro.samplers.precision_sampling import PrecisionLpSampler
 from repro.sketch.countsketch import CountSketch
+from repro.sketch.pstable import PStableSketch
 from repro.streams.generators import stream_from_vector, zipfian_frequency_vector
 from repro.streams.stream import TurnstileStream
 
 QUICK_MODE = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0", "false", "False")
+BENCH_JSON_PATH = os.environ.get("REPRO_BENCH_JSON", "BENCH_e9.json")
+
+#: Collected rows from the sections below, serialised by whichever test
+#: runs last so a partial (single-test) run still emits a valid file.
+_BENCH_PAYLOAD: dict = {
+    "benchmark": "E9",
+    "quick_mode": QUICK_MODE,
+    "universe_update_throughput_n": 100_000,
+}
+
+
+def _flush_bench_json() -> None:
+    write_bench_json(BENCH_JSON_PATH, _BENCH_PAYLOAD)
 
 
 def _time_sampler_updates(sampler, stream) -> float:
@@ -132,6 +161,7 @@ def run_batched_ingest():
          lambda: JW18LpSampler(n, 2.0, EXPERIMENT_SEED, value_instances=4)),
     ]
     rows = []
+    json_rows = []
     for label, factory in samplers:
         measured = measure_update_throughput(factory, stream,
                                              batch_sizes=(8192,),
@@ -144,6 +174,15 @@ def run_batched_ingest():
             round(batched.speedup_vs_scalar, 1),
             int(batched.updates_per_second),
         ])
+        json_rows.append({
+            "sampler": label,
+            "scalar_us_per_update": scalar.microseconds_per_update,
+            "batched_us_per_update": batched.microseconds_per_update,
+            "speedup_batched_vs_scalar": batched.speedup_vs_scalar,
+            "batched_updates_per_second": batched.updates_per_second,
+        })
+    _BENCH_PAYLOAD["update_throughput"] = json_rows
+    _flush_bench_json()
     return rows
 
 
@@ -159,3 +198,78 @@ def test_e9_batched_ingest_throughput(benchmark):
     # every CountSketch-backed sampler (measured headroom is far larger).
     for row in rows:
         assert row[3] >= 5.0, f"{row[0]} speedup {row[3]} below 5x"
+
+
+def run_ensemble_draws():
+    """E9c: empirical_counts-style draws — per-instance vs replica ensemble.
+
+    The workload mirrors the distribution experiments (E1/E3/E12/Table 1):
+    hundreds of one-shot draws from fresh independent replicas over a
+    small universe, on a cancellation-heavy turnstile stream.  Results of
+    the ensemble path are bit-identical to the per-instance paths (see
+    tests/test_ensemble_equivalence.py); this benchmark measures the
+    wall-clock gap.
+    """
+    n = 64
+    draws = 160 if QUICK_MODE else 800
+    num_updates = 600 if QUICK_MODE else 2000
+    rng = np.random.default_rng(EXPERIMENT_SEED + 17)
+    indices = rng.integers(0, n, size=num_updates)
+    deltas = rng.choice(np.asarray([-2.0, -1.0, 1.0, 2.0, 3.0]), size=num_updates)
+    stream = TurnstileStream.from_arrays(n, indices, deltas)
+
+    norm_query = lambda sketch: sketch.estimate_norm()  # noqa: E731
+    norm_ensemble_query = lambda ens, r: ens.estimate_norm_replica(r)  # noqa: E731
+    cases = [
+        ("JW18LpSampler(p=2, sketch)", "countsketch",
+         lambda s: JW18LpSampler(n, 2.0, seed=s), None, None),
+        ("PrecisionLpSampler(p=2)", "countsketch",
+         lambda s: PrecisionLpSampler(n, 2.0, epsilon=0.25, seed=s), None, None),
+        ("JW18LpSampler(p=2, oracle)", "exact-vector",
+         lambda s: JW18LpSampler(n, 2.0, seed=s, exact_recovery=True), None, None),
+        ("PStableSketch(p=1)", "p-stable",
+         lambda s: PStableSketch(n, 1.0, num_rows=96, seed=s),
+         norm_query, norm_ensemble_query),
+    ]
+    measured = []
+    rows = []
+    for label, backing, factory, query, ensemble_query in cases:
+        row = measure_ensemble_draws(
+            factory, stream, draws, label=label, query=query,
+            ensemble_query=ensemble_query,
+            scalar_probe=8 if QUICK_MODE else 16,
+            batched_probe=40 if QUICK_MODE else 100,
+        )
+        measured.append((backing, row))
+        rows.append([
+            label, backing, row.draws, row.stream_length,
+            round(row.scalar_seconds, 2), round(row.batched_seconds, 2),
+            round(row.ensemble_seconds, 2),
+            round(row.speedup_vs_scalar, 1), round(row.speedup_vs_batched, 2),
+            int(row.draws_per_second),
+        ])
+    _BENCH_PAYLOAD["ensemble_draws"] = [
+        {"backing": backing, **{k: getattr(row, k) for k in row.__dataclass_fields__}}
+        for backing, row in measured
+    ]
+    _flush_bench_json()
+    return rows
+
+
+def test_e9c_ensemble_draw_throughput(benchmark):
+    rows = benchmark.pedantic(run_ensemble_draws, rounds=1, iterations=1)
+    print_rows(
+        "E9c: empirical-counts draws — scalar vs batched vs ensemble (wall-clock s)",
+        ["sampler", "backing", "draws", "stream", "scalar s", "batched s",
+         "ensemble s", "x vs scalar", "x vs batched", "draws/s"],
+        rows,
+    )
+    # Acceptance bar (PR: vectorized replica-ensemble engine): at least 10x
+    # over per-instance scalar replay for a CountSketch-backed sampler and
+    # for the p-stable sketch.  Quick mode (CI smoke) uses a reduced bar to
+    # absorb shared-runner noise on the smaller workload.
+    floor = 3.0 if QUICK_MODE else 10.0
+    for row in rows:
+        if row[1] in ("countsketch", "p-stable"):
+            assert row[7] >= floor, (
+                f"{row[0]} ensemble speedup {row[7]}x below {floor}x")

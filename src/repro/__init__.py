@@ -67,11 +67,14 @@ from repro.streams import (
 )
 from repro.sketch import (
     AMSSketch,
+    AMSEnsemble,
     AveragedCountSketch,
     CountMin,
     CountSketch,
+    CountSketchEnsemble,
     ExponentialScaler,
     FpEstimator,
+    FpEstimatorEnsemble,
     KMinimumValues,
     KSparseRecovery,
     KWiseHash,
@@ -79,6 +82,7 @@ from repro.sketch import (
     OneSparseRecovery,
     PairwiseHash,
     PStableSketch,
+    PStableEnsemble,
     RandomBucketCountSketch,
     RoughL0Estimator,
     SignHash,
@@ -97,6 +101,12 @@ from repro.functions import (
     SoftConcaveSublinearFunction,
     SupportFunction,
 )
+from repro.utils.ensemble import (
+    ReplicaEnsemble,
+    SamplerEnsemble,
+    build_ensemble,
+    ensemble_samples,
+)
 from repro.samplers import (
     DEFAULT_BATCH_SIZE,
     BatchUpdateMixin,
@@ -104,9 +114,11 @@ from repro.samplers import (
     ExactLpSampler,
     ExponentialRaceSampler,
     JW18LpSampler,
+    JW18LpSamplerEnsemble,
     PerfectL0Sampler,
     PerfectL2Sampler,
     PrecisionLpSampler,
+    PrecisionLpSamplerEnsemble,
     ReservoirL1Sampler,
     Sample,
     StreamingSampler,
@@ -181,6 +193,16 @@ __all__ = [
     "SignHash",
     "CountSketch",
     "AveragedCountSketch",
+    "CountSketchEnsemble",
+    "AMSEnsemble",
+    "PStableEnsemble",
+    "FpEstimatorEnsemble",
+    "JW18LpSamplerEnsemble",
+    "PrecisionLpSamplerEnsemble",
+    "ReplicaEnsemble",
+    "SamplerEnsemble",
+    "build_ensemble",
+    "ensemble_samples",
     "RandomBucketCountSketch",
     "CountMin",
     "AMSSketch",

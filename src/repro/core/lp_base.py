@@ -51,6 +51,7 @@ from repro.samplers.base import BatchUpdateMixin, Sample, check_batch_bounds, co
 from repro.samplers.jw18_lp_sampler import PerfectL2Sampler
 from repro.sketch.ams import AMSSketch
 from repro.sketch.fp_estimator import FpEstimator
+from repro.utils.ensemble import build_ensemble
 from repro.utils.rng import SeedLike, ensure_rng, random_seed_array
 from repro.utils.validation import (
     require_in_open_interval,
@@ -128,19 +129,22 @@ class RejectionLpSamplerBase(BatchUpdateMixin):
 
         if backend == "sketch":
             seeds = random_seed_array(rng, num_l2_samples + 2)
-            self._l2_samplers = [
+            # The N parallel L_2 samplers are the sampler's inner repetition
+            # loop; dispatch them to the native replica ensemble so one
+            # batch of stream updates lands in all of them at once.
+            self._l2_ensemble = build_ensemble([
                 PerfectL2Sampler(
                     n, int(seed_value), value_instances=value_instances,
                 )
                 for seed_value in seeds[:num_l2_samples]
-            ]
+            ])
             self._f2_sketch = AMSSketch(n, width=16, depth=5, seed=int(seeds[-2]))
             self._fp_sketch = FpEstimator(
                 n, self._p, groups=5, repetitions_per_group=20, seed=int(seeds[-1]),
             )
             self._exact_vector = None
         else:
-            self._l2_samplers = []
+            self._l2_ensemble = None
             self._f2_sketch = None
             self._fp_sketch = None
             self._exact_vector = np.zeros(n, dtype=float)
@@ -185,7 +189,7 @@ class RejectionLpSamplerBase(BatchUpdateMixin):
         """Stored counters across all internal structures."""
         if self._backend == "oracle":
             return self._n
-        total = sum(sampler.space_counters() for sampler in self._l2_samplers)
+        total = self._l2_ensemble.space_counters()
         total += self._f2_sketch.space_counters()
         total += self._fp_sketch.space_counters()
         return total
@@ -200,8 +204,8 @@ class RejectionLpSamplerBase(BatchUpdateMixin):
         if self._backend == "oracle":
             self._exact_vector[index] += delta
         else:
-            for sampler in self._l2_samplers:
-                sampler.update(index, delta)
+            self._l2_ensemble.update_batch(np.asarray([index], dtype=np.int64),
+                                           np.asarray([float(delta)]))
             self._f2_sketch.update(index, delta)
             self._fp_sketch.update(index, delta)
         self._num_updates += 1
@@ -215,8 +219,7 @@ class RejectionLpSamplerBase(BatchUpdateMixin):
         if self._backend == "oracle":
             np.add.at(self._exact_vector, indices, deltas)
         else:
-            for sampler in self._l2_samplers:
-                sampler.update_batch(indices, deltas)
+            self._l2_ensemble.update_batch(indices, deltas)
             self._f2_sketch.update_batch(indices, deltas)
             self._fp_sketch.update_batch(indices, deltas)
         self._num_updates += int(indices.size)
@@ -260,12 +263,19 @@ class RejectionLpSamplerBase(BatchUpdateMixin):
                 estimates = np.full(max(needed, 1), exact)
                 yield index, estimates, exact
         else:
-            for sampler in self._l2_samplers:
-                drawn = sampler.sample()
+            ensemble = self._l2_ensemble
+            native = hasattr(ensemble, "independent_value_estimates")
+            for replica in range(ensemble.num_replicas):
+                drawn = ensemble.sample_replica(replica)
                 if drawn is None:
                     continue
                 index = drawn.index
-                estimates = sampler.independent_value_estimates(index, max(needed, 1))
+                if native:
+                    estimates = ensemble.independent_value_estimates(
+                        replica, index, max(needed, 1))
+                else:
+                    estimates = ensemble.replicas[replica].independent_value_estimates(
+                        index, max(needed, 1))
                 pivot = drawn.value_estimate
                 if pivot is None or pivot == 0.0:
                     pivot = float(np.mean(estimates)) or 1.0
@@ -308,5 +318,11 @@ class RejectionLpSamplerBase(BatchUpdateMixin):
         """A standalone estimate of ``x_index`` (exact in oracle mode)."""
         if self._backend == "oracle":
             return float(self._exact_vector[index])
-        estimates = [sampler.estimate_value(index) for sampler in self._l2_samplers[:8]]
+        ensemble = self._l2_ensemble
+        if hasattr(ensemble, "estimate_value"):
+            estimates = [ensemble.estimate_value(replica, index)
+                         for replica in range(min(8, ensemble.num_replicas))]
+        else:
+            estimates = [instance.estimate_value(index)
+                         for instance in ensemble.replicas[:8]]
         return float(np.mean(estimates))

@@ -5,6 +5,14 @@ stream; the resulting empirical distribution is compared to the target pmf
 with total variation distance and a chi-square statistic, and the failure
 rate is recorded.  This is the common engine behind experiments E1, E3, E5,
 E7, E8, E11, E12 and behind the statistical unit tests.
+
+The draws are executed through the replica-ensemble engine
+(:func:`repro.utils.ensemble.ensemble_samples`): all per-draw replicas are
+stacked into the sampler's registered native ensemble (or the generic
+shared-stream fallback) and the stream is ingested once for the whole
+round, which removes the ``R ×`` per-instance cost of the old loop while
+producing draw-for-draw identical results (replica state and samples are
+bit-identical to the sequential path).
 """
 
 from __future__ import annotations
@@ -17,6 +25,7 @@ import numpy as np
 from repro.exceptions import InvalidParameterError
 from repro.samplers.base import Sample
 from repro.streams.stream import TurnstileStream
+from repro.utils.ensemble import ensemble_samples
 from repro.utils.stats import (
     chi_square_statistic,
     expected_tvd_noise_floor,
@@ -116,26 +125,34 @@ def evaluate_sampler_distribution(
 
     counts = np.zeros(n, dtype=float)
     failures = 0
-    shared_sampler = None
     if reuse_sampler:
         shared_sampler = sampler_factory(0)
         shared_sampler.update_stream(stream)
-
-    for draw in range(num_draws):
-        result: Optional[Sample] = None
-        if reuse_sampler:
-            result = shared_sampler.sample()
-        else:
-            for attempt in range(max_attempts_per_draw):
-                sampler = sampler_factory(draw * max_attempts_per_draw + attempt + 1)
-                sampler.update_stream(stream)
-                result = sampler.sample()
-                if result is not None:
-                    break
-        if result is None:
-            failures += 1
-        else:
-            counts[result.index] += 1.0
+        for draw in range(num_draws):
+            result: Optional[Sample] = shared_sampler.sample()
+            if result is None:
+                failures += 1
+            else:
+                counts[result.index] += 1.0
+    else:
+        # One ensemble round per retry attempt: attempt k rebuilds replicas
+        # only for the draws still failing, with the same per-draw seed
+        # schedule the sequential loop used, so the outcome of every draw
+        # is identical to the per-instance path.
+        pending = list(range(num_draws))
+        for attempt in range(max_attempts_per_draw):
+            if not pending:
+                break
+            seeds = [draw * max_attempts_per_draw + attempt + 1 for draw in pending]
+            samples = ensemble_samples(sampler_factory, seeds, stream)
+            still_pending = []
+            for draw, result in zip(pending, samples):
+                if result is None:
+                    still_pending.append(draw)
+                else:
+                    counts[result.index] += 1.0
+            pending = still_pending
+        failures = len(pending)
 
     successes = int(counts.sum())
     if successes == 0:

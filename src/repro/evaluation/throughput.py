@@ -1,24 +1,38 @@
-"""Scalar-vs-batched update-throughput measurement.
+"""Scalar-vs-batched-vs-ensemble throughput measurement.
 
 The batch-update engine (see :mod:`repro.samplers.base`) claims that
 ingesting a stream through ``update_batch`` is much faster than scalar
-``update`` calls while producing equivalent state.  This module provides
-the measurement half of that claim for the evaluation harness and
-benchmark E9: drive a sampler factory with the same stream through both
-paths and report per-update times and speedups.
+``update`` calls while producing equivalent state, and the replica-ensemble
+engine (:mod:`repro.utils.ensemble`) claims that running ``R`` independent
+replicas through one shared ingest pass is much faster again than driving
+``R`` instances separately.  This module provides the measurement half of
+both claims for the evaluation harness and benchmark E9: per-update times
+for the scalar/batched/ensemble ingest modes, and end-to-end draws/s for
+``empirical_counts``-style Monte-Carlo workloads.  Benchmark E9 serialises
+the rows into the machine-readable ``BENCH_e9.json`` via
+:func:`write_bench_json` so the performance trajectory is tracked across
+PRs.
 """
 
 from __future__ import annotations
 
+import json
 import time
-from dataclasses import dataclass
-from typing import Callable, Sequence
+from dataclasses import asdict, dataclass
+from typing import Callable, Optional, Sequence
 
 from repro.exceptions import InvalidParameterError
 from repro.streams.stream import TurnstileStream
 from repro.utils.batching import DEFAULT_BATCH_SIZE
+from repro.utils.ensemble import build_ensemble
 
-__all__ = ["UpdateThroughputRow", "measure_update_throughput"]
+__all__ = [
+    "EnsembleDrawsRow",
+    "UpdateThroughputRow",
+    "measure_ensemble_draws",
+    "measure_update_throughput",
+    "write_bench_json",
+]
 
 
 @dataclass(frozen=True)
@@ -72,7 +86,16 @@ def measure_update_throughput(
     if limit <= 0:
         raise InvalidParameterError("scalar_limit must leave at least one update")
 
-    sampler = factory()
+    def warmed() -> object:
+        # One zero-delta update forces the lazy hash-table build outside
+        # the timed region: table construction is a per-instance cost, not
+        # a per-update one, and the scalar/batched modes should both be
+        # measured against fully materialised instances.
+        sampler = factory()
+        sampler.update(int(stream.indices[0]), 0.0)
+        return sampler
+
+    sampler = warmed()
     scalar_indices = stream.indices[:limit].tolist()
     scalar_deltas = stream.deltas[:limit].tolist()
     start = time.perf_counter()
@@ -89,7 +112,7 @@ def measure_update_throughput(
     for batch_size in batch_sizes:
         best = float("inf")
         for _repeat in range(max(1, batch_repeats)):
-            sampler = factory()
+            sampler = warmed()
             start = time.perf_counter()
             sampler.update_stream(stream, batch_size=batch_size)
             best = min(best, time.perf_counter() - start)
@@ -102,3 +125,105 @@ def measure_update_throughput(
             speedup_vs_scalar=scalar_seconds_per_update / seconds_per_update,
         ))
     return rows
+
+
+@dataclass(frozen=True)
+class EnsembleDrawsRow:
+    """End-to-end Monte-Carlo draw throughput of the three execution modes.
+
+    ``scalar_seconds`` and ``batched_seconds`` are per-instance paths
+    (construct, replay the stream with scalar ``update`` calls or batched
+    ``update_stream``, query) measured on a prefix of instances and
+    extrapolated to ``draws``; ``ensemble_seconds`` is the full wall-clock
+    of the replica-ensemble path (build all replicas, one shared ingest,
+    per-replica queries), which produces bit-identical results.
+    """
+
+    sampler: str
+    draws: int
+    stream_length: int
+    scalar_seconds: float
+    batched_seconds: float
+    ensemble_seconds: float
+    speedup_vs_scalar: float
+    speedup_vs_batched: float
+    draws_per_second: float
+
+
+def measure_ensemble_draws(
+    factory: Callable[[int], object],
+    stream: TurnstileStream,
+    draws: int,
+    *,
+    label: str,
+    query: Optional[Callable[[object], object]] = None,
+    ensemble_query: Optional[Callable[[object, int], object]] = None,
+    scalar_probe: int = 16,
+    batched_probe: int = 100,
+) -> EnsembleDrawsRow:
+    """Time an ``empirical_counts``-style workload through all three modes.
+
+    ``factory(seed)`` returns a fresh replica; ``query`` extracts the
+    per-instance result (defaults to ``.sample()``) and ``ensemble_query``
+    the per-replica result from the ensemble (defaults to
+    ``sample_replica``).  The scalar and batched per-instance baselines are
+    measured on ``scalar_probe`` / ``batched_probe`` instances and scaled
+    to ``draws``, keeping the benchmark's wall-clock bounded even when the
+    scalar path is two orders of magnitude slower.
+    """
+    if query is None:
+        query = lambda sampler: sampler.sample()  # noqa: E731
+    if ensemble_query is None:
+        ensemble_query = lambda ens, replica: ens.sample_replica(replica)  # noqa: E731
+
+    scalar_probe = max(1, min(scalar_probe, draws))
+    batched_probe = max(1, min(batched_probe, draws))
+
+    scalar_indices = stream.indices.tolist()
+    scalar_deltas = stream.deltas.tolist()
+    start = time.perf_counter()
+    for seed in range(scalar_probe):
+        sampler = factory(seed)
+        for index, delta in zip(scalar_indices, scalar_deltas):
+            sampler.update(index, delta)
+        query(sampler)
+    scalar_seconds = (time.perf_counter() - start) * draws / scalar_probe
+
+    start = time.perf_counter()
+    for seed in range(batched_probe):
+        sampler = factory(seed)
+        sampler.update_stream(stream)
+        query(sampler)
+    batched_seconds = (time.perf_counter() - start) * draws / batched_probe
+
+    start = time.perf_counter()
+    ensemble = build_ensemble([factory(seed) for seed in range(draws)])
+    ensemble.update_stream(stream)
+    for replica in range(draws):
+        ensemble_query(ensemble, replica)
+    ensemble_seconds = time.perf_counter() - start
+
+    return EnsembleDrawsRow(
+        sampler=label,
+        draws=draws,
+        stream_length=stream.length,
+        scalar_seconds=scalar_seconds,
+        batched_seconds=batched_seconds,
+        ensemble_seconds=ensemble_seconds,
+        speedup_vs_scalar=scalar_seconds / ensemble_seconds,
+        speedup_vs_batched=batched_seconds / ensemble_seconds,
+        draws_per_second=draws / ensemble_seconds,
+    )
+
+
+def write_bench_json(path, payload: dict) -> None:
+    """Serialise benchmark rows (dataclasses allowed) to a JSON file."""
+
+    def encode(value):
+        if hasattr(value, "__dataclass_fields__"):
+            return asdict(value)
+        raise TypeError(f"not JSON-serialisable: {type(value)!r}")
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=encode)
+        handle.write("\n")

@@ -40,9 +40,10 @@ from repro.samplers.base import (
 from repro.samplers.exact import ExactGSampler, ExactLpSampler
 from repro.samplers.l0_sampler import PerfectL0Sampler
 from repro.samplers.l2_sampler import PerfectL2Sampler
-from repro.samplers.jw18_lp_sampler import JW18LpSampler
+from repro.samplers.jw18_lp_sampler import JW18LpSampler, JW18LpSamplerEnsemble
 from repro.samplers.reservoir import ReservoirL1Sampler
-from repro.samplers.precision_sampling import PrecisionLpSampler
+from repro.samplers.precision_sampling import (PrecisionLpSampler,
+                                               PrecisionLpSamplerEnsemble)
 from repro.samplers.truly_perfect import (
     ExponentialRaceSampler,
     TrulyPerfectGSampler,
@@ -61,8 +62,10 @@ __all__ = [
     "PerfectL0Sampler",
     "PerfectL2Sampler",
     "JW18LpSampler",
+    "JW18LpSamplerEnsemble",
     "ReservoirL1Sampler",
     "PrecisionLpSampler",
+    "PrecisionLpSamplerEnsemble",
     "TrulyPerfectGSampler",
     "ExponentialRaceSampler",
     "max_unit_increment",

@@ -36,8 +36,9 @@ import numpy as np
 
 from repro.exceptions import InvalidParameterError
 from repro.samplers.base import BatchUpdateMixin, Sample, check_batch_bounds, coerce_batch
-from repro.sketch.ams import AMSSketch
-from repro.sketch.countsketch import AveragedCountSketch, CountSketch
+from repro.sketch.ams import AMSEnsemble, AMSSketch
+from repro.sketch.countsketch import AveragedCountSketch, CountSketch, CountSketchEnsemble
+from repro.utils.ensemble import ReplicaEnsemble, register_ensemble
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import require_moment_order, require_positive_int
 
@@ -248,6 +249,158 @@ class JW18LpSampler(BatchUpdateMixin):
     def scaled_vector_estimate(self) -> np.ndarray:
         """The estimated scaled vector (exact in oracle mode)."""
         return np.array(self._scaled_estimates(), copy=True)
+
+
+class JW18LpSamplerEnsemble(ReplicaEnsemble):
+    """``R`` independent JW18 samplers driven by one shared ingest pass.
+
+    The per-replica exponential scalings are stacked into an ``(R, n)``
+    matrix; every stream batch is scaled for all replicas at once and lands
+    in the replicas' substrates through three native ensembles (the main
+    CountSketch, the flattened ``R * value_instances`` value-bank members,
+    and the AMS sketches) — or, in oracle mode, one stacked
+    ``(R, n)`` scaled-vector scatter.  Per-replica query math runs on
+    identically laid-out slices and consumes each replica's own generator
+    exactly as the standalone ``sample()`` does, so both state and samples
+    are bit-identical to driving each instance separately.
+
+    Replicas must be *fresh* (un-updated) when the ensemble is built: the
+    stacked state starts from the instances' (zero) tables.
+    """
+
+    def __init__(self, instances) -> None:
+        super().__init__(instances)
+        first = instances[0]
+        def _config(inst):
+            value_instances = (None if inst._exact_recovery
+                               else inst._value_bank.num_instances)
+            return (inst._n, inst._p, inst._exact_recovery, inst._gap_test,
+                    inst._gap_multiplier, inst._buckets, value_instances)
+
+        if any(_config(inst) != _config(first) for inst in instances):
+            raise InvalidParameterError(
+                "ensemble replicas must share (n, p, mode, gap and value-bank "
+                "configuration)")
+        self._n = first._n
+        self._p = first._p
+        self._exact = first._exact_recovery
+        self._inverse_scale = np.stack([inst._inverse_scale for inst in instances])
+        if self._exact:
+            self._scaled_vectors = np.zeros((len(instances), self._n), dtype=float)
+            self._main = None
+            self._value = None
+            self._ams = None
+            self._value_group = 0
+        else:
+            self._scaled_vectors = None
+            self._main = CountSketchEnsemble(
+                [inst._main_sketch for inst in instances])
+            self._value = CountSketchEnsemble.concat(
+                [inst._value_bank._ensemble for inst in instances])
+            self._value_group = first._value_bank.num_instances
+            self._ams = AMSEnsemble([inst._ams for inst in instances])
+        self._num_updates = 0
+        self._estimates_cache: np.ndarray | None = None
+
+    def update_batch(self, indices, deltas) -> None:
+        """Scale one batch for every replica and ingest it everywhere."""
+        indices, deltas = coerce_batch(indices, deltas)
+        if indices.size == 0:
+            return
+        check_batch_bounds(indices, self._n)
+        scaled = deltas * self._inverse_scale[:, indices]
+        if self._exact:
+            replica_index = np.arange(self.num_replicas)[:, None]
+            np.add.at(self._scaled_vectors, (replica_index, indices[None, :]),
+                      scaled)
+        else:
+            self._main.update_batch(indices, scaled)
+            self._value.update_batch(indices, scaled)
+            self._ams.update_batch(indices, scaled)
+        self._num_updates += int(indices.size)
+        self._estimates_cache = None
+
+    def _scaled_estimates(self) -> np.ndarray:
+        """The ``(R, n)`` matrix of per-replica scaled-vector estimates."""
+        if self._estimates_cache is None:
+            if self._exact:
+                self._estimates_cache = self._scaled_vectors
+            else:
+                self._estimates_cache = self._main.estimate_all_members()
+        return self._estimates_cache
+
+    def _value_member_estimates(self, replica: int, index: int) -> np.ndarray:
+        """Per-member value-bank estimates of one replica at one coordinate."""
+        members = slice(replica * self._value_group,
+                        (replica + 1) * self._value_group)
+        return self._value.estimate_members_at(members, index)
+
+    def estimate_value(self, replica: int, index: int) -> float:
+        """Replica's estimate of ``x_index`` (matches the standalone method)."""
+        instance = self._instances[replica]
+        if self._exact:
+            scaled = float(self._scaled_vectors[replica, index])
+        else:
+            scaled = float(np.mean(self._value_member_estimates(replica, index)))
+        return scaled * instance._exponentials[index] ** (1.0 / self._p)
+
+    def independent_value_estimates(self, replica: int, index: int, count: int,
+                                    group_size: int | None = None) -> np.ndarray:
+        """Replica's ``count`` (nearly) independent estimates of ``x_index``."""
+        require_positive_int(count, "count")
+        instance = self._instances[replica]
+        unscale = instance._exponentials[index] ** (1.0 / self._p)
+        if self._exact:
+            return np.full(count, float(self._scaled_vectors[replica, index]) * unscale)
+        estimates = self._value_member_estimates(replica, index)
+        if group_size is None:
+            group_size = max(1, len(estimates) // count)
+        groups = []
+        for group_index in range(count):
+            start = (group_index * group_size) % len(estimates)
+            chunk = estimates[start:start + group_size]
+            if len(chunk) < group_size:
+                chunk = np.concatenate([chunk, estimates[: group_size - len(chunk)]])
+            groups.append(float(np.mean(chunk)))
+        return np.asarray(groups) * unscale
+
+    def sample_replica(self, replica: int) -> Optional[Sample]:
+        """One-shot draw of replica ``replica`` (mirrors ``sample()``)."""
+        if self._num_updates == 0:
+            return None
+        instance = self._instances[replica]
+        estimates = self._scaled_estimates()[replica]
+        magnitudes = np.abs(estimates)
+        if not np.any(magnitudes > 0):
+            return None
+        order = np.argsort(-magnitudes)
+        best = int(order[0])
+        runner_up_magnitude = float(magnitudes[order[1]]) if self._n > 1 else 0.0
+        gap = float(magnitudes[best]) - runner_up_magnitude
+
+        threshold = 0.0
+        if instance._gap_test and not self._exact:
+            scale = self._ams.estimate_l2_member(replica)
+            jitter = instance._rng.uniform(0.5, 1.5)
+            threshold = (instance._gap_multiplier * jitter * scale
+                         / math.sqrt(instance._buckets))
+            if gap <= threshold:
+                return None
+
+        value_estimate = self.estimate_value(replica, best)
+        return Sample(
+            index=best,
+            value_estimate=value_estimate,
+            metadata={
+                "gap": gap,
+                "gap_threshold": threshold,
+                "scaled_maximum": float(magnitudes[best]),
+                "exponential": float(instance._exponentials[best]),
+            },
+        )
+
+
+register_ensemble(JW18LpSampler, JW18LpSamplerEnsemble)
 
 
 class PerfectL2Sampler(JW18LpSampler):

@@ -35,6 +35,7 @@ from repro.exceptions import InvalidParameterError
 from repro.samplers.base import BatchUpdateMixin, Sample, check_batch_bounds, coerce_batch
 from repro.sketch.sparse_recovery import KSparseRecovery
 from repro.utils.batching import deepest_levels, route_subsampled_batch
+from repro.utils.ensemble import LevelStackEnsemble, register_ensemble
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import require_positive_int
 
@@ -161,3 +162,9 @@ class PerfectL0Sampler(BatchUpdateMixin):
         if items is None:
             return None
         return [item.index for item in items]
+
+
+# Replica ensembles of the L_0 sampler share the per-batch deepest-level
+# routing across replicas (one stacked gather); level state stays inside
+# the replica instances.
+register_ensemble(PerfectL0Sampler, LevelStackEnsemble)

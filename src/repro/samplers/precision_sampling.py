@@ -23,8 +23,9 @@ import numpy as np
 
 from repro.exceptions import InvalidParameterError
 from repro.samplers.base import BatchUpdateMixin, Sample, check_batch_bounds, coerce_batch
-from repro.sketch.ams import AMSSketch
-from repro.sketch.countsketch import CountSketch
+from repro.sketch.ams import AMSEnsemble, AMSSketch
+from repro.sketch.countsketch import CountSketch, CountSketchEnsemble
+from repro.utils.ensemble import ReplicaEnsemble, register_ensemble
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import require_in_open_interval, require_moment_order, require_positive_int
 
@@ -129,3 +130,75 @@ class PrecisionLpSampler(BatchUpdateMixin):
                 "threshold": float(threshold),
             },
         )
+
+
+class PrecisionLpSamplerEnsemble(ReplicaEnsemble):
+    """``R`` independent precision samplers driven by one shared ingest pass.
+
+    The per-replica precision scalings are stacked into an ``(R, n)``
+    matrix; each batch is scaled for every replica at once and lands in all
+    of the recovery CountSketches through one fused scatter (raw deltas go
+    to the stacked AMS sketches).  Query math runs per replica on
+    identically laid-out slices, so state and samples are bit-identical to
+    driving each instance separately.  Replicas must be fresh (un-updated)
+    when the ensemble is built.
+    """
+
+    def __init__(self, instances) -> None:
+        super().__init__(instances)
+        first = instances[0]
+        if any((inst._n, inst._p, inst._epsilon, inst._buckets)
+               != (first._n, first._p, first._epsilon, first._buckets)
+               for inst in instances):
+            raise InvalidParameterError(
+                "ensemble replicas must share (n, p, epsilon, buckets)")
+        self._n = first._n
+        self._p = first._p
+        self._inverse_scale = np.stack([inst._inverse_scale for inst in instances])
+        self._sketch = CountSketchEnsemble([inst._sketch for inst in instances])
+        self._ams = AMSEnsemble([inst._ams for inst in instances])
+        self._num_updates = 0
+        self._estimates_cache: np.ndarray | None = None
+
+    def update_batch(self, indices, deltas) -> None:
+        """Scale one batch for every replica and ingest it everywhere."""
+        indices, deltas = coerce_batch(indices, deltas)
+        if indices.size == 0:
+            return
+        check_batch_bounds(indices, self._n)
+        scaled = deltas * self._inverse_scale[:, indices]
+        self._sketch.update_batch(indices, scaled)
+        self._ams.update_batch(indices, deltas)
+        self._num_updates += int(indices.size)
+        self._estimates_cache = None
+
+    def sample_replica(self, replica: int) -> Optional[Sample]:
+        """One-shot draw of replica ``replica`` (mirrors ``sample()``)."""
+        if self._num_updates == 0:
+            return None
+        instance = self._instances[replica]
+        if self._estimates_cache is None:
+            self._estimates_cache = self._sketch.estimate_all_members()
+        estimates = self._estimates_cache[replica]
+        magnitudes = np.abs(estimates)
+        if not np.any(magnitudes > 0):
+            return None
+        best = int(np.argmax(magnitudes))
+
+        l2_estimate = self._ams.estimate_l2_member(replica)
+        norm_proxy = l2_estimate / max(self._n, 2) ** max(0.0, 1.0 / 2.0 - 1.0 / self._p)
+        threshold = norm_proxy * instance._epsilon ** (-1.0 / self._p)
+        if magnitudes[best] < threshold:
+            return None
+        recovered_value = estimates[best] * instance._precisions[best] ** (1.0 / self._p)
+        return Sample(
+            index=best,
+            value_estimate=float(recovered_value),
+            metadata={
+                "scaled_maximum": float(magnitudes[best]),
+                "threshold": float(threshold),
+            },
+        )
+
+
+register_ensemble(PrecisionLpSampler, PrecisionLpSamplerEnsemble)

@@ -24,26 +24,35 @@
     the substrate of the perfect ``L_0`` sampler (Theorem 5.4).
 """
 
-from repro.sketch.hashing import KWiseHash, SignHash, PairwiseHash
-from repro.sketch.countsketch import CountSketch, AveragedCountSketch, RandomBucketCountSketch
+from repro.sketch.hashing import (KWiseHash, KWiseHashFamily, PairwiseHash,
+                                  SignHash, SignHashFamily)
+from repro.sketch.countsketch import (AveragedCountSketch, CountSketch,
+                                      CountSketchEnsemble, RandomBucketCountSketch)
 from repro.sketch.countmin import CountMin
-from repro.sketch.ams import AMSSketch
-from repro.sketch.fp_estimator import FpEstimator, MaxStabilityFpEstimator
+from repro.sketch.ams import AMSEnsemble, AMSSketch
+from repro.sketch.fp_estimator import FpEstimator, FpEstimatorEnsemble, MaxStabilityFpEstimator
 from repro.sketch.exponential import ExponentialScaler, anti_rank_vector, scale_vector
 from repro.sketch.sparse_recovery import OneSparseRecovery, KSparseRecovery
-from repro.sketch.pstable import PStableSketch, chambers_mallows_stuck, stable_median_scale
+from repro.sketch.pstable import (PStableEnsemble, PStableSketch,
+                                  chambers_mallows_stuck, stable_coefficient_block,
+                                  stable_median_scale)
 from repro.sketch.distinct import KMinimumValues, RoughL0Estimator
 
 __all__ = [
     "KWiseHash",
+    "KWiseHashFamily",
+    "SignHashFamily",
     "PairwiseHash",
     "SignHash",
     "CountSketch",
+    "CountSketchEnsemble",
     "AveragedCountSketch",
     "RandomBucketCountSketch",
     "CountMin",
     "AMSSketch",
+    "AMSEnsemble",
     "FpEstimator",
+    "FpEstimatorEnsemble",
     "MaxStabilityFpEstimator",
     "ExponentialScaler",
     "anti_rank_vector",
@@ -51,6 +60,8 @@ __all__ = [
     "OneSparseRecovery",
     "KSparseRecovery",
     "PStableSketch",
+    "PStableEnsemble",
+    "stable_coefficient_block",
     "chambers_mallows_stuck",
     "stable_median_scale",
     "KMinimumValues",

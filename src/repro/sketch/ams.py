@@ -14,14 +14,20 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import InvalidParameterError, SamplerStateError
-from repro.sketch.hashing import SignHash
+from repro.sketch.hashing import SignHashFamily
 from repro.utils.batching import BatchUpdateMixin, check_batch_bounds, coerce_batch
-from repro.utils.rng import SeedLike, ensure_rng, random_seed_array
+from repro.utils.ensemble import ReplicaEnsemble, register_ensemble
+from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import require_positive_int
 
 
 class AMSSketch(BatchUpdateMixin):
     """Tug-of-war sketch estimating ``F_2 = ||x||_2^2`` of a turnstile stream.
+
+    Sign-hash coefficients are drawn at construction (one vectorised call);
+    the dense ``(width * depth, n)`` sign matrix is materialised lazily on
+    first use, so short-lived instances and ensemble seed carriers pay
+    almost nothing up front.
 
     Parameters
     ----------
@@ -42,13 +48,17 @@ class AMSSketch(BatchUpdateMixin):
         self._width = width
         self._depth = depth
         rng = ensure_rng(seed)
-        seeds = random_seed_array(rng, width * depth)
-        all_indices = np.arange(n, dtype=np.int64)
-        sign_rows = [SignHash(int(seed_value))(all_indices) for seed_value in seeds]
-        # Shape (depth * width, n): one row of signs per counter.
-        self._signs = np.stack(sign_rows).astype(float)
+        self._sign_family = SignHashFamily.from_rng(rng, width * depth, 4)
+        # Shape (depth * width, n): one row of signs per counter (lazy).
+        self._signs: np.ndarray | None = None
         self._counters = np.zeros(width * depth, dtype=float)
         self._num_updates = 0
+
+    def _ensure_signs(self) -> None:
+        """Materialise the dense sign matrix on first use (lazy)."""
+        if self._signs is None:
+            all_indices = np.arange(self._n, dtype=np.int64)
+            self._signs = self._sign_family.sign_all(all_indices).astype(float)
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -63,6 +73,7 @@ class AMSSketch(BatchUpdateMixin):
         """Apply the stream update ``(index, delta)``."""
         if not (0 <= index < self._n):
             raise InvalidParameterError(f"index {index} outside universe [0, {self._n})")
+        self._ensure_signs()
         self._counters += self._signs[:, index] * delta
         self._num_updates += 1
 
@@ -72,6 +83,7 @@ class AMSSketch(BatchUpdateMixin):
         if indices.size == 0:
             return
         check_batch_bounds(indices, self._n)
+        self._ensure_signs()
         self._counters += self._signs[:, indices] @ deltas
         self._num_updates += int(indices.size)
 
@@ -80,6 +92,7 @@ class AMSSketch(BatchUpdateMixin):
         vector = np.asarray(vector, dtype=float)
         if vector.shape != (self._n,):
             raise InvalidParameterError("vector shape must match the universe size")
+        self._ensure_signs()
         self._counters += self._signs @ vector
         self._num_updates += int(np.count_nonzero(vector))
 
@@ -94,3 +107,89 @@ class AMSSketch(BatchUpdateMixin):
     def estimate_l2(self) -> float:
         """Estimate of ``||x||_2`` (square root of the F_2 estimate)."""
         return float(np.sqrt(self.estimate_f2()))
+
+
+class AMSEnsemble(ReplicaEnsemble):
+    """``M`` independent AMS sketches with stacked counters and signs.
+
+    The members' sign matrices are built with one concatenated family
+    evaluation (shape ``(M, width * depth, n)``); counters live in one
+    ``(M, width * depth)`` array.  The per-member counter accumulation is
+    the *same* gather + matrix-vector product the standalone sketch runs
+    (contiguous ``(C, B)`` layout), so member state is bit-identical to
+    driving each sketch separately.
+    """
+
+    def __init__(self, instances) -> None:
+        super().__init__(instances)
+        first = instances[0]
+        if any(inst.shape != first.shape or inst._n != first._n
+               for inst in instances):
+            raise InvalidParameterError("ensemble members must share (n, width, depth)")
+        self._n = first._n
+        self._depth, self._width = first.shape
+        members = len(instances)
+        counters = self._width * self._depth
+        all_indices = np.arange(self._n, dtype=np.int64)
+        family = SignHashFamily.concatenate(
+            [inst._sign_family for inst in instances])
+        self._signs = family.sign_all(all_indices).astype(float).reshape(
+            members, counters, self._n)
+        self._counters = np.zeros((members, counters), dtype=float)
+        self._num_updates = np.zeros(members, dtype=np.int64)
+
+    @property
+    def num_members(self) -> int:
+        """Number of member sketches ``M``."""
+        return self._counters.shape[0]
+
+    def space_counters(self) -> int:
+        """Total stored counters across all members."""
+        return int(self._counters.size)
+
+    def update_batch(self, indices, deltas) -> None:
+        """Apply one batch to every member.
+
+        ``deltas`` may be ``(B,)`` (shared) or ``(M, B)`` (per member).
+        Each member's accumulation is the standalone gather + ``gemv`` on
+        identically laid-out arrays, so the result is bit-identical to the
+        per-instance path.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.ndim != 1:
+            raise InvalidParameterError("ensemble indices must be 1-D")
+        if indices.size == 0:
+            return
+        check_batch_bounds(indices, self._n)
+        # C-contiguity matters for bit-identity: each member's gemv must see
+        # the same contiguous-vector layout the standalone sketch sees
+        # (broadcast products can come out F-contiguous, whose row slices
+        # are strided and accumulate in a different order inside BLAS).
+        deltas = np.ascontiguousarray(deltas, dtype=float)
+        shared = deltas.ndim == 1
+        if not shared and deltas.shape != (self.num_members, indices.size):
+            raise InvalidParameterError(
+                f"ensemble deltas must be (B,) or (M, B); got {deltas.shape}")
+        for member in range(self.num_members):
+            selected = self._signs[member][:, indices]
+            self._counters[member] += selected @ (deltas if shared else deltas[member])
+        self._num_updates += int(indices.size)
+
+    def estimate_f2_member(self, member: int) -> float:
+        """Median-of-means ``F_2`` estimate of one member."""
+        if self._num_updates[member] == 0:
+            raise SamplerStateError("AMS sketch queried before any update")
+        squares = self._counters[member] ** 2
+        groups = squares.reshape(self._depth, self._width)
+        return float(np.median(groups.mean(axis=1)))
+
+    def estimate_l2_member(self, member: int) -> float:
+        """``||x||_2`` estimate of one member."""
+        return float(np.sqrt(self.estimate_f2_member(member)))
+
+    def sample_replica(self, replica: int):
+        """AMS has no ``sample``; ensembles of it are query-only."""
+        raise NotImplementedError("AMSEnsemble is query-only")
+
+
+register_ensemble(AMSSketch, AMSEnsemble)

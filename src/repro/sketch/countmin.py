@@ -19,9 +19,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import InvalidParameterError
-from repro.sketch.hashing import PairwiseHash
+from repro.sketch.hashing import KWiseHashFamily
 from repro.utils.batching import BatchUpdateMixin, check_batch_bounds, coerce_batch
-from repro.utils.rng import SeedLike, ensure_rng, random_seed_array
+from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import require_positive_int
 
 
@@ -52,12 +52,18 @@ class CountMin(BatchUpdateMixin):
         self._rows = rows
         self._conservative = conservative
         rng = ensure_rng(seed)
-        seeds = random_seed_array(rng, rows)
-        all_indices = np.arange(n, dtype=np.int64)
-        self._bucket_of = np.stack(
-            [PairwiseHash(buckets, int(seed_value))(all_indices) for seed_value in seeds]
-        )
+        # Hash coefficients are drawn eagerly (one vectorised call); the
+        # O(n * rows) per-coordinate bucket table is built lazily on first
+        # use so short-lived instances pay almost nothing up front.
+        self._bucket_family = KWiseHashFamily.from_rng(rng, rows, 2, buckets)
+        self._bucket_of: np.ndarray | None = None
         self._table = np.zeros((rows, buckets), dtype=float)
+
+    def _ensure_tables(self) -> None:
+        """Build the per-coordinate bucket table on first use (lazy)."""
+        if self._bucket_of is None:
+            all_indices = np.arange(self._n, dtype=np.int64)
+            self._bucket_of = self._bucket_family.hash_all(all_indices)
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -72,6 +78,7 @@ class CountMin(BatchUpdateMixin):
         """Apply the stream update ``(index, delta)``."""
         if not (0 <= index < self._n):
             raise InvalidParameterError(f"index {index} outside universe [0, {self._n})")
+        self._ensure_tables()
         rows = np.arange(self._rows)
         self._table[rows, self._bucket_of[:, index]] += delta
 
@@ -81,6 +88,7 @@ class CountMin(BatchUpdateMixin):
         if indices.size == 0:
             return
         check_batch_bounds(indices, self._n)
+        self._ensure_tables()
         for row in range(self._rows):
             np.add.at(self._table[row], self._bucket_of[row, indices], deltas)
 
@@ -88,6 +96,7 @@ class CountMin(BatchUpdateMixin):
         """Point query for coordinate ``index``."""
         if not (0 <= index < self._n):
             raise InvalidParameterError(f"index {index} outside universe [0, {self._n})")
+        self._ensure_tables()
         rows = np.arange(self._rows)
         values = self._table[rows, self._bucket_of[:, index]]
         if self._conservative:
@@ -96,6 +105,7 @@ class CountMin(BatchUpdateMixin):
 
     def estimate_all(self) -> np.ndarray:
         """Point-query estimates for every coordinate."""
+        self._ensure_tables()
         rows = np.arange(self._rows)[:, None]
         values = self._table[rows, self._bucket_of]
         if self._conservative:

@@ -35,13 +35,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import InvalidParameterError
-from repro.sketch.hashing import PairwiseHash, SignHash
+from repro.sketch.hashing import KWiseHashFamily, SignHashFamily
 from repro.utils.batching import (
     BatchUpdateMixin,
     aggregate_scatter,
     check_batch_bounds,
     coerce_batch,
 )
+from repro.utils.ensemble import ReplicaEnsemble, member_chunks, register_ensemble
 from repro.utils.rng import SeedLike, ensure_rng, random_seed_array
 from repro.utils.validation import require_positive_int
 
@@ -49,11 +50,20 @@ from repro.utils.validation import require_positive_int
 class CountSketch(BatchUpdateMixin):
     """Classic CountSketch over the universe ``[0, n)``.
 
+    Construction draws the hash-family coefficients (two vectorised
+    ``rng.integers`` calls) but defers the O(n * rows) per-coordinate hash
+    tables until the sketch is first touched, so short-lived instances —
+    e.g. the probe instances of oracle-backend benchmarks and the replicas
+    handed to :class:`CountSketchEnsemble` (which builds the tables of all
+    members in one concatenated family evaluation) — pay almost nothing up
+    front.
+
     Parameters
     ----------
     n:
-        Universe size (hash tables are precomputed per coordinate, which is
-        the natural choice for the moderate universes of this library).
+        Universe size (hash tables are precomputed per coordinate on first
+        use, which is the natural choice for the moderate universes of
+        this library).
     buckets:
         Number of buckets per row.
     rows:
@@ -70,18 +80,18 @@ class CountSketch(BatchUpdateMixin):
         self._buckets = buckets
         self._rows = rows
         rng = ensure_rng(seed)
-        seeds = random_seed_array(rng, 2 * rows)
-        all_indices = np.arange(n, dtype=np.int64)
-        bucket_table = np.empty((rows, n), dtype=np.int64)
-        sign_table = np.empty((rows, n), dtype=np.int64)
-        for row in range(rows):
-            bucket_hash = PairwiseHash(buckets, int(seeds[2 * row]))
-            sign_hash = SignHash(int(seeds[2 * row + 1]))
-            bucket_table[row] = bucket_hash(all_indices)
-            sign_table[row] = sign_hash(all_indices)
-        self._bucket_of = bucket_table
-        self._sign_of = sign_table
+        self._bucket_family = KWiseHashFamily.from_rng(rng, rows, 2, buckets)
+        self._sign_family = SignHashFamily.from_rng(rng, rows, 4)
+        self._bucket_of: np.ndarray | None = None
+        self._sign_of: np.ndarray | None = None
         self._table = np.zeros((rows, buckets), dtype=float)
+
+    def _ensure_tables(self) -> None:
+        """Build the per-coordinate hash tables on first use (lazy)."""
+        if self._bucket_of is None:
+            all_indices = np.arange(self._n, dtype=np.int64)
+            self._bucket_of = self._bucket_family.hash_all(all_indices)
+            self._sign_of = self._sign_family.sign_all(all_indices)
 
     @property
     def n(self) -> int:
@@ -101,15 +111,38 @@ class CountSketch(BatchUpdateMixin):
         """Apply the stream update ``(index, delta)``."""
         if not (0 <= index < self._n):
             raise InvalidParameterError(f"index {index} outside universe [0, {self._n})")
+        self._ensure_tables()
         rows = np.arange(self._rows)
         self._table[rows, self._bucket_of[:, index]] += self._sign_of[:, index] * delta
 
     def update_batch(self, indices, deltas) -> None:
-        """Apply a whole batch of updates with one scatter-add per row."""
+        """Apply a whole batch of updates with one fused scatter-add.
+
+        Large batches go through ``np.bincount`` (several times faster than
+        ``np.add.at``); tiny batches keep the element-wise scatter, which
+        avoids touching the whole table.  The branch condition depends only
+        on the batch length, and per-cell accumulation follows batch order
+        in both, so :class:`CountSketchEnsemble` — which uses the same rule
+        — stays bit-identical to this path.  Relative to *scalar* ``update``
+        replay, the bincount branch sums each batch's contributions before
+        adding them to the table, a legal re-association within the batch
+        engine's documented ``rtol=1e-9`` float contract (the same class of
+        re-association the AMS and p-stable batch paths perform).
+        """
         indices, deltas = coerce_batch(indices, deltas)
         if indices.size == 0:
             return
         check_batch_bounds(indices, self._n)
+        self._ensure_tables()
+        if indices.size >= self._buckets:
+            buckets = self._bucket_of[:, indices]
+            flat = buckets + (np.arange(self._rows, dtype=np.int64)[:, None]
+                              * self._buckets)
+            values = self._sign_of[:, indices] * deltas
+            counts = np.bincount(flat.ravel(), weights=values.ravel(),
+                                 minlength=self._rows * self._buckets)
+            self._table += counts.reshape(self._rows, self._buckets)
+            return
         for row in range(self._rows):
             signed = deltas * self._sign_of[row, indices]
             np.add.at(self._table[row], self._bucket_of[row, indices], signed)
@@ -119,6 +152,7 @@ class CountSketch(BatchUpdateMixin):
         vector = np.asarray(vector, dtype=float)
         if vector.shape != (self._n,):
             raise InvalidParameterError("vector shape must match the universe size")
+        self._ensure_tables()
         for row in range(self._rows):
             signed = vector * self._sign_of[row]
             np.add.at(self._table[row], self._bucket_of[row], signed)
@@ -127,12 +161,14 @@ class CountSketch(BatchUpdateMixin):
         """Point query: the median-of-rows estimate of coordinate ``index``."""
         if not (0 <= index < self._n):
             raise InvalidParameterError(f"index {index} outside universe [0, {self._n})")
+        self._ensure_tables()
         rows = np.arange(self._rows)
         values = self._sign_of[:, index] * self._table[rows, self._bucket_of[:, index]]
         return float(np.median(values))
 
     def estimate_all(self) -> np.ndarray:
         """Vector of point-query estimates for every coordinate."""
+        self._ensure_tables()
         rows = np.arange(self._rows)[:, None]
         values = self._sign_of * self._table[rows, self._bucket_of]
         return np.median(values, axis=0)
@@ -146,14 +182,251 @@ class CountSketch(BatchUpdateMixin):
         """Merge another sketch built with the same seed/shape (linearity)."""
         if self.shape != other.shape or self._n != other._n:
             raise InvalidParameterError("can only merge identically configured sketches")
-        if not (np.array_equal(self._bucket_of, other._bucket_of)
-                and np.array_equal(self._sign_of, other._sign_of)):
+        if not (np.array_equal(self._bucket_family.coefficients,
+                               other._bucket_family.coefficients)
+                and np.array_equal(self._sign_family.coefficients,
+                                   other._sign_family.coefficients)):
             raise InvalidParameterError("can only merge sketches sharing hash functions")
         self._table += other._table
 
     def l2_error_bound(self, l2_norm: float, confidence_factor: float = 3.0) -> float:
         """The standard per-query error scale ``confidence * ||x||_2 / sqrt(buckets)``."""
         return confidence_factor * l2_norm / np.sqrt(self._buckets)
+
+
+class CountSketchEnsemble(ReplicaEnsemble):
+    """``M`` independent CountSketch members as one stacked-array structure.
+
+    The members' hash tables are built with a single concatenated
+    family evaluation over the universe (shape ``(M, rows, n)``) and all
+    member tables live in one ``(M, rows, buckets)`` array, so a batch of
+    stream updates lands in every member with one scatter-add.  Per-cell
+    accumulation order matches the standalone per-row scatter exactly, so
+    member state is bit-identical to driving each sketch separately.
+
+    ``update_batch`` accepts deltas of shape ``(B,)`` (shared by every
+    member), ``(M, B)`` (per member), or ``(G, B)`` with ``M = G * F``
+    (per *replica* of a composite ensemble whose replicas own ``F``
+    members each, e.g. the value-estimation banks of the JW18 sampler).
+    """
+
+    def __init__(self, instances) -> None:
+        super().__init__(instances)
+        first = instances[0]
+        if any(inst.shape != first.shape or inst._n != first._n
+               for inst in instances):
+            raise InvalidParameterError("ensemble members must share (n, buckets, rows)")
+        self._n = first._n
+        self._rows, self._buckets = first.shape
+        members = len(instances)
+        self._bucket_family = KWiseHashFamily.concatenate(
+            [inst._bucket_family for inst in instances])
+        self._sign_family = SignHashFamily.concatenate(
+            [inst._sign_family for inst in instances])
+        # Hash tables are built lazily in one concatenated family
+        # evaluation: composite ensembles that concat() several member
+        # ensembles therefore evaluate the hashes of *all* replicas in a
+        # single pass on first touch.
+        self._bucket_of: np.ndarray | None = None
+        self._sign_of: np.ndarray | None = None
+        self._table = np.zeros((members, self._rows, self._buckets), dtype=float)
+
+    def _ensure_tables(self) -> None:
+        """Build the stacked per-coordinate hash tables on first use."""
+        if self._bucket_of is None:
+            members = self._table.shape[0]
+            all_indices = np.arange(self._n, dtype=np.int64)
+            self._bucket_of = self._bucket_family.hash_all(all_indices).reshape(
+                members, self._rows, self._n)
+            self._sign_of = self._sign_family.sign_all(all_indices).reshape(
+                members, self._rows, self._n)
+
+    @classmethod
+    def concat(cls, ensembles: "list[CountSketchEnsemble]") -> "CountSketchEnsemble":
+        """Flatten several same-shape ensembles into one (no recompute).
+
+        Used by composite replica ensembles to merge the per-replica inner
+        ensembles (value banks, max-stability repetitions) into a single
+        stacked structure; hash families and member tables are concatenated
+        as-is (existing counter state is preserved), and unbuilt hash
+        tables stay unbuilt so the merged ensemble evaluates them in one
+        family pass on first touch.
+        """
+        if not ensembles:
+            raise InvalidParameterError("need at least one ensemble")
+        first = ensembles[0]
+        if any(e.shape != first.shape or e._n != first._n for e in ensembles):
+            raise InvalidParameterError("ensembles must share (n, buckets, rows)")
+        merged = cls.__new__(cls)
+        ReplicaEnsemble.__init__(
+            merged, [inst for e in ensembles for inst in e._instances])
+        merged._n = first._n
+        merged._rows = first._rows
+        merged._buckets = first._buckets
+        merged._bucket_family = KWiseHashFamily.concatenate(
+            [e._bucket_family for e in ensembles])
+        merged._sign_family = SignHashFamily.concatenate(
+            [e._sign_family for e in ensembles])
+        if all(e._bucket_of is None for e in ensembles):
+            merged._bucket_of = None
+            merged._sign_of = None
+        else:
+            for ensemble in ensembles:
+                ensemble._ensure_tables()
+            merged._bucket_of = np.concatenate([e._bucket_of for e in ensembles])
+            merged._sign_of = np.concatenate([e._sign_of for e in ensembles])
+        members = sum(e._table.shape[0] for e in ensembles)
+        if all(not e._table.any() for e in ensembles):
+            # Fresh ensembles: allocate the merged zero table directly
+            # instead of concatenating hundreds of small zero arrays.
+            merged._table = np.zeros((members, first._rows, first._buckets),
+                                     dtype=float)
+        else:
+            merged._table = np.concatenate([e._table for e in ensembles])
+        return merged
+
+    @property
+    def num_members(self) -> int:
+        """Total number of member sketches ``M``."""
+        return self._table.shape[0]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(rows, buckets)`` of every member table."""
+        return (self._rows, self._buckets)
+
+    def space_counters(self) -> int:
+        """Total stored counters across all members."""
+        return int(self._table.size)
+
+    def _coerce_deltas(self, deltas, batch: int) -> np.ndarray:
+        """Normalise deltas to ``(G, B)`` with ``M`` divisible by ``G``."""
+        deltas = np.asarray(deltas, dtype=float)
+        if deltas.ndim == 1:
+            deltas = deltas[None, :]
+        if deltas.ndim != 2 or deltas.shape[1] != batch:
+            raise InvalidParameterError(
+                f"ensemble deltas must be (B,), (M, B) or (G, B); got {deltas.shape}"
+            )
+        if self.num_members % deltas.shape[0] != 0:
+            raise InvalidParameterError(
+                f"delta groups {deltas.shape[0]} do not divide members "
+                f"{self.num_members}"
+            )
+        return deltas
+
+    def update_batch(self, indices, deltas) -> None:
+        """Apply one batch to every member with chunked fused scatter-adds."""
+        raw_deltas = deltas
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.ndim != 1:
+            raise InvalidParameterError("ensemble indices must be 1-D")
+        if indices.size == 0:
+            return
+        check_batch_bounds(indices, self._n)
+        self._ensure_tables()
+        deltas = self._coerce_deltas(raw_deltas, indices.size)
+        groups = deltas.shape[0]
+        per_group = self.num_members // groups
+        batch = indices.size
+        row_index = np.arange(self._rows)[None, :, None]
+        # Same large-batch rule as the standalone sketch so per-cell
+        # accumulation matches it bit-for-bit.
+        use_bincount = batch >= self._buckets
+        cells_per_member = self._rows * self._buckets
+        # Chunk along whole replica groups so the per-group delta rows
+        # broadcast cleanly and no member range is visited twice.
+        for group_start, group_stop in member_chunks(
+                groups, per_group * self._rows * batch):
+            start = group_start * per_group
+            stop = group_stop * per_group
+            buckets = self._bucket_of[start:stop, :, indices]
+            signs = self._sign_of[start:stop, :, indices]
+            chunk = stop - start
+            if groups == 1:
+                values = signs * deltas[0]
+            else:
+                block = deltas[group_start:group_stop]
+                values = (signs.reshape(group_stop - group_start, per_group,
+                                        self._rows, batch)
+                          * block[:, None, None, :]).reshape(chunk, self._rows,
+                                                             batch)
+            if use_bincount:
+                flat = buckets + (row_index * self._buckets
+                                  + np.arange(chunk, dtype=np.int64)[:, None, None]
+                                  * cells_per_member)
+                counts = np.bincount(flat.ravel(), weights=values.ravel(),
+                                     minlength=chunk * cells_per_member)
+                self._table[start:stop] += counts.reshape(
+                    chunk, self._rows, self._buckets)
+            else:
+                member_index = np.arange(start, stop)[:, None, None]
+                np.add.at(self._table, (member_index, row_index, buckets), values)
+
+    def update(self, index: int, delta: float) -> None:
+        """Apply one scalar update to every member."""
+        self.update_batch(np.asarray([index], dtype=np.int64),
+                          np.asarray([float(delta)]))
+
+    def update_vector(self, vector: np.ndarray) -> None:
+        """Add an entire frequency vector to every member."""
+        vector = np.asarray(vector, dtype=float)
+        if vector.shape != (self._n,):
+            raise InvalidParameterError("vector shape must match the universe size")
+        self._ensure_tables()
+        row_index = np.arange(self._rows)[None, :, None]
+        for start, stop in member_chunks(self.num_members, self._rows * self._n):
+            member_index = np.arange(start, stop)[:, None, None]
+            values = self._sign_of[start:stop] * vector
+            np.add.at(self._table,
+                      (member_index, row_index, self._bucket_of[start:stop]),
+                      values)
+
+    def estimate_member(self, member: int, index: int) -> float:
+        """Point query of one member (matches ``CountSketch.estimate``)."""
+        self._ensure_tables()
+        rows = np.arange(self._rows)
+        values = (self._sign_of[member, :, index]
+                  * self._table[member, rows, self._bucket_of[member, :, index]])
+        return float(np.median(values))
+
+    def estimate_members_at(self, members: slice | np.ndarray,
+                            index: int) -> np.ndarray:
+        """Per-member point queries at one coordinate for a member range."""
+        self._ensure_tables()
+        signs = self._sign_of[members, :, index]
+        buckets = self._bucket_of[members, :, index]
+        rows = np.arange(self._rows)[None, :]
+        member_index = np.arange(self.num_members)[members, None]
+        values = signs * self._table[member_index, rows, buckets]
+        return np.median(values, axis=1)
+
+    def estimate_all_member(self, member: int) -> np.ndarray:
+        """``estimate_all`` of one member (bit-identical to standalone)."""
+        self._ensure_tables()
+        rows = np.arange(self._rows)[:, None]
+        values = (self._sign_of[member]
+                  * self._table[member, rows, self._bucket_of[member]])
+        return np.median(values, axis=0)
+
+    def estimate_all_members(self) -> np.ndarray:
+        """``(M, n)`` matrix of every member's point-query estimates."""
+        self._ensure_tables()
+        rows = np.arange(self._rows)[None, :, None]
+        member_index = np.arange(self.num_members)[:, None, None]
+        values = self._sign_of * self._table[member_index, rows, self._bucket_of]
+        return np.median(values, axis=1)
+
+    def member_tables(self) -> np.ndarray:
+        """The stacked ``(M, rows, buckets)`` tables (read-only view)."""
+        return self._table
+
+    def sample_replica(self, replica: int):
+        """CountSketch has no ``sample``; ensembles of it are query-only."""
+        raise NotImplementedError("CountSketchEnsemble is query-only")
+
+
+register_ensemble(CountSketch, CountSketchEnsemble)
 
 
 class AveragedCountSketch(BatchUpdateMixin):
@@ -171,43 +444,47 @@ class AveragedCountSketch(BatchUpdateMixin):
         require_positive_int(num_instances, "num_instances")
         rng = ensure_rng(seed)
         seeds = random_seed_array(rng, num_instances)
-        self._instances = [
-            CountSketch(n, buckets, rows, int(seed_value)) for seed_value in seeds
-        ]
+        # The inner repetition loop dispatches to the native ensemble: the
+        # member sketches are cheap seed carriers and all their hash tables
+        # and counters live in one stacked CountSketchEnsemble.
+        self._ensemble = CountSketchEnsemble(
+            [CountSketch(n, buckets, rows, int(seed_value)) for seed_value in seeds]
+        )
         self._n = n
 
     @property
     def num_instances(self) -> int:
         """Number of independent CountSketch instances."""
-        return len(self._instances)
+        return self._ensemble.num_members
 
     def space_counters(self) -> int:
         """Total counters across all instances."""
-        return sum(instance.space_counters() for instance in self._instances)
+        return self._ensemble.space_counters()
 
     def update(self, index: int, delta: float) -> None:
         """Apply an update to every instance."""
-        for instance in self._instances:
-            instance.update(index, delta)
+        if not (0 <= index < self._n):
+            raise InvalidParameterError(f"index {index} outside universe [0, {self._n})")
+        self._ensemble.update(index, delta)
 
     def update_batch(self, indices, deltas) -> None:
-        """Apply a batch of updates to every instance (vectorised per instance)."""
+        """Apply a batch of updates to every instance in one fused scatter."""
         indices, deltas = coerce_batch(indices, deltas)
-        for instance in self._instances:
-            instance.update_batch(indices, deltas)
+        if indices.size == 0:
+            return
+        self._ensemble.update_batch(indices, deltas)
 
     def update_vector(self, vector: np.ndarray) -> None:
         """Add a frequency vector to every instance."""
-        for instance in self._instances:
-            instance.update_vector(vector)
+        self._ensemble.update_vector(vector)
 
     def estimate(self, index: int) -> float:
         """Averaged point query over all instances."""
-        return float(np.mean([instance.estimate(index) for instance in self._instances]))
+        return float(np.mean(self.instance_estimates(index)))
 
     def instance_estimates(self, index: int) -> np.ndarray:
         """The vector of per-instance point queries (independent estimates)."""
-        return np.asarray([instance.estimate(index) for instance in self._instances])
+        return self._ensemble.estimate_members_at(slice(None), index)
 
     def grouped_estimates(self, index: int, group_size: int) -> np.ndarray:
         """Averages of disjoint groups of instances.

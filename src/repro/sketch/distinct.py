@@ -29,6 +29,7 @@ from repro.utils.batching import (
     deepest_levels,
     route_subsampled_batch,
 )
+from repro.utils.ensemble import LevelStackEnsemble, register_ensemble
 from repro.utils.rng import SeedLike, derive_seed, ensure_rng
 from repro.utils.validation import require_positive_int
 
@@ -213,3 +214,9 @@ class RoughL0Estimator(BatchUpdateMixin):
                 continue
             return float(len(items)) * (2.0 ** level_index)
         return None
+
+
+# Replica ensembles of the rough L_0 estimator share the per-batch
+# deepest-level routing across replicas; level state stays inside the
+# replica instances.
+register_ensemble(RoughL0Estimator, LevelStackEnsemble)

@@ -29,8 +29,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import InvalidParameterError, SamplerStateError
-from repro.sketch.countsketch import CountSketch
+from repro.sketch.countsketch import CountSketch, CountSketchEnsemble
 from repro.utils.batching import BatchUpdateMixin, check_batch_bounds, coerce_batch
+from repro.utils.ensemble import ReplicaEnsemble, register_ensemble
 from repro.utils.rng import SeedLike, ensure_rng, random_seed_array
 from repro.utils.validation import require_moment_order, require_positive_int
 
@@ -81,13 +82,16 @@ class MaxStabilityFpEstimator(BatchUpdateMixin):
         self._inverse_scales = rng.exponential(size=(repetitions, n)) ** (-1.0 / self._p)
         if exact_recovery:
             self._scaled_vectors = np.zeros((repetitions, n), dtype=float)
-            self._sketches: list[CountSketch] = []
+            self._sketch_ensemble: CountSketchEnsemble | None = None
         else:
             seeds = random_seed_array(rng, repetitions)
-            self._sketches = [
+            # The inner repetition loop dispatches to the native ensemble:
+            # all per-repetition CountSketch tables live in one stacked
+            # structure and every batch lands in them with one scatter.
+            self._sketch_ensemble = CountSketchEnsemble([
                 CountSketch(n, self._buckets, self._rows, int(seed_value))
                 for seed_value in seeds
-            ]
+            ])
             self._scaled_vectors = None
         self._num_updates = 0
 
@@ -100,8 +104,7 @@ class MaxStabilityFpEstimator(BatchUpdateMixin):
         """Counters held by the estimator (sketch cells plus scale factors)."""
         if self._exact_recovery:
             return self._repetitions * self._n
-        sketch_cells = sum(sketch.space_counters() for sketch in self._sketches)
-        return sketch_cells + self._inverse_scales.size
+        return self._sketch_ensemble.space_counters() + self._inverse_scales.size
 
     def update(self, index: int, delta: float) -> None:
         """Apply the stream update ``(index, delta)``."""
@@ -111,35 +114,31 @@ class MaxStabilityFpEstimator(BatchUpdateMixin):
         if self._exact_recovery:
             self._scaled_vectors[:, index] += scaled_deltas
         else:
-            for repetition, sketch in enumerate(self._sketches):
-                sketch.update(index, scaled_deltas[repetition])
+            self._sketch_ensemble.update_batch(
+                np.asarray([index], dtype=np.int64), scaled_deltas[:, None])
         self._num_updates += 1
 
     def update_batch(self, indices, deltas) -> None:
-        """Apply a whole batch, vectorised per max-stability repetition."""
+        """Apply a whole batch, vectorised across all repetitions at once."""
         indices, deltas = coerce_batch(indices, deltas)
         if indices.size == 0:
             return
         check_batch_bounds(indices, self._n)
+        scaled = deltas * self._inverse_scales[:, indices]
         if self._exact_recovery:
-            for repetition in range(self._repetitions):
-                scaled = deltas * self._inverse_scales[repetition, indices]
-                np.add.at(self._scaled_vectors[repetition], indices, scaled)
+            repetition_index = np.arange(self._repetitions)[:, None]
+            np.add.at(self._scaled_vectors, (repetition_index, indices[None, :]),
+                      scaled)
         else:
-            for repetition, sketch in enumerate(self._sketches):
-                scaled = deltas * self._inverse_scales[repetition, indices]
-                sketch.update_batch(indices, scaled)
+            self._sketch_ensemble.update_batch(indices, scaled)
         self._num_updates += int(indices.size)
 
     def _maximum_scaled_magnitudes(self) -> np.ndarray:
         """Per-repetition recovered maxima ``max_i |z^{(r)}_i|``."""
         if self._exact_recovery:
             return np.max(np.abs(self._scaled_vectors), axis=1)
-        maxima = np.empty(self._repetitions, dtype=float)
-        for repetition, sketch in enumerate(self._sketches):
-            estimates = sketch.estimate_all()
-            maxima[repetition] = float(np.max(np.abs(estimates)))
-        return maxima
+        estimates = self._sketch_ensemble.estimate_all_members()
+        return np.max(np.abs(estimates), axis=1)
 
     def estimate(self) -> float:
         """The unbiased estimate ``F̂_p = (k - 1) / sum_j M_j^{-1}``."""
@@ -156,6 +155,76 @@ class MaxStabilityFpEstimator(BatchUpdateMixin):
     def estimate_variance_bound(self) -> float:
         """The a-priori variance bound ``F_p^2 / (repetitions - 2)`` (relative form)."""
         return 1.0 / (self._repetitions - 2)
+
+
+class FpEstimatorEnsemble(ReplicaEnsemble):
+    """``R`` independent max-stability ``F_p`` estimators, stacked.
+
+    In oracle (``exact_recovery``) mode — the mode distribution-level
+    experiments replicate by the hundreds — the ``R * repetitions`` scaled
+    vectors live in one ``(R, repetitions, n)`` array and every batch lands
+    in all of them with a single scatter-add.  In sketch mode the batch is
+    validated once and each replica applies its (already fused, one
+    scatter per batch) inner CountSketch ensemble; state then remains
+    inside the replica instances exactly as in the standalone path.
+    """
+
+    def __init__(self, instances) -> None:
+        super().__init__(instances)
+        first = instances[0]
+        if any((inst._n, inst._p, inst._repetitions, inst._exact_recovery)
+               != (first._n, first._p, first._repetitions, first._exact_recovery)
+               for inst in instances):
+            raise InvalidParameterError(
+                "ensemble members must share (n, p, repetitions, recovery mode)")
+        self._n = first._n
+        self._exact = first._exact_recovery
+        self._repetitions = first._repetitions
+        if self._exact:
+            self._inverse_scales = np.stack(
+                [inst._inverse_scales for inst in instances])
+            self._scaled_vectors = np.zeros(
+                (len(instances), self._repetitions, self._n), dtype=float)
+            self._num_updates = np.zeros(len(instances), dtype=np.int64)
+
+    def update_batch(self, indices, deltas) -> None:
+        """Apply one validated batch to every replica."""
+        indices, deltas = coerce_batch(indices, deltas)
+        if indices.size == 0:
+            return
+        check_batch_bounds(indices, self._n)
+        if self._exact:
+            scaled = deltas * self._inverse_scales[:, :, indices]
+            replica_index = np.arange(self.num_replicas)[:, None, None]
+            repetition_index = np.arange(self._repetitions)[None, :, None]
+            np.add.at(self._scaled_vectors,
+                      (replica_index, repetition_index, indices[None, None, :]),
+                      scaled)
+            self._num_updates += int(indices.size)
+        else:
+            for instance in self._instances:
+                scaled = deltas * instance._inverse_scales[:, indices]
+                instance._sketch_ensemble.update_batch(indices, scaled)
+                instance._num_updates += int(indices.size)
+
+    def estimate_replica(self, replica: int) -> float:
+        """The unbiased ``F̂_p`` estimate of one replica."""
+        if not self._exact:
+            return self._instances[replica].estimate()
+        if self._num_updates[replica] == 0:
+            raise SamplerStateError("Fp estimator queried before any update")
+        maxima = np.max(np.abs(self._scaled_vectors[replica]), axis=1)
+        if np.any(maxima <= 0):
+            return 0.0
+        inverse_moments = maxima ** (-self._instances[replica]._p)
+        return float((self._repetitions - 1) / inverse_moments.sum())
+
+    def sample_replica(self, replica: int):
+        """Fp estimators have no ``sample``; the ensemble is query-only."""
+        raise NotImplementedError("FpEstimatorEnsemble is query-only")
+
+
+register_ensemble(MaxStabilityFpEstimator, FpEstimatorEnsemble)
 
 
 class FpEstimator(BatchUpdateMixin):

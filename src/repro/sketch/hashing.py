@@ -7,19 +7,43 @@ polynomial at distinct points yields a k-wise independent family, which is
 the standard derandomisation-friendly construction used by CountSketch
 (pairwise buckets, 4-wise signs) and the AMS sketch (4-wise signs).
 
-The implementation is vectorised: hashes of whole index arrays are computed
-with NumPy ``object``-free modular arithmetic on ``uint64``/Python ints to
-avoid overflow.
+Evaluation is fully vectorised: Horner's rule runs over ``uint64``-limb
+modular arithmetic (:func:`repro.utils.batching.polyval_mersenne`), which is
+bit-identical to exact integer arithmetic — modular reduction is exact — but
+avoids the ``object``-dtype Python-int round-trips entirely.  The *family*
+classes (:class:`KWiseHashFamily`, :class:`SignHashFamily`) stack the
+coefficient vectors of many independent hash functions and evaluate all of
+them at every requested point in one pass; replica ensembles use them to
+build the hash tables of hundreds of sketch replicas in a single numpy call,
+and single sketches use them to build all of their rows at once.
 """
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.exceptions import InvalidParameterError
+from repro.utils.batching import MERSENNE_PRIME_61, polyval_mersenne
 from repro.utils.rng import SeedLike, ensure_rng
 
-MERSENNE_PRIME = (1 << 61) - 1
+MERSENNE_PRIME = MERSENNE_PRIME_61
+
+
+def _draw_coefficients(k: int, seed: SeedLike) -> np.ndarray:
+    """Draw the ``k`` polynomial coefficients of one hash function.
+
+    This is the single place coefficients are drawn, so a family member
+    built from seed ``s`` is coefficient-for-coefficient identical to a
+    standalone :class:`KWiseHash` built from the same seed.
+    """
+    rng = ensure_rng(seed)
+    coefficients = rng.integers(0, MERSENNE_PRIME, size=k, dtype=np.int64)
+    # Leading coefficient non-zero keeps the polynomial degree exactly k-1.
+    if k > 1 and coefficients[-1] == 0:
+        coefficients[-1] = 1
+    return coefficients.astype(np.uint64)
 
 
 class KWiseHash:
@@ -41,14 +65,9 @@ class KWiseHash:
             raise InvalidParameterError("k must be at least 1")
         if range_size < 1:
             raise InvalidParameterError("range_size must be at least 1")
-        rng = ensure_rng(seed)
         self._k = int(k)
         self._range_size = int(range_size)
-        coefficients = rng.integers(0, MERSENNE_PRIME, size=self._k, dtype=np.int64)
-        # Leading coefficient non-zero keeps the polynomial degree exactly k-1.
-        if self._k > 1 and coefficients[-1] == 0:
-            coefficients[-1] = 1
-        self._coefficients = coefficients.astype(object)
+        self._coefficients = _draw_coefficients(self._k, seed)
 
     @property
     def k(self) -> int:
@@ -60,19 +79,195 @@ class KWiseHash:
         """Output range size."""
         return self._range_size
 
+    @property
+    def coefficients(self) -> np.ndarray:
+        """The ``uint64`` polynomial coefficients (constant term first)."""
+        return self._coefficients
+
     def __call__(self, keys: int | np.ndarray) -> int | np.ndarray:
         """Hash a key (or an array of keys) into ``[0, range_size)``."""
         scalar = np.isscalar(keys)
-        arr = np.atleast_1d(np.asarray(keys, dtype=np.int64)).astype(object)
-        # Horner evaluation over the Mersenne prime field.
-        result = np.zeros(arr.shape, dtype=object)
-        for coefficient in self._coefficients[::-1]:
-            result = (result * arr + int(coefficient)) % MERSENNE_PRIME
-        hashed = result % self._range_size
-        hashed = hashed.astype(np.int64)
+        arr = np.atleast_1d(np.asarray(keys, dtype=np.int64))
+        values = polyval_mersenne(self._coefficients, arr)
+        hashed = (values % np.uint64(self._range_size)).astype(np.int64)
         if scalar:
             return int(hashed[0])
         return hashed
+
+
+class KWiseHashFamily:
+    """``F`` independent k-wise hash functions evaluated in one pass.
+
+    Each member is coefficient-for-coefficient identical to
+    ``KWiseHash(k, range_size, seeds[f])``; :meth:`hash_all` evaluates every
+    member's polynomial at every key with a single vectorised
+    ``uint64``-limb Horner sweep, so building the hash tables of many sketch
+    rows (or many sketch *replicas*) costs one numpy call instead of ``F``
+    object-dtype loops.
+    """
+
+    def __init__(self, k: int, range_size: int, seeds: Sequence[int]) -> None:
+        if k < 1:
+            raise InvalidParameterError("k must be at least 1")
+        if range_size < 1:
+            raise InvalidParameterError("range_size must be at least 1")
+        self._k = int(k)
+        self._range_size = int(range_size)
+        self._coefficients = np.stack(
+            [_draw_coefficients(self._k, int(seed)) for seed in seeds]
+        ) if len(seeds) else np.empty((0, self._k), dtype=np.uint64)
+
+    @classmethod
+    def from_rng(cls, rng: np.random.Generator, size: int, k: int,
+                 range_size: int) -> "KWiseHashFamily":
+        """Draw a whole family's coefficient matrix in one vectorised call.
+
+        This is the fast path sketch constructors use: one
+        ``rng.integers`` call replaces ``size`` per-member generator
+        constructions.  The members are still independent uniformly random
+        degree-``(k-1)`` polynomials (leading coefficient forced non-zero),
+        exactly the distribution :class:`KWiseHash` draws from.
+        """
+        if k < 1:
+            raise InvalidParameterError("k must be at least 1")
+        if range_size < 1:
+            raise InvalidParameterError("range_size must be at least 1")
+        coefficients = rng.integers(0, MERSENNE_PRIME, size=(size, k),
+                                    dtype=np.int64)
+        if k > 1:
+            zero_lead = coefficients[:, -1] == 0
+            coefficients[zero_lead, -1] = 1
+        family = cls.__new__(cls)
+        family._k = int(k)
+        family._range_size = int(range_size)
+        family._coefficients = coefficients.astype(np.uint64)
+        return family
+
+    @classmethod
+    def from_coefficients(cls, coefficients: np.ndarray, range_size: int) -> "KWiseHashFamily":
+        """Wrap an existing ``(F, k)`` ``uint64`` coefficient matrix."""
+        coefficients = np.asarray(coefficients, dtype=np.uint64)
+        if coefficients.ndim != 2:
+            raise InvalidParameterError("coefficient matrix must be 2-D")
+        family = cls.__new__(cls)
+        family._k = int(coefficients.shape[1])
+        family._range_size = int(range_size)
+        family._coefficients = coefficients
+        return family
+
+    @classmethod
+    def concatenate(cls, families: Sequence["KWiseHashFamily"]) -> "KWiseHashFamily":
+        """Stack several same-``(k, range)`` families into one (for ensembles)."""
+        if not families:
+            raise InvalidParameterError("need at least one family")
+        first = families[0]
+        if any(f.k != first.k or f.range_size != first.range_size for f in families):
+            raise InvalidParameterError("families must share k and range_size")
+        return cls.from_coefficients(
+            np.concatenate([f.coefficients for f in families]), first.range_size
+        )
+
+    @classmethod
+    def from_hashes(cls, hashes: Sequence[KWiseHash]) -> "KWiseHashFamily":
+        """Stack already-constructed hashes (must share ``k`` and range)."""
+        if not hashes:
+            raise InvalidParameterError("family needs at least one hash")
+        first = hashes[0]
+        if any(h.k != first.k or h.range_size != first.range_size for h in hashes):
+            raise InvalidParameterError("family members must share k and range_size")
+        family = cls.__new__(cls)
+        family._k = first.k
+        family._range_size = first.range_size
+        family._coefficients = np.stack([h.coefficients for h in hashes])
+        return family
+
+    @property
+    def size(self) -> int:
+        """Number of member hash functions."""
+        return self._coefficients.shape[0]
+
+    @property
+    def k(self) -> int:
+        """Independence level of every member."""
+        return self._k
+
+    @property
+    def range_size(self) -> int:
+        """Output range size of every member."""
+        return self._range_size
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """The ``(F, k)`` ``uint64`` coefficient matrix."""
+        return self._coefficients
+
+    #: Soft cap on ``members * keys`` cells per evaluation chunk.  The
+    #: Horner sweep is memory-bound; keeping each chunk's temporaries inside
+    #: the cache makes huge stacked-replica evaluations run at the same
+    #: per-cell cost as small ones (measured sweet spot ~128k cells = 1 MB
+    #: per uint64 temporary).
+    _EVAL_CHUNK_CELLS = 1 << 17
+
+    def hash_all(self, keys: np.ndarray) -> np.ndarray:
+        """``(F, len(keys))`` table of every member at every key."""
+        arr = np.atleast_1d(np.asarray(keys, dtype=np.int64))
+        members = self._coefficients.shape[0]
+        cells = members * max(arr.size, 1)
+        modulus = np.uint64(self._range_size)
+        if cells <= self._EVAL_CHUNK_CELLS or arr.size == 0:
+            values = polyval_mersenne(self._coefficients, arr)
+            return (values % modulus).astype(np.int64)
+        out = np.empty((members, arr.size), dtype=np.int64)
+        step = max(1, self._EVAL_CHUNK_CELLS // arr.size)
+        for start in range(0, members, step):
+            stop = min(members, start + step)
+            values = polyval_mersenne(self._coefficients[start:stop], arr)
+            values %= modulus
+            out[start:stop] = values
+        return out
+
+
+class SignHashFamily:
+    """``F`` independent k-wise Rademacher sign hashes evaluated in one pass."""
+
+    def __init__(self, seeds: Sequence[int], k: int = 4) -> None:
+        self._family = KWiseHashFamily(k, 2, seeds)
+
+    @classmethod
+    def from_rng(cls, rng: np.random.Generator, size: int, k: int = 4) -> "SignHashFamily":
+        """Draw a whole sign family's coefficients in one vectorised call."""
+        family = cls.__new__(cls)
+        family._family = KWiseHashFamily.from_rng(rng, size, k, 2)
+        return family
+
+    @classmethod
+    def from_hashes(cls, hashes: Sequence["SignHash"]) -> "SignHashFamily":
+        """Stack already-constructed sign hashes."""
+        family = cls.__new__(cls)
+        family._family = KWiseHashFamily.from_hashes([h._hash for h in hashes])
+        return family
+
+    @classmethod
+    def concatenate(cls, families: Sequence["SignHashFamily"]) -> "SignHashFamily":
+        """Stack several same-``k`` sign families into one (for ensembles)."""
+        family = cls.__new__(cls)
+        family._family = KWiseHashFamily.concatenate([f._family for f in families])
+        return family
+
+    @property
+    def size(self) -> int:
+        """Number of member sign hashes."""
+        return self._family.size
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """The ``(F, k)`` ``uint64`` coefficient matrix."""
+        return self._family.coefficients
+
+    def sign_all(self, keys: np.ndarray) -> np.ndarray:
+        """``(F, len(keys))`` table of ``{-1, +1}`` signs (int64)."""
+        bits = self._family.hash_all(keys)
+        return np.where(bits == 1, 1, -1).astype(np.int64)
 
 
 class PairwiseHash(KWiseHash):

@@ -29,7 +29,8 @@ from repro.utils.batching import (
     check_batch_bounds,
     coerce_batch,
 )
-from repro.utils.rng import SeedLike, ensure_rng, oracle_rng
+from repro.utils.ensemble import ReplicaEnsemble, register_ensemble
+from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import require_moment_order, require_positive_int
 
 
@@ -50,6 +51,82 @@ def chambers_mallows_stuck(p: float, rng: np.random.Generator, size: int) -> np.
     first = np.sin(p * uniforms) / np.cos(uniforms) ** (1.0 / p)
     second = (np.cos((1.0 - p) * uniforms) / exponentials) ** ((1.0 - p) / p)
     return first * second
+
+
+_U64 = np.uint64
+_GOLDEN = _U64(0x9E3779B97F4A7C15)
+_MIX1 = _U64(0xBF58476D1CE4E5B9)
+_MIX2 = _U64(0x94D049BB133111EB)
+_UNIT = 1.0 / float(1 << 53)
+
+
+def _splitmix64(values: np.ndarray) -> np.ndarray:
+    """Vectorised splitmix64 finaliser (uint64 in, uint64 out).
+
+    Runs in place on a fresh copy — counter grids for replica ensembles are
+    large, so the mixing is memory-bound and temporaries are reused.
+    """
+    values = np.array(values, dtype=np.uint64, copy=True)
+    values += _GOLDEN
+    scratch = values >> _U64(30)
+    values ^= scratch
+    values *= _MIX1
+    np.right_shift(values, _U64(27), out=scratch)
+    values ^= scratch
+    values *= _MIX2
+    np.right_shift(values, _U64(31), out=scratch)
+    values ^= scratch
+    return values
+
+
+def _counter_uniform(counters: np.ndarray) -> np.ndarray:
+    """Uniform ``[0, 1)`` variates from uint64 counters (two mix rounds)."""
+    mixed = _splitmix64(_splitmix64(counters))
+    mixed >>= _U64(11)
+    return mixed.astype(float) * _UNIT
+
+
+def stable_coefficient_block(root_seed: int | np.ndarray, p: float,
+                             num_rows: int, indices: np.ndarray) -> np.ndarray:
+    """The stable projection coefficients of a set of coordinates.
+
+    This is the library's *counter-based* random oracle for ``p``-stable
+    sketches: the Chambers–Mallows–Stuck inputs of cell
+    ``(root_seed, row, index)`` are derived from a splitmix64-mixed counter,
+    so the whole ``(num_rows, len(indices))`` block — or, when
+    ``root_seed`` is an array of ``R`` replica seeds, the full
+    ``(R, num_rows, len(indices))`` grid — is produced by a handful of
+    vectorised numpy passes.  Deterministic per cell, hence
+    order-independent: updates commute and merged sketches agree, and a
+    replica ensemble computing the grid in one shot is bit-identical to
+    each replica computing its own block.
+    """
+    indices = np.asarray(indices, dtype=np.int64).astype(np.uint64)
+    roots = np.asarray(root_seed, dtype=np.uint64)
+    scalar_root = roots.ndim == 0
+    roots = np.atleast_1d(roots)
+    rows = np.arange(num_rows, dtype=np.uint64)
+    # Chain the three coordinates through the mixer: seed, then index, then
+    # the (row, stream) tag; each step is a full 64-bit finaliser, so
+    # structured inputs cannot collide systematically.
+    base = _splitmix64(_splitmix64(roots)[:, None] ^ indices[None, :])
+    tags = (rows << _U64(1))[None, :, None]
+    u1 = _counter_uniform(base[:, None, :] ^ tags)
+    uniforms = u1
+    uniforms -= 0.5
+    uniforms *= math.pi
+    if abs(p - 1.0) < 1e-12:
+        # Cauchy case: only the angular variate is consumed.
+        block = np.tan(uniforms)
+    else:
+        u2 = _counter_uniform(base[:, None, :] ^ (tags | _U64(1)))
+        exponentials = -np.log1p(-u2)
+        first = np.sin(p * uniforms) / np.cos(uniforms) ** (1.0 / p)
+        second = (np.cos((1.0 - p) * uniforms) / exponentials) ** ((1.0 - p) / p)
+        block = first * second
+    if scalar_root:
+        return block[0]
+    return block
 
 
 def stable_median_scale(p: float, rng: np.random.Generator | None = None,
@@ -123,14 +200,15 @@ class PStableSketch(BatchUpdateMixin):
     def _coefficients(self, index: int) -> np.ndarray:
         """The ``num_rows`` stable coefficients of coordinate ``index``.
 
-        Drawn lazily from the per-coordinate oracle and cached (bounded):
-        repeated touches and the batched path's coefficient-matrix assembly
-        cost one dict lookup instead of a generator construction.
+        Evaluated from the counter-based oracle
+        (:func:`stable_coefficient_block`) and cached (bounded): repeated
+        touches cost one dict lookup instead of a kernel evaluation.
         """
         cached = self._coefficient_cache.get(index)
         if cached is None:
-            rng = oracle_rng(self._root_seed, "pstable", index)
-            cached = chambers_mallows_stuck(self._p, rng, self._num_rows)
+            cached = stable_coefficient_block(
+                self._root_seed, self._p, self._num_rows,
+                np.asarray([index], dtype=np.int64))[:, 0]
             if len(self._coefficient_cache) >= self._coefficient_cache_limit:
                 self._coefficient_cache.clear()
             self._coefficient_cache[index] = cached
@@ -147,16 +225,26 @@ class PStableSketch(BatchUpdateMixin):
         """Apply a batch through one coefficient-matrix / delta product.
 
         Repeated indices are aggregated first (the sketch is linear); the
-        remaining numpy work is a single ``matrix.T @ aggregated_deltas``.
-        Only cache-miss coordinates pay the per-coordinate oracle draw.
+        coefficients of every distinct coordinate come from one vectorised
+        oracle evaluation and the remaining numpy work is a single
+        ``matrix @ aggregated_deltas``.
         """
         indices, deltas = coerce_batch(indices, deltas)
         if indices.size == 0:
             return
         check_batch_bounds(indices, self._n)
         unique, aggregated = aggregate_batch(indices, deltas)
-        matrix = np.stack([self._coefficients(int(item)) for item in unique])
-        self._state += matrix.T @ aggregated
+        matrix = stable_coefficient_block(self._root_seed, self._p,
+                                          self._num_rows, unique)
+        # Keep the per-index cache in sync with the scalar path (the oracle
+        # is deterministic, so batch-computed columns equal scalar draws).
+        for position, item in enumerate(unique.tolist()):
+            if item not in self._coefficient_cache:
+                if len(self._coefficient_cache) >= self._coefficient_cache_limit:
+                    self._coefficient_cache.clear()
+                self._coefficient_cache[item] = np.ascontiguousarray(
+                    matrix[:, position])
+        self._state += matrix @ aggregated
         self._num_updates += int(indices.size)
 
     def estimate_norm(self) -> float:
@@ -185,3 +273,71 @@ class PStableSketch(BatchUpdateMixin):
         merged._state = self._state + other._state
         merged._num_updates = self._num_updates + other._num_updates
         return merged
+
+
+class PStableEnsemble(ReplicaEnsemble):
+    """``R`` independent ``p``-stable sketches with stacked projections.
+
+    The per-replica projection states live in one ``(R, num_rows)`` array;
+    each batch is aggregated once (shared ``np.unique``/``bincount``) and
+    the stable coefficients of every ``(replica, row, coordinate)`` cell
+    come from a single vectorised evaluation of the counter-based oracle.
+    Per-replica accumulation runs the standalone ``matrix @ aggregated``
+    product on identically laid-out slices, so replica state is
+    bit-identical to driving each sketch separately.
+    """
+
+    def __init__(self, instances) -> None:
+        super().__init__(instances)
+        first = instances[0]
+        if any((inst._n, inst._p, inst._num_rows) != (first._n, first._p, first._num_rows)
+               for inst in instances):
+            raise InvalidParameterError("ensemble members must share (n, p, num_rows)")
+        self._n = first._n
+        self._p = first._p
+        self._num_rows = first._num_rows
+        self._roots = np.asarray([inst._root_seed for inst in instances],
+                                 dtype=np.uint64)
+        self._scales = np.asarray([inst._scale for inst in instances])
+        self._state = np.zeros((len(instances), self._num_rows), dtype=float)
+        self._num_updates = np.zeros(len(instances), dtype=np.int64)
+
+    def space_counters(self) -> int:
+        """Total stored counters across all replicas."""
+        return int(self._state.size)
+
+    def update_batch(self, indices, deltas) -> None:
+        """Apply one batch to every replica with one shared oracle pass."""
+        indices, deltas = coerce_batch(indices, deltas)
+        if indices.size == 0:
+            return
+        check_batch_bounds(indices, self._n)
+        unique, aggregated = aggregate_batch(indices, deltas)
+        # Evaluate the oracle grid in replica chunks so its temporaries stay
+        # cache-resident (the kernel is memory-bound on big grids).
+        cells = self._num_rows * max(unique.size, 1)
+        step = max(1, (1 << 18) // cells)
+        for start in range(0, self.num_replicas, step):
+            stop = min(self.num_replicas, start + step)
+            blocks = stable_coefficient_block(self._roots[start:stop], self._p,
+                                              self._num_rows, unique)
+            for replica in range(start, stop):
+                self._state[replica] += blocks[replica - start] @ aggregated
+        self._num_updates += int(indices.size)
+
+    def estimate_norm_replica(self, replica: int) -> float:
+        """Median estimator of ``||x||_p`` for one replica."""
+        if self._num_updates[replica] == 0:
+            raise SamplerStateError("the sketch has not seen any updates")
+        return float(np.median(np.abs(self._state[replica])) / self._scales[replica])
+
+    def estimate_moment_replica(self, replica: int) -> float:
+        """``F_p`` estimate of one replica."""
+        return self.estimate_norm_replica(replica) ** self._p
+
+    def sample_replica(self, replica: int):
+        """PStableSketch has no ``sample``; the ensemble is query-only."""
+        raise NotImplementedError("PStableEnsemble is query-only")
+
+
+register_ensemble(PStableSketch, PStableEnsemble)

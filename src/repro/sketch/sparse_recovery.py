@@ -34,78 +34,23 @@ import numpy as np
 from repro.exceptions import InvalidParameterError
 from repro.sketch.hashing import PairwiseHash
 from repro.utils.batching import (
+    MERSENNE_PRIME_61,
     BatchUpdateMixin,
     check_batch_bounds,
     coerce_batch,
+    mersenne_mulmod as _mersenne_mulmod,
+    mersenne_powmod as _mersenne_powmod,
 )
 from repro.utils.rng import SeedLike, ensure_rng, random_seed_array
 from repro.utils.validation import require_positive_int
 
-_FINGERPRINT_PRIME = (1 << 61) - 1
+_FINGERPRINT_PRIME = MERSENNE_PRIME_61
 
 # Below this batch size the vectorised modular/grouping machinery costs more
 # in numpy dispatch than the scalar Python loop it replaces.  The integer
 # fingerprints are bit-identical either way; the float aggregates (cell
 # weights) may differ in the last ulp because vectorised sums re-associate.
 _VECTORIZE_CUTOFF = 32
-
-_MASK61 = np.uint64(_FINGERPRINT_PRIME)
-_MASK32 = np.uint64((1 << 32) - 1)
-_MASK29 = np.uint64((1 << 29) - 1)
-
-
-def _mersenne_reduce(values: np.ndarray) -> np.ndarray:
-    """Reduce ``uint64`` values modulo the Mersenne prime ``2^61 - 1``.
-
-    Uses the identity ``2^61 ≡ 1``: fold the high bits onto the low bits
-    twice, then subtract the prime once if needed.
-    """
-    values = (values >> np.uint64(61)) + (values & _MASK61)
-    values = (values >> np.uint64(61)) + (values & _MASK61)
-    return np.where(values >= _MASK61, values - _MASK61, values)
-
-
-def _mersenne_mulmod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Vectorised ``(a * b) mod (2^61 - 1)`` for operands already below the prime.
-
-    The 122-bit product is assembled from 32-bit limbs entirely in
-    ``uint64`` arithmetic: with ``a = ah·2^32 + al`` and likewise for ``b``,
-    ``a·b = ah·bh·2^64 + (ah·bl + al·bh)·2^32 + al·bl``, and the powers of
-    two reduce via ``2^61 ≡ 1`` (so ``2^64 ≡ 8``).  Every intermediate fits
-    in 64 bits, which is what makes the fingerprint batchable in numpy.
-    """
-    a = np.asarray(a, dtype=np.uint64)
-    b = np.asarray(b, dtype=np.uint64)
-    ah, al = a >> np.uint64(32), a & _MASK32
-    bh, bl = b >> np.uint64(32), b & _MASK32
-    hi = ah * bh                        # < 2^58, carries factor 2^64 ≡ 8
-    mid = ah * bl + al * bh             # < 2^62, carries factor 2^32
-    lo = al * bl                        # full 64-bit product
-    total = (hi << np.uint64(3))
-    total = total + (mid >> np.uint64(29))
-    total = total + ((mid & _MASK29) << np.uint64(32))
-    total = total + (lo >> np.uint64(61)) + (lo & _MASK61)
-    return _mersenne_reduce(total)
-
-
-def _mersenne_powmod(base: int, exponents: np.ndarray) -> np.ndarray:
-    """Vectorised ``base ** exponents mod (2^61 - 1)`` by square-and-multiply.
-
-    The square chain of the (scalar) base runs in exact Python integers;
-    the per-exponent multiplies are the vectorised
-    :func:`_mersenne_mulmod`, so the cost is ``O(log(max exponent))``
-    numpy passes over the exponent array.
-    """
-    exponents = np.asarray(exponents, dtype=np.uint64)
-    result = np.ones_like(exponents)
-    square = int(base) % _FINGERPRINT_PRIME
-    max_bits = int(exponents.max()).bit_length() if exponents.size else 0
-    for bit in range(max_bits):
-        mask = (exponents >> np.uint64(bit)) & np.uint64(1) == np.uint64(1)
-        if mask.any():
-            result[mask] = _mersenne_mulmod(result[mask], np.uint64(square))
-        square = (square * square) % _FINGERPRINT_PRIME
-    return result
 
 
 @dataclass(frozen=True)

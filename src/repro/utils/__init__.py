@@ -23,16 +23,36 @@ without import cycles:
     The vectorised batch-update engine (``update_batch`` coercion, chunked
     stream replay, and the :class:`~repro.utils.batching.BatchUpdateMixin`
     base class) shared by every sketch and sampler; re-exported by
-    :mod:`repro.samplers.base` as the documented API surface.
+    :mod:`repro.samplers.base` as the documented API surface.  Also hosts
+    the shared ``uint64``-limb Mersenne-prime kernels (``mersenne_mulmod``,
+    ``polyval_mersenne``) used by the hash families and fingerprints.
+``ensemble``
+    The replica-ensemble engine: stack ``R`` independent replicas of a
+    sketch/sampler into one vectorised structure with a single shared
+    ingest pass (see :func:`repro.utils.ensemble.ensemble_samples` and the
+    per-substrate native ensembles registered by the sketch/sampler
+    modules).
 """
 
 from repro.utils.batching import (
     DEFAULT_BATCH_SIZE,
+    MERSENNE_PRIME_61,
     BatchUpdateMixin,
     coerce_batch,
     iter_batches,
+    mersenne_mulmod,
+    mersenne_powmod,
+    polyval_mersenne,
     replay_stream,
     stream_arrays,
+)
+from repro.utils.ensemble import (
+    LevelStackEnsemble,
+    ReplicaEnsemble,
+    SamplerEnsemble,
+    build_ensemble,
+    ensemble_samples,
+    register_ensemble,
 )
 from repro.utils.rng import spawn_rng, ensure_rng, derive_seed
 from repro.utils.rounding import round_down_to_power, discretize_support
@@ -46,7 +66,17 @@ from repro.utils.stats import (
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
+    "MERSENNE_PRIME_61",
     "BatchUpdateMixin",
+    "LevelStackEnsemble",
+    "ReplicaEnsemble",
+    "SamplerEnsemble",
+    "build_ensemble",
+    "ensemble_samples",
+    "register_ensemble",
+    "mersenne_mulmod",
+    "mersenne_powmod",
+    "polyval_mersenne",
     "coerce_batch",
     "iter_batches",
     "replay_stream",

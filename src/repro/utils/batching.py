@@ -44,6 +44,7 @@ from repro.exceptions import InvalidParameterError
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
+    "MERSENNE_PRIME_61",
     "BatchUpdateMixin",
     "aggregate_batch",
     "aggregate_scatter",
@@ -51,6 +52,10 @@ __all__ = [
     "check_batch_bounds",
     "stream_arrays",
     "iter_batches",
+    "mersenne_mulmod",
+    "mersenne_powmod",
+    "mersenne_reduce",
+    "polyval_mersenne",
     "replay_stream",
     "deepest_levels",
     "route_subsampled_batch",
@@ -61,8 +66,132 @@ __all__ = [
 #: small enough that per-batch scratch arrays stay cache-friendly.
 DEFAULT_BATCH_SIZE = 8192
 
+#: The Mersenne prime ``2^61 - 1`` underlying every modular fingerprint and
+#: k-wise independent hash family in the library.
+MERSENNE_PRIME_61 = (1 << 61) - 1
+
 _EMPTY_INDICES = np.asarray([], dtype=np.int64)
 _EMPTY_DELTAS = np.asarray([], dtype=float)
+
+_MASK29 = np.uint64((1 << 29) - 1)
+_MASK32 = np.uint64((1 << 32) - 1)
+_MASK61 = np.uint64(MERSENNE_PRIME_61)
+
+
+def mersenne_reduce(values: np.ndarray) -> np.ndarray:
+    """Reduce ``uint64`` values modulo the Mersenne prime ``2^61 - 1``.
+
+    Uses the identity ``2^61 ≡ 1``: fold the high bits onto the low bits
+    twice, then subtract the prime once if needed.  The input array is not
+    modified; the folding happens in-place on a fresh copy to keep the
+    temporary count (and hence page-fault traffic on large family
+    evaluations) low.
+    """
+    values = np.array(values, dtype=np.uint64, copy=True)
+    scratch = values >> np.uint64(61)
+    values &= _MASK61
+    values += scratch
+    np.right_shift(values, np.uint64(61), out=scratch)
+    values &= _MASK61
+    values += scratch
+    np.subtract(values, _MASK61, out=values, where=values >= _MASK61)
+    return values
+
+
+def mersenne_mulmod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Vectorised ``(a * b) mod (2^61 - 1)``, ``b`` below the prime.
+
+    The 122-bit product is assembled from 32-bit limbs entirely in
+    ``uint64`` arithmetic: with ``a = ah·2^32 + al`` and likewise for ``b``,
+    ``a·b = ah·bh·2^64 + (ah·bl + al·bh)·2^32 + al·bl``, and the powers of
+    two reduce via ``2^61 ≡ 1`` (so ``2^64 ≡ 8``).  Every intermediate fits
+    in 64 bits, which is what makes the modular arithmetic batchable in
+    numpy; operands broadcast against each other like any ufunc.  ``a`` may
+    be up to ``2^62`` (one deferred coefficient addition), which lets
+    Horner evaluation skip a full reduction per step.  The body reuses its
+    large temporaries in place: evaluating hash families for hundreds of
+    stacked replicas is memory-bound, not compute-bound.
+    """
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    ah, al = a >> np.uint64(32), a & _MASK32
+    bh, bl = b >> np.uint64(32), b & _MASK32
+    total = ah * bh                     # < 2^59, carries factor 2^64 ≡ 8
+    total <<= np.uint64(3)
+    mid = ah * bl                       # mid < 2^63, carries factor 2^32
+    mid += al * bh
+    total += mid >> np.uint64(29)
+    mid &= _MASK29
+    mid <<= np.uint64(32)
+    total += mid
+    lo = al * bl                        # full 64-bit product
+    total += lo >> np.uint64(61)
+    lo &= _MASK61
+    total += lo
+    # Fold-reduce in place (total < 2^63 at this point).
+    scratch = total >> np.uint64(61)
+    total &= _MASK61
+    total += scratch
+    np.right_shift(total, np.uint64(61), out=scratch)
+    total &= _MASK61
+    total += scratch
+    np.subtract(total, _MASK61, out=total, where=total >= _MASK61)
+    return total
+
+
+def mersenne_powmod(base: int, exponents: np.ndarray) -> np.ndarray:
+    """Vectorised ``base ** exponents mod (2^61 - 1)`` by square-and-multiply.
+
+    The square chain of the (scalar) base runs in exact Python integers;
+    the per-exponent multiplies are the vectorised
+    :func:`mersenne_mulmod`, so the cost is ``O(log(max exponent))``
+    numpy passes over the exponent array.
+    """
+    exponents = np.asarray(exponents, dtype=np.uint64)
+    result = np.ones_like(exponents)
+    square = int(base) % MERSENNE_PRIME_61
+    max_bits = int(exponents.max()).bit_length() if exponents.size else 0
+    for bit in range(max_bits):
+        mask = (exponents >> np.uint64(bit)) & np.uint64(1) == np.uint64(1)
+        if mask.any():
+            result[mask] = mersenne_mulmod(result[mask], np.uint64(square))
+        square = (square * square) % MERSENNE_PRIME_61
+    return result
+
+
+def polyval_mersenne(coefficients: np.ndarray, keys: np.ndarray) -> np.ndarray:
+    """Evaluate stacked polynomials over ``GF(2^61 - 1)`` at integer points.
+
+    ``coefficients`` has shape ``(..., k)`` (``uint64`` values below the
+    prime, constant term first); ``keys`` is a 1-D integer array of
+    evaluation points (reduced modulo the prime, Python-sign semantics).
+    Returns the ``(..., len(keys))`` array of Horner evaluations — one full
+    hash *family* is evaluated at every point in a single ``uint64``-limb
+    pass, which is what lets replica ensembles build all of their hash
+    tables at once.
+    """
+    coefficients = np.asarray(coefficients, dtype=np.uint64)
+    keys = np.asarray(keys)
+    if keys.dtype.kind == "u":
+        # Unsigned keys reduce in the uint64 domain; mixing uint64 with a
+        # signed modulus would silently promote to float64 and lose the
+        # low bits of large keys.
+        reduced = keys.astype(np.uint64) % np.uint64(MERSENNE_PRIME_61)
+    else:
+        if keys.dtype != np.int64:
+            keys = keys.astype(np.int64)
+        reduced = np.mod(keys, np.int64(MERSENNE_PRIME_61)).astype(np.uint64)
+    lead_shape = coefficients.shape[:-1]
+    k = coefficients.shape[-1]
+    # Horner with deferred coefficient reduction: after adding a
+    # coefficient the accumulator is below 2^62, which mersenne_mulmod
+    # tolerates, so only one full reduction is needed at the end.
+    result = np.zeros(lead_shape + reduced.shape, dtype=np.uint64)
+    result += coefficients[..., k - 1, None]
+    for power in range(k - 2, -1, -1):
+        result = mersenne_mulmod(result, reduced)
+        result += coefficients[..., power, None]
+    return mersenne_reduce(result)
 
 
 def coerce_batch(indices, deltas) -> Tuple[np.ndarray, np.ndarray]:

@@ -1,0 +1,277 @@
+"""Replica-ensemble engine: run ``R`` independent replicas in one pass.
+
+Every distributional claim in the paper is checked empirically by drawing
+hundreds of one-shot samples from fresh, *independent* sampler instances.
+Before this module existed the evaluation pipeline paid ``R ×`` the
+single-instance cost: each replica was constructed, fed the full stream, and
+queried on its own.  The replica axis, however, is embarrassingly
+vectorisable — the hot substrates are linear sketches whose per-replica
+state is a small array, so ``R`` replicas are just one more leading axis on
+the same numpy kernels.
+
+Replica-axis layout
+-------------------
+A native ensemble stacks the per-replica state along axis 0:
+
+* ``CountSketchEnsemble`` holds tables of shape ``(M, rows, buckets)`` and
+  hash tables of shape ``(M, rows, n)`` for ``M`` member sketches, built by
+  evaluating *one* concatenated :class:`~repro.sketch.hashing.KWiseHashFamily`
+  over the universe;
+* ``AMSEnsemble`` holds counters ``(M, width * depth)`` and signs
+  ``(M, width * depth, n)``;
+* ``PStableEnsemble`` holds projection states ``(R, num_rows)`` with the
+  counter-based stable-coefficient oracle evaluated over the whole
+  ``(R, num_rows, batch)`` grid at once;
+* composite ensembles (``JW18LpSamplerEnsemble`` and friends) stack their
+  sub-structure ensembles and broadcast the per-replica scaled deltas
+  ``(R, B)`` into them in one shared ingest pass.
+
+One batch of stream updates is applied to *all* replicas with a single
+scatter-add / matrix product per substrate; per-cell accumulation order is
+identical to the standalone path, so replica state is bit-identical to
+constructing and driving each instance separately (asserted by
+``tests/test_ensemble_equivalence.py``).
+
+The registry
+------------
+Scalar classes register a native ensemble builder with
+:func:`register_ensemble`; :func:`build_ensemble` dispatches on the type of
+the probe instances (walking the MRO, so e.g. ``PerfectL2Sampler`` finds the
+``JW18LpSampler`` builder) and falls back to :class:`SamplerEnsemble`,
+which shares the materialised stream and the chunked replay across replicas
+but keeps per-replica state inside the instances themselves.  Composite
+samplers use the same hook to dispatch their *inner* repetition loops
+(value-estimation banks, max-stability repetitions, the ``N`` parallel
+``L_2`` samplers of Algorithms 1-2) to native ensembles.
+
+:func:`ensemble_samples` is the evaluation-facing entry point: build ``R``
+replicas from a seed-indexed factory, ingest one shared stream, and return
+the ``R`` one-shot samples.  ``benchmarks/_harness.py::empirical_counts``
+and :func:`repro.evaluation.distribution_tests.evaluate_sampler_distribution`
+route through it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.utils.batching import coerce_batch, replay_stream, stream_arrays
+
+__all__ = [
+    "ReplicaEnsemble",
+    "SamplerEnsemble",
+    "LevelStackEnsemble",
+    "register_ensemble",
+    "registered_ensemble_builder",
+    "build_ensemble",
+    "ensemble_samples",
+    "member_chunks",
+]
+
+#: Soft cap on the number of scatter elements materialised per numpy call
+#: when an ensemble broadcasts a batch across members.  Sized so per-chunk
+#: temporaries stay cache-resident — the fused scatters are memory-bound,
+#: and chunking keeps huge replica counts at the same per-element cost as
+#: small ones.
+SCATTER_CHUNK_ELEMENTS = 1 << 20
+
+
+class ReplicaEnsemble:
+    """Base class for ``R`` independent replicas with one shared ingest pass.
+
+    Subclasses own the stacked per-replica state and must implement
+    ``update_batch`` (applying one batch to every replica) and
+    ``sample_replica``/queries.  The instances the ensemble was built from
+    are retained as seed/configuration carriers (their own tables are not
+    populated by ensemble ingest unless the subclass says otherwise).
+    """
+
+    def __init__(self, instances: Sequence) -> None:
+        if not instances:
+            raise InvalidParameterError("an ensemble needs at least one replica")
+        self._instances = list(instances)
+
+    @property
+    def num_replicas(self) -> int:
+        """Number of replicas ``R``."""
+        return len(self._instances)
+
+    @property
+    def replicas(self) -> list:
+        """The underlying per-replica instances (seed/config carriers)."""
+        return self._instances
+
+    def update_batch(self, indices, deltas) -> None:
+        """Apply one batch of turnstile updates to every replica."""
+        raise NotImplementedError
+
+    def update_stream(self, stream, *, batch_size: int | None = None) -> None:
+        """Replay a stream once, shared across all replicas."""
+        replay_stream(self, stream, batch_size=batch_size)
+
+    def space_counters(self) -> int:
+        """Total stored counters across all replicas."""
+        return sum(instance.space_counters() for instance in self._instances)
+
+    def sample_replica(self, replica: int):
+        """One-shot sample of replica ``replica`` (or ``None`` on FAIL)."""
+        raise NotImplementedError
+
+    def replica_samples(self) -> list:
+        """The ``R`` one-shot samples, one per replica."""
+        return [self.sample_replica(r) for r in range(self.num_replicas)]
+
+
+class SamplerEnsemble(ReplicaEnsemble):
+    """Generic fallback ensemble: per-replica state stays in the instances.
+
+    The stream is materialised and validated once and each chunk is fed to
+    every replica's (already vectorised) ``update_batch``, so the ``R ×``
+    cost of stream extraction, coercion, and bounds checking is paid once.
+    Works for any :class:`~repro.samplers.base.StreamingSampler`.
+    """
+
+    def update_batch(self, indices, deltas) -> None:
+        """Feed one validated batch to every replica."""
+        indices, deltas = coerce_batch(indices, deltas)
+        for instance in self._instances:
+            instance.update_batch(indices, deltas)
+
+    def update_stream(self, stream, *, batch_size: int | None = None) -> None:
+        """Replay a stream once, shared across all replicas.
+
+        Duck-typed samplers that only implement ``update_stream`` (no
+        ``update_batch``) still work: the stream is materialised once and
+        each replica replays it through its own entry point.
+        """
+        if all(hasattr(instance, "update_batch") for instance in self._instances):
+            replay_stream(self, stream, batch_size=batch_size)
+            return
+        if not (isinstance(getattr(stream, "indices", None), np.ndarray)
+                and isinstance(getattr(stream, "deltas", None), np.ndarray)):
+            from repro.streams.updates import Update
+
+            # Materialise one-shot iterables as Update records, which
+            # support both `.index`/`.delta` access and tuple unpacking,
+            # so any replica update_stream protocol can replay them.
+            indices, deltas = stream_arrays(stream)
+            stream = [Update(index, delta)
+                      for index, delta in zip(indices.tolist(), deltas.tolist())]
+        for instance in self._instances:
+            instance.update_stream(stream)
+
+    def sample_replica(self, replica: int):
+        """Delegate to the replica instance (state lives there)."""
+        return self._instances[replica].sample()
+
+
+class LevelStackEnsemble(ReplicaEnsemble):
+    """Native ensemble for subsampling-level stacks (L_0 machinery).
+
+    Used by :class:`~repro.samplers.l0_sampler.PerfectL0Sampler` and
+    :class:`~repro.sketch.distinct.RoughL0Estimator`: the per-replica level
+    variates are stacked into an ``(R, n)`` matrix so each batch's
+    deepest-level routing is computed for all replicas with one gather,
+    and the per-level sparse-recovery updates (which own dict/fingerprint
+    state) run on the replica instances themselves — state remains inside
+    the instances exactly as in the standalone path.
+    """
+
+    def __init__(self, instances: Sequence) -> None:
+        super().__init__(instances)
+        first = instances[0]
+        if any(inst._n != first._n for inst in instances):
+            raise InvalidParameterError("replicas must share the universe size")
+        self._n = first._n
+        self._deepest = np.stack([inst._deepest_of for inst in instances])
+
+    def update_batch(self, indices, deltas) -> None:
+        """Route one batch through every replica's level stack."""
+        from repro.utils.batching import check_batch_bounds, route_subsampled_batch
+
+        indices, deltas = coerce_batch(indices, deltas)
+        if indices.size == 0:
+            return
+        check_batch_bounds(indices, self._n)
+        deepest_all = self._deepest[:, indices]
+        for replica, instance in enumerate(self._instances):
+            route_subsampled_batch(instance._levels, deepest_all[replica],
+                                   indices, deltas)
+            instance._num_updates += int(indices.size)
+
+    def sample_replica(self, replica: int):
+        """Delegate to the replica instance (state lives there)."""
+        return self._instances[replica].sample()
+
+
+_ENSEMBLE_BUILDERS: dict[type, Callable[[Sequence], ReplicaEnsemble]] = {}
+
+
+def register_ensemble(scalar_cls: type,
+                      builder: Callable[[Sequence], ReplicaEnsemble]) -> None:
+    """Register a native ensemble builder for a scalar sketch/sampler class.
+
+    ``builder(instances)`` receives the list of already-constructed scalar
+    instances (cheap seed carriers thanks to lazy hash-table construction)
+    and returns the native ensemble.  Registration happens at module import
+    time in each substrate's module, so any code able to construct an
+    instance automatically sees its native ensemble.
+    """
+    _ENSEMBLE_BUILDERS[scalar_cls] = builder
+
+
+def registered_ensemble_builder(cls: type) -> Optional[Callable]:
+    """The builder registered for ``cls`` (walking the MRO), or ``None``."""
+    for klass in cls.__mro__:
+        builder = _ENSEMBLE_BUILDERS.get(klass)
+        if builder is not None:
+            return builder
+    return None
+
+
+def build_ensemble(instances: Sequence) -> ReplicaEnsemble:
+    """Wrap replica instances in their native ensemble (or the fallback)."""
+    if not instances:
+        raise InvalidParameterError("an ensemble needs at least one replica")
+    builder = registered_ensemble_builder(type(instances[0]))
+    if builder is None:
+        return SamplerEnsemble(instances)
+    try:
+        return builder(instances)
+    except InvalidParameterError:
+        # Heterogeneous configurations across replicas (different shapes /
+        # modes) cannot be stacked; fall back to the per-instance path.
+        return SamplerEnsemble(instances)
+
+
+def ensemble_samples(factory: Callable[[int], object], seeds: Iterable[int],
+                     stream=None, *, batch_size: int | None = None) -> list:
+    """Draw one sample from each of ``len(seeds)`` independent replicas.
+
+    ``factory(seed)`` must return a fresh sampler; the replicas are stacked
+    into the registered native ensemble (or the generic fallback), the
+    stream is ingested once for all of them, and the per-replica one-shot
+    samples are returned in seed order.  Results are bit-identical to the
+    sequential construct/replay/sample loop over the same seeds.
+    """
+    instances = [factory(seed) for seed in seeds]
+    if not instances:
+        return []
+    ensemble = build_ensemble(instances)
+    if stream is not None:
+        ensemble.update_stream(stream, batch_size=batch_size)
+    return ensemble.replica_samples()
+
+
+def member_chunks(num_members: int, per_member_elements: int,
+                  cap: int = SCATTER_CHUNK_ELEMENTS):
+    """Yield ``(start, stop)`` member ranges keeping scatters under ``cap``."""
+    if per_member_elements <= 0:
+        yield 0, num_members
+        return
+    chunk = max(1, cap // per_member_elements)
+    for start in range(0, num_members, chunk):
+        yield start, min(num_members, start + chunk)

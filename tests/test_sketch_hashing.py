@@ -6,7 +6,8 @@ import numpy as np
 import pytest
 
 from repro.exceptions import InvalidParameterError
-from repro.sketch.hashing import KWiseHash, PairwiseHash, SignHash, UniformHash
+from repro.sketch.hashing import (MERSENNE_PRIME, KWiseHash, KWiseHashFamily,
+                                  PairwiseHash, SignHash, SignHashFamily, UniformHash)
 
 
 class TestKWiseHash:
@@ -101,3 +102,80 @@ class TestUniformHash:
         uniform = UniformHash(seed=4)
         values = uniform(np.arange(5000))
         assert abs(values.mean() - 0.5) < 0.05
+
+
+def _object_dtype_reference(coefficients: np.ndarray, keys, range_size: int):
+    """The pre-vectorisation ``KWiseHash.__call__``: exact Python-int Horner.
+
+    Kept verbatim (object-dtype arithmetic, per-step modular reduction) as
+    the ground truth the ``uint64``-limb kernel must reproduce bit for bit.
+    """
+    arr = np.atleast_1d(np.asarray(keys, dtype=np.int64)).astype(object)
+    result = np.zeros(arr.shape, dtype=object)
+    for coefficient in np.asarray(coefficients, dtype=np.uint64)[::-1]:
+        result = (result * arr + int(coefficient)) % MERSENNE_PRIME
+    return (result % range_size).astype(np.int64)
+
+
+class TestVectorizedKernelBitIdentity:
+    """The uint64-limb evaluation is bit-identical to the object-dtype path."""
+
+    def test_randomized_configurations(self):
+        rng = np.random.default_rng(20250730)
+        for _ in range(150):
+            k = int(rng.integers(1, 9))
+            range_size = int(rng.integers(1, 2**53))
+            seed = int(rng.integers(0, 2**63))
+            hashed = KWiseHash(k, range_size, seed)
+            keys = rng.integers(-2**62, 2**62, size=64)
+            np.testing.assert_array_equal(
+                hashed(keys),
+                _object_dtype_reference(hashed.coefficients, keys, range_size),
+                err_msg=f"k={k} range={range_size} seed={seed}",
+            )
+
+    def test_uint64_keys_reduce_exactly(self):
+        from repro.utils.batching import polyval_mersenne
+
+        hashed = KWiseHash(3, 977, seed=21)
+        huge = np.asarray([MERSENNE_PRIME + 5, 2**63 + 11, 2**64 - 1],
+                          dtype=np.uint64)
+        values = polyval_mersenne(hashed.coefficients, huge)
+        expected = polyval_mersenne(
+            hashed.coefficients,
+            np.asarray([int(key) % MERSENNE_PRIME for key in huge.tolist()],
+                       dtype=np.int64))
+        np.testing.assert_array_equal(values, expected)
+
+    def test_scalar_and_edge_keys(self):
+        hashed = KWiseHash(4, 1000, seed=11)
+        for key in (0, 1, -1, 2**62, -(2**62), MERSENNE_PRIME, MERSENNE_PRIME + 1):
+            reference = int(_object_dtype_reference(
+                hashed.coefficients, key, 1000)[0])
+            assert hashed(int(key)) == reference
+
+    def test_family_matches_standalone_members(self):
+        seeds = [3, 14, 159, 2653]
+        family = KWiseHashFamily(4, 321, seeds)
+        keys = np.arange(200)
+        stacked = np.stack([KWiseHash(4, 321, s)(keys) for s in seeds])
+        np.testing.assert_array_equal(family.hash_all(keys), stacked)
+
+    def test_family_chunked_evaluation_matches_unchunked(self):
+        rng = np.random.default_rng(0)
+        family = KWiseHashFamily.from_rng(rng, 64, 4, 97)
+        keys = np.arange(300)
+        whole = family.hash_all(keys)
+        old_chunk = KWiseHashFamily._EVAL_CHUNK_CELLS
+        try:
+            KWiseHashFamily._EVAL_CHUNK_CELLS = 128
+            np.testing.assert_array_equal(family.hash_all(keys), whole)
+        finally:
+            KWiseHashFamily._EVAL_CHUNK_CELLS = old_chunk
+
+    def test_sign_family_matches_sign_hashes(self):
+        seeds = [7, 77, 777]
+        family = SignHashFamily(seeds)
+        keys = np.arange(128)
+        stacked = np.stack([SignHash(seed=s)(keys) for s in seeds])
+        np.testing.assert_array_equal(family.sign_all(keys), stacked)
