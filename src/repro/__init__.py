@@ -107,6 +107,13 @@ from repro.utils.ensemble import (
     build_ensemble,
     ensemble_samples,
 )
+from repro.utils.sharding import (
+    concat_ensembles,
+    merge_ensembles,
+    replica_sharded_ensemble,
+    sharded_ensemble_samples,
+    stream_sharded_ensemble,
+)
 from repro.samplers import (
     DEFAULT_BATCH_SIZE,
     BatchUpdateMixin,
@@ -203,6 +210,11 @@ __all__ = [
     "SamplerEnsemble",
     "build_ensemble",
     "ensemble_samples",
+    "concat_ensembles",
+    "merge_ensembles",
+    "replica_sharded_ensemble",
+    "sharded_ensemble_samples",
+    "stream_sharded_ensemble",
     "RandomBucketCountSketch",
     "CountMin",
     "AMSSketch",

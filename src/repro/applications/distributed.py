@@ -33,21 +33,35 @@ from repro.exceptions import InvalidParameterError, SamplerStateError
 from repro.samplers.base import BatchUpdateMixin, Sample, check_batch_bounds, coerce_batch
 from repro.streams.stream import TurnstileStream
 from repro.streams.updates import StreamKind
-from repro.utils.rng import SeedLike, derive_seed, ensure_rng
+from repro.utils.ensemble import build_ensemble
+from repro.utils.rng import SeedLike, derive_seed, ensure_rng, splitmix64
+from repro.utils.sharding import ingest_sharded
 from repro.utils.validation import require_positive_int
 
 SamplerFactory = Callable[[int, int], object]
 EstimatorFactory = Callable[[int, int], object]
 
+_UINT64_MASK = (1 << 64) - 1
+
 
 def shard_assignment(n: int, num_shards: int, seed: int = 0) -> np.ndarray:
-    """Assign every coordinate to one of ``num_shards`` machines by hashing."""
+    """Assign every coordinate to one of ``num_shards`` machines by hashing.
+
+    The assignment oracle is the vectorised splitmix64 kernel chained over
+    ``(seed, index)`` — two full 64-bit finaliser rounds, the same idiom as
+    the ``p``-stable coefficient oracle — so universe-sized assignments are
+    a handful of numpy passes instead of an O(n) Python loop over the
+    blake2b-based :func:`~repro.utils.rng.derive_seed` (the previous
+    implementation, whose per-coordinate cost dominated coordinator
+    construction for large universes).  Deterministic per ``(seed, index)``
+    and independent of evaluation order, like every oracle in the library.
+    """
     require_positive_int(n, "n")
     require_positive_int(num_shards, "num_shards")
-    return np.asarray(
-        [derive_seed(seed, "shard", index) % num_shards for index in range(n)],
-        dtype=np.int64,
-    )
+    root = splitmix64(np.asarray([int(seed) & _UINT64_MASK], dtype=np.uint64))[0]
+    indices = np.arange(n, dtype=np.uint64)
+    mixed = splitmix64(root ^ indices)
+    return (mixed % np.uint64(num_shards)).astype(np.int64)
 
 
 def split_stream(stream: TurnstileStream, assignment: np.ndarray,
@@ -106,6 +120,11 @@ class DistributedSamplingCoordinator(BatchUpdateMixin):
         self._rng = rng
         assignment_seed = int(rng.integers(0, 2**62))
         self._assignment = shard_assignment(n, num_shards, seed=assignment_seed)
+        self._sampler_factory = sampler_factory
+        # Replica seeds of the bulk path are derived (not drawn from the
+        # generator) so adding bulk draws never shifts the coordinator's
+        # existing seed schedule.
+        self._bulk_seed = derive_seed(assignment_seed, "bulk")
         self._shards = [
             _Shard(
                 sampler=sampler_factory(shard, int(rng.integers(0, 2**62))),
@@ -191,6 +210,11 @@ class DistributedSamplingCoordinator(BatchUpdateMixin):
         weights = self.shard_weights()
         shard_id = int(self._rng.choice(self._num_shards, p=weights))
         drawn = self._shards[shard_id].sampler.sample()
+        return self._tag_shard(drawn, shard_id)
+
+    @staticmethod
+    def _tag_shard(drawn: Optional[Sample], shard_id: int) -> Optional[Sample]:
+        """Attach the serving shard to a local sample's metadata."""
         if drawn is None:
             return None
         metadata = dict(drawn.metadata)
@@ -202,6 +226,60 @@ class DistributedSamplingCoordinator(BatchUpdateMixin):
             weight=drawn.weight,
             metadata=metadata,
         )
+
+    def bulk_samples(self, stream: TurnstileStream, num_draws: int, *,
+                     execution: str = "serial",
+                     processes: Optional[int] = None,
+                     batch_size: Optional[int] = None) -> list[Optional[Sample]]:
+        """Ensemble-backed bulk path: many one-shot global draws at once.
+
+        Repeated :meth:`sample` calls re-query each shard's single local
+        sampler, so the draws share that sampler's randomness.  This path
+        instead serves every draw from its own *independent* replica of the
+        chosen shard's local sampler: the per-draw shard choices are made
+        up front from the usual estimator weights, each shard stacks one
+        replica per draw it serves (seeded per ``(shard, draw)``, so the
+        replica set is independent of how draws land) into the sampler's
+        registered native ensemble, and the shard sub-streams of ``stream``
+        are ingested once through the sharded execution layer
+        (``execution`` is ``serial`` or ``multiprocessing`` — the
+        Section 1.3 picture of machines working in parallel).  Only
+        ``num_draws`` replicas are built in total; shards that serve no
+        draw are skipped entirely.
+
+        The coordinator itself must already have ingested the stream (the
+        shard-selection weights come from the shard estimators); ``stream``
+        must be that same global stream.
+        """
+        require_positive_int(num_draws, "num_draws")
+        weights = self.shard_weights()
+        choices = self._rng.choice(self._num_shards, size=num_draws,
+                                   p=weights).tolist()
+        draws_of_shard: dict[int, list[int]] = {}
+        for draw, shard_id in enumerate(choices):
+            draws_of_shard.setdefault(shard_id, []).append(draw)
+        substreams = split_stream(stream, self._assignment, self._num_shards)
+        active = sorted(draws_of_shard)
+        ensembles = [
+            build_ensemble([
+                self._sampler_factory(
+                    shard, derive_seed(self._bulk_seed, shard, draw))
+                for draw in draws_of_shard[shard]
+            ])
+            for shard in active
+        ]
+        ensembles = ingest_sharded(
+            ensembles, [substreams[shard] for shard in active],
+            execution=execution, processes=processes, batch_size=batch_size)
+        ensemble_of_shard = dict(zip(active, ensembles))
+        position = {draw: pos for draws in draws_of_shard.values()
+                    for pos, draw in enumerate(draws)}
+        return [
+            self._tag_shard(
+                ensemble_of_shard[shard_id].sample_replica(position[draw]),
+                shard_id)
+            for draw, shard_id in enumerate(choices)
+        ]
 
     def target_distribution(self, vector: Sequence[float], p: float) -> np.ndarray:
         """The global ``L_p`` target pmf (for tests and benchmarks)."""

@@ -26,6 +26,7 @@ from repro.exceptions import InvalidParameterError
 from repro.samplers.base import Sample
 from repro.streams.stream import TurnstileStream
 from repro.utils.ensemble import ensemble_samples
+from repro.utils.sharding import sharded_ensemble_samples
 from repro.utils.stats import (
     chi_square_statistic,
     expected_tvd_noise_floor,
@@ -93,6 +94,9 @@ def evaluate_sampler_distribution(
     *,
     max_attempts_per_draw: int = 4,
     reuse_sampler: bool = False,
+    execution: str = "serial",
+    num_shards: Optional[int] = None,
+    processes: Optional[int] = None,
 ) -> DistributionReport:
     """Measure a sampler family's empirical distribution against a target.
 
@@ -116,8 +120,32 @@ def evaluate_sampler_distribution(
         independent across queries, such as the exact oracles); the default
         builds an independent instance per draw, matching the one-shot
         nature of the paper's samplers.
+    execution:
+        ``"serial"`` (the default) runs the monolithic replica-ensemble
+        engine; ``"sharded"`` splits each round's replicas across
+        ``num_shards`` shard ensembles executed in-process; and
+        ``"multiprocessing"`` executes those shards in worker processes.
+        Replica sharding is bit-identical to the monolithic engine, so the
+        report is draw-for-draw independent of this knob — it is purely a
+        wall-clock/parallelism choice.
+    num_shards, processes:
+        Shard and worker counts for the non-serial modes (defaults: the
+        worker count, else the machine's CPU count).
     """
     require_positive_int(num_draws, "num_draws")
+    if execution not in ("serial", "sharded", "multiprocessing"):
+        raise InvalidParameterError(
+            "execution must be one of ('serial', 'sharded', 'multiprocessing'), "
+            f"got {execution!r}")
+
+    def draw_samples(seeds: Sequence[int]) -> list:
+        if execution == "serial":
+            return ensemble_samples(sampler_factory, seeds, stream)
+        shard_execution = "serial" if execution == "sharded" else "multiprocessing"
+        return sharded_ensemble_samples(
+            sampler_factory, seeds, stream, num_shards=num_shards,
+            execution=shard_execution, processes=processes)
+
     target = normalize_weights(target_weights)
     n = stream.n
     if len(target) != n:
@@ -144,7 +172,7 @@ def evaluate_sampler_distribution(
             if not pending:
                 break
             seeds = [draw * max_attempts_per_draw + attempt + 1 for draw in pending]
-            samples = ensemble_samples(sampler_factory, seeds, stream)
+            samples = draw_samples(seeds)
             still_pending = []
             for draw, result in zip(pending, samples):
                 if result is None:

@@ -302,6 +302,76 @@ class JW18LpSamplerEnsemble(ReplicaEnsemble):
         self._num_updates = 0
         self._estimates_cache: np.ndarray | None = None
 
+    @classmethod
+    def concat(cls, ensembles: "list[JW18LpSamplerEnsemble]") -> "JW18LpSamplerEnsemble":
+        """Stack replica-shard ensembles along the replica axis (no recompute).
+
+        The per-replica exponential scalings and all substrate state (main
+        sketches, flattened value banks, AMS counters — or the oracle
+        scaled vectors) are concatenated as-is.  Every shard must have
+        ingested the same stream (replica sharding shares the stream), so
+        the shared update count is taken from the first shard.
+        """
+        if not ensembles:
+            raise InvalidParameterError("need at least one ensemble")
+        first = ensembles[0]
+        if any((e._n, e._p, e._exact, e._value_group)
+               != (first._n, first._p, first._exact, first._value_group)
+               for e in ensembles):
+            raise InvalidParameterError(
+                "ensembles must share (n, p, mode, value-bank configuration)")
+        merged = cls.__new__(cls)
+        ReplicaEnsemble.__init__(
+            merged, [inst for e in ensembles for inst in e._instances])
+        merged._n = first._n
+        merged._p = first._p
+        merged._exact = first._exact
+        merged._value_group = first._value_group
+        merged._inverse_scale = np.concatenate(
+            [e._inverse_scale for e in ensembles])
+        if first._exact:
+            merged._scaled_vectors = np.concatenate(
+                [e._scaled_vectors for e in ensembles])
+            merged._main = None
+            merged._value = None
+            merged._ams = None
+        else:
+            merged._scaled_vectors = None
+            merged._main = CountSketchEnsemble.concat([e._main for e in ensembles])
+            merged._value = CountSketchEnsemble.concat([e._value for e in ensembles])
+            merged._ams = AMSEnsemble.concat([e._ams for e in ensembles])
+        merged._num_updates = first._num_updates
+        merged._estimates_cache = None
+        return merged
+
+    def merge(self, other: "JW18LpSamplerEnsemble") -> "JW18LpSamplerEnsemble":
+        """Entrywise-add a same-seed ensemble built over a disjoint sub-stream.
+
+        All substrates are linear sketches of the (per-replica) scaled
+        vector, so same-seed shard copies fed disjoint stream shards add
+        into the ensemble of the concatenated stream; the query-time
+        generators of ``self``'s replicas are untouched by ingest and keep
+        producing the monolithic draw sequence.  In place; returns ``self``.
+        """
+        if not isinstance(other, JW18LpSamplerEnsemble):
+            raise InvalidParameterError(
+                "can only merge JW18LpSamplerEnsemble with its own kind")
+        if ((other._n, other._p, other._exact, other._value_group)
+                != (self._n, self._p, self._exact, self._value_group)
+                or other.num_replicas != self.num_replicas
+                or not np.array_equal(self._inverse_scale, other._inverse_scale)):
+            raise InvalidParameterError(
+                "can only merge identically seeded, identically configured ensembles")
+        if self._exact:
+            self._scaled_vectors += other._scaled_vectors
+        else:
+            self._main.merge(other._main)
+            self._value.merge(other._value)
+            self._ams.merge(other._ams)
+        self._num_updates += other._num_updates
+        self._estimates_cache = None
+        return self
+
     def update_batch(self, indices, deltas) -> None:
         """Scale one batch for every replica and ingest it everywhere."""
         indices, deltas = coerce_batch(indices, deltas)

@@ -160,6 +160,54 @@ class PrecisionLpSamplerEnsemble(ReplicaEnsemble):
         self._num_updates = 0
         self._estimates_cache: np.ndarray | None = None
 
+    @classmethod
+    def concat(cls, ensembles: "list[PrecisionLpSamplerEnsemble]") -> "PrecisionLpSamplerEnsemble":
+        """Stack replica-shard ensembles along the replica axis (no recompute).
+
+        Precision scalings and substrate state are concatenated as-is;
+        every shard must have ingested the same stream (replica sharding
+        shares the stream), so the shared update count comes from the first
+        shard.
+        """
+        if not ensembles:
+            raise InvalidParameterError("need at least one ensemble")
+        first = ensembles[0]
+        if any((e._n, e._p) != (first._n, first._p) for e in ensembles):
+            raise InvalidParameterError("ensembles must share (n, p)")
+        merged = cls.__new__(cls)
+        ReplicaEnsemble.__init__(
+            merged, [inst for e in ensembles for inst in e._instances])
+        merged._n = first._n
+        merged._p = first._p
+        merged._inverse_scale = np.concatenate(
+            [e._inverse_scale for e in ensembles])
+        merged._sketch = CountSketchEnsemble.concat([e._sketch for e in ensembles])
+        merged._ams = AMSEnsemble.concat([e._ams for e in ensembles])
+        merged._num_updates = first._num_updates
+        merged._estimates_cache = None
+        return merged
+
+    def merge(self, other: "PrecisionLpSamplerEnsemble") -> "PrecisionLpSamplerEnsemble":
+        """Entrywise-add a same-seed ensemble built over a disjoint sub-stream.
+
+        The recovery CountSketches and AMS sketches are linear, so
+        same-seed shard copies fed disjoint stream shards add into the
+        ensemble of the concatenated stream.  In place; returns ``self``.
+        """
+        if not isinstance(other, PrecisionLpSamplerEnsemble):
+            raise InvalidParameterError(
+                "can only merge PrecisionLpSamplerEnsemble with its own kind")
+        if ((other._n, other._p) != (self._n, self._p)
+                or other.num_replicas != self.num_replicas
+                or not np.array_equal(self._inverse_scale, other._inverse_scale)):
+            raise InvalidParameterError(
+                "can only merge identically seeded, identically configured ensembles")
+        self._sketch.merge(other._sketch)
+        self._ams.merge(other._ams)
+        self._num_updates += other._num_updates
+        self._estimates_cache = None
+        return self
+
     def update_batch(self, indices, deltas) -> None:
         """Scale one batch for every replica and ingest it everywhere."""
         indices, deltas = coerce_batch(indices, deltas)

@@ -96,6 +96,23 @@ class AMSSketch(BatchUpdateMixin):
         self._counters += self._signs @ vector
         self._num_updates += int(np.count_nonzero(vector))
 
+    def merge(self, other: "AMSSketch") -> "AMSSketch":
+        """Merge another sketch built with the same seed/shape (linearity).
+
+        The tug-of-war counters are linear in the stream, so two sketches
+        sharing sign functions and fed disjoint sub-streams add entrywise
+        into the sketch of the concatenated stream.  In place; returns
+        ``self``.
+        """
+        if other.shape != self.shape or other._n != self._n:
+            raise InvalidParameterError("can only merge identically configured sketches")
+        if not np.array_equal(self._sign_family.coefficients,
+                              other._sign_family.coefficients):
+            raise InvalidParameterError("can only merge sketches sharing sign functions")
+        self._counters += other._counters
+        self._num_updates += other._num_updates
+        return self
+
     def estimate_f2(self) -> float:
         """Median-of-means estimate of ``F_2``."""
         if self._num_updates == 0:
@@ -137,6 +154,54 @@ class AMSEnsemble(ReplicaEnsemble):
             members, counters, self._n)
         self._counters = np.zeros((members, counters), dtype=float)
         self._num_updates = np.zeros(members, dtype=np.int64)
+
+    @classmethod
+    def concat(cls, ensembles: "list[AMSEnsemble]") -> "AMSEnsemble":
+        """Stack replica-shard ensembles along the member axis (no recompute).
+
+        Sign matrices, counters, and update counts are concatenated as-is
+        (existing counter state is preserved), so merging the shards of a
+        replica-sharded run never re-evaluates a hash family.
+        """
+        if not ensembles:
+            raise InvalidParameterError("need at least one ensemble")
+        first = ensembles[0]
+        if any((e._n, e._depth, e._width) != (first._n, first._depth, first._width)
+               for e in ensembles):
+            raise InvalidParameterError("ensembles must share (n, width, depth)")
+        merged = cls.__new__(cls)
+        ReplicaEnsemble.__init__(
+            merged, [inst for e in ensembles for inst in e._instances])
+        merged._n = first._n
+        merged._depth = first._depth
+        merged._width = first._width
+        merged._signs = np.concatenate([e._signs for e in ensembles])
+        merged._counters = np.concatenate([e._counters for e in ensembles])
+        merged._num_updates = np.concatenate([e._num_updates for e in ensembles])
+        return merged
+
+    def merge(self, other: "AMSEnsemble") -> "AMSEnsemble":
+        """Entrywise-add a same-sign ensemble built over a disjoint sub-stream.
+
+        The ensemble analogue of :meth:`AMSSketch.merge`; used by stream
+        sharding, where every shard holds a same-seed copy of the ensemble
+        and the coordinator adds the stacked counters.  In place; returns
+        ``self``.
+        """
+        if not isinstance(other, AMSEnsemble):
+            raise InvalidParameterError("can only merge AMSEnsemble with its own kind")
+        if ((other._n, other._depth, other._width)
+                != (self._n, self._depth, self._width)
+                or other.num_members != self.num_members
+                or not all(np.array_equal(mine._sign_family.coefficients,
+                                          theirs._sign_family.coefficients)
+                           for mine, theirs in zip(self._instances,
+                                                   other._instances))):
+            raise InvalidParameterError(
+                "can only merge identically configured ensembles sharing sign functions")
+        self._counters += other._counters
+        self._num_updates += other._num_updates
+        return self
 
     @property
     def num_members(self) -> int:

@@ -285,6 +285,32 @@ class CountSketchEnsemble(ReplicaEnsemble):
             merged._table = np.concatenate([e._table for e in ensembles])
         return merged
 
+    def merge(self, other: "CountSketchEnsemble") -> "CountSketchEnsemble":
+        """Entrywise-add a same-hash ensemble built over a disjoint sub-stream.
+
+        The ensemble analogue of :meth:`CountSketch.merge` (linearity):
+        member ``m`` of ``other`` must share member ``m``'s hash functions,
+        which is exactly the situation of stream sharding — every shard
+        holds a copy of the ensemble built from the same seeds and ingests
+        its own sub-stream; the coordinator adds the stacked tables.  In
+        place; returns ``self``.
+        """
+        if not isinstance(other, CountSketchEnsemble):
+            raise InvalidParameterError(
+                "can only merge CountSketchEnsemble with its own kind")
+        if other.shape != self.shape or other._n != self._n \
+                or other.num_members != self.num_members:
+            raise InvalidParameterError(
+                "can only merge identically configured ensembles")
+        if not (np.array_equal(self._bucket_family.coefficients,
+                               other._bucket_family.coefficients)
+                and np.array_equal(self._sign_family.coefficients,
+                                   other._sign_family.coefficients)):
+            raise InvalidParameterError(
+                "can only merge ensembles sharing hash functions")
+        self._table += other._table
+        return self
+
     @property
     def num_members(self) -> int:
         """Total number of member sketches ``M``."""

@@ -187,6 +187,70 @@ class FpEstimatorEnsemble(ReplicaEnsemble):
                 (len(instances), self._repetitions, self._n), dtype=float)
             self._num_updates = np.zeros(len(instances), dtype=np.int64)
 
+    @classmethod
+    def concat(cls, ensembles: "list[FpEstimatorEnsemble]") -> "FpEstimatorEnsemble":
+        """Stack replica-shard ensembles along the replica axis (no recompute).
+
+        In oracle mode the stacked scale factors, scaled vectors, and update
+        counts are concatenated as-is; in sketch mode the state already
+        lives inside the replica instances, so concatenation is pure
+        instance-list flattening.
+        """
+        if not ensembles:
+            raise InvalidParameterError("need at least one ensemble")
+        first = ensembles[0]
+        if any((e._n, e._exact, e._repetitions, e._instances[0]._p)
+               != (first._n, first._exact, first._repetitions,
+                   first._instances[0]._p)
+               for e in ensembles):
+            raise InvalidParameterError(
+                "ensembles must share (n, p, repetitions, recovery mode)")
+        merged = cls.__new__(cls)
+        ReplicaEnsemble.__init__(
+            merged, [inst for e in ensembles for inst in e._instances])
+        merged._n = first._n
+        merged._exact = first._exact
+        merged._repetitions = first._repetitions
+        if first._exact:
+            merged._inverse_scales = np.concatenate(
+                [e._inverse_scales for e in ensembles])
+            merged._scaled_vectors = np.concatenate(
+                [e._scaled_vectors for e in ensembles])
+            merged._num_updates = np.concatenate(
+                [e._num_updates for e in ensembles])
+        return merged
+
+    def merge(self, other: "FpEstimatorEnsemble") -> "FpEstimatorEnsemble":
+        """Entrywise-add a same-seed ensemble built over a disjoint sub-stream.
+
+        The scaled vectors (oracle mode) and the per-repetition CountSketch
+        tables (sketch mode) are linear in the stream, so same-seed shard
+        copies add into the estimator of the concatenated stream.  In
+        place; returns ``self``.
+        """
+        if not isinstance(other, FpEstimatorEnsemble):
+            raise InvalidParameterError(
+                "can only merge FpEstimatorEnsemble with its own kind")
+        if ((other._n, other._exact, other._repetitions)
+                != (self._n, self._exact, self._repetitions)
+                or other.num_replicas != self.num_replicas):
+            raise InvalidParameterError(
+                "ensembles must share (n, repetitions, replicas, recovery mode)")
+        if self._exact:
+            if not np.array_equal(self._inverse_scales, other._inverse_scales):
+                raise InvalidParameterError(
+                    "can only merge ensembles sharing exponential scale factors")
+            self._scaled_vectors += other._scaled_vectors
+            self._num_updates += other._num_updates
+            return self
+        for mine, theirs in zip(self._instances, other._instances):
+            if not np.array_equal(mine._inverse_scales, theirs._inverse_scales):
+                raise InvalidParameterError(
+                    "can only merge ensembles sharing exponential scale factors")
+            mine._sketch_ensemble.merge(theirs._sketch_ensemble)
+            mine._num_updates += theirs._num_updates
+        return self
+
     def update_batch(self, indices, deltas) -> None:
         """Apply one validated batch to every replica."""
         indices, deltas = coerce_batch(indices, deltas)

@@ -30,7 +30,7 @@ from repro.utils.batching import (
     coerce_batch,
 )
 from repro.utils.ensemble import ReplicaEnsemble, register_ensemble
-from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.rng import SeedLike, ensure_rng, splitmix64
 from repro.utils.validation import require_moment_order, require_positive_int
 
 
@@ -54,29 +54,12 @@ def chambers_mallows_stuck(p: float, rng: np.random.Generator, size: int) -> np.
 
 
 _U64 = np.uint64
-_GOLDEN = _U64(0x9E3779B97F4A7C15)
-_MIX1 = _U64(0xBF58476D1CE4E5B9)
-_MIX2 = _U64(0x94D049BB133111EB)
 _UNIT = 1.0 / float(1 << 53)
 
-
-def _splitmix64(values: np.ndarray) -> np.ndarray:
-    """Vectorised splitmix64 finaliser (uint64 in, uint64 out).
-
-    Runs in place on a fresh copy — counter grids for replica ensembles are
-    large, so the mixing is memory-bound and temporaries are reused.
-    """
-    values = np.array(values, dtype=np.uint64, copy=True)
-    values += _GOLDEN
-    scratch = values >> _U64(30)
-    values ^= scratch
-    values *= _MIX1
-    np.right_shift(values, _U64(27), out=scratch)
-    values ^= scratch
-    values *= _MIX2
-    np.right_shift(values, _U64(31), out=scratch)
-    values ^= scratch
-    return values
+# The splitmix64 kernel lives in repro.utils.rng (it is shared with the
+# vectorised shard-assignment oracle); the alias keeps this module's
+# counter-mixing call sites unchanged and bit-identical.
+_splitmix64 = splitmix64
 
 
 def _counter_uniform(counters: np.ndarray) -> np.ndarray:
@@ -301,6 +284,51 @@ class PStableEnsemble(ReplicaEnsemble):
         self._scales = np.asarray([inst._scale for inst in instances])
         self._state = np.zeros((len(instances), self._num_rows), dtype=float)
         self._num_updates = np.zeros(len(instances), dtype=np.int64)
+
+    @classmethod
+    def concat(cls, ensembles: "list[PStableEnsemble]") -> "PStableEnsemble":
+        """Stack replica-shard ensembles along the replica axis (no recompute).
+
+        Per-replica projection states, root seeds, scales, and update counts
+        are concatenated as-is, so merging the shards of a replica-sharded
+        run is pure array concatenation.
+        """
+        if not ensembles:
+            raise InvalidParameterError("need at least one ensemble")
+        first = ensembles[0]
+        if any((e._n, e._p, e._num_rows) != (first._n, first._p, first._num_rows)
+               for e in ensembles):
+            raise InvalidParameterError("ensembles must share (n, p, num_rows)")
+        merged = cls.__new__(cls)
+        ReplicaEnsemble.__init__(
+            merged, [inst for e in ensembles for inst in e._instances])
+        merged._n = first._n
+        merged._p = first._p
+        merged._num_rows = first._num_rows
+        merged._roots = np.concatenate([e._roots for e in ensembles])
+        merged._scales = np.concatenate([e._scales for e in ensembles])
+        merged._state = np.concatenate([e._state for e in ensembles])
+        merged._num_updates = np.concatenate([e._num_updates for e in ensembles])
+        return merged
+
+    def merge(self, other: "PStableEnsemble") -> "PStableEnsemble":
+        """Entrywise-add a same-seed ensemble built over a disjoint sub-stream.
+
+        The ensemble analogue of :meth:`PStableSketch.merge`: the sketch is
+        linear, so a coordinator holding per-shard copies (same replica
+        seeds, disjoint stream shards) obtains the global state by adding
+        the stacked projection states.  In place; returns ``self``.
+        """
+        if not isinstance(other, PStableEnsemble):
+            raise InvalidParameterError("can only merge PStableEnsemble with its own kind")
+        if ((other._n, other._p, other._num_rows)
+                != (self._n, self._p, self._num_rows)
+                or not np.array_equal(self._roots, other._roots)):
+            raise InvalidParameterError(
+                "ensembles must share (n, p, num_rows) and replica seeds to merge")
+        self._state += other._state
+        self._num_updates += other._num_updates
+        return self
 
     def space_counters(self) -> int:
         """Total stored counters across all replicas."""

@@ -32,6 +32,11 @@ without import cycles:
     ingest pass (see :func:`repro.utils.ensemble.ensemble_samples` and the
     per-substrate native ensembles registered by the sketch/sampler
     modules).
+``sharding``
+    Sharded execution of replica ensembles: split the replica axis or the
+    stream across workers (serial or ``multiprocessing``) and merge back
+    bit-identically via the ensemble ``concat`` / ``merge`` protocols —
+    the Section 1.3 aggregate-summary layer.
 """
 
 from repro.utils.batching import (
@@ -54,7 +59,17 @@ from repro.utils.ensemble import (
     ensemble_samples,
     register_ensemble,
 )
-from repro.utils.rng import spawn_rng, ensure_rng, derive_seed
+from repro.utils.rng import spawn_rng, ensure_rng, derive_seed, splitmix64
+from repro.utils.sharding import (
+    concat_ensembles,
+    ingest_sharded,
+    merge_ensembles,
+    replica_sharded_ensemble,
+    shard_ranges,
+    shard_replicas,
+    sharded_ensemble_samples,
+    stream_sharded_ensemble,
+)
 from repro.utils.rounding import round_down_to_power, discretize_support
 from repro.utils.taylor import TaylorPowerEstimator, taylor_power_estimate
 from repro.utils.stats import (
@@ -84,6 +99,15 @@ __all__ = [
     "spawn_rng",
     "ensure_rng",
     "derive_seed",
+    "splitmix64",
+    "concat_ensembles",
+    "ingest_sharded",
+    "merge_ensembles",
+    "replica_sharded_ensemble",
+    "shard_ranges",
+    "shard_replicas",
+    "sharded_ensemble_samples",
+    "stream_sharded_ensemble",
     "round_down_to_power",
     "discretize_support",
     "TaylorPowerEstimator",

@@ -49,6 +49,13 @@ replicas from a seed-indexed factory, ingest one shared stream, and return
 the ``R`` one-shot samples.  ``benchmarks/_harness.py::empirical_counts``
 and :func:`repro.evaluation.distribution_tests.evaluate_sampler_distribution`
 route through it.
+
+Sharded execution (:mod:`repro.utils.sharding`) builds on two merge
+protocols every ensemble carries: ``concat`` reassembles replica-sharded
+runs along the replica axis (pure array concatenation — bit-identical for
+any shard split), and ``merge`` folds stream-sharded same-seed copies
+together by entrywise state addition (defined for the linear-sketch
+ensembles only; the base class refuses).
 """
 
 from __future__ import annotations
@@ -93,6 +100,42 @@ class ReplicaEnsemble:
         if not instances:
             raise InvalidParameterError("an ensemble needs at least one replica")
         self._instances = list(instances)
+
+    @classmethod
+    def concat(cls, ensembles: "Sequence[ReplicaEnsemble]") -> "ReplicaEnsemble":
+        """Flatten several ensembles of this type along the replica axis.
+
+        This is the replica-sharding merge protocol: a sharded run splits
+        the replica range into shard ensembles, drives each one separately
+        (possibly in another process), and ``concat`` reassembles the full
+        ensemble — replica order is the shard order, and per-replica state
+        is carried over untouched.
+
+        The base implementation re-wraps the combined instance list, which
+        is exact for ensembles whose per-replica state lives *inside* the
+        instances (:class:`SamplerEnsemble`, :class:`LevelStackEnsemble`).
+        Array-stacked ensembles override it with pure array concatenation.
+        """
+        if not ensembles:
+            raise InvalidParameterError("need at least one ensemble")
+        if any(type(e) is not cls for e in ensembles):
+            raise InvalidParameterError(
+                "can only concat ensembles of one type; got "
+                f"{sorted({type(e).__name__ for e in ensembles})}")
+        return cls([inst for e in ensembles for inst in e._instances])
+
+    def merge(self, other: "ReplicaEnsemble") -> "ReplicaEnsemble":
+        """Entrywise-merge a same-seed ensemble fed a disjoint stream shard.
+
+        This is the stream-sharding merge protocol, defined only for
+        *linear-sketch* ensembles (state is a linear function of the
+        stream, so per-shard states add entrywise).  Ensembles whose state
+        lives in rng-consuming or dict-backed instances cannot be merged
+        this way and raise.
+        """
+        raise InvalidParameterError(
+            f"{type(self).__name__} does not support stream-sharded merging: "
+            "its per-replica state is not a stacked linear sketch")
 
     @property
     def num_replicas(self) -> int:

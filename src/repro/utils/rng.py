@@ -23,6 +23,36 @@ SeedLike = Union[int, np.random.Generator, None]
 
 _UINT64_MASK = (1 << 64) - 1
 
+_SPLITMIX_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_SPLITMIX_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_SPLITMIX_MIX2 = np.uint64(0x94D049BB133111EB)
+
+
+def splitmix64(values: np.ndarray) -> np.ndarray:
+    """Vectorised splitmix64 finaliser (uint64 in, uint64 out).
+
+    This is the library's cheap counter-mixing kernel: a full-avalanche
+    64-bit finaliser evaluated with a handful of vectorised numpy passes.
+    The ``p``-stable coefficient oracle chains it per ``(seed, row, index)``
+    cell and :func:`repro.applications.distributed.shard_assignment` uses it
+    to hash whole universes of coordinates at array speed (the old path
+    called the blake2b-based :func:`derive_seed` once per coordinate).
+
+    Runs in place on a fresh copy — counter grids for replica ensembles are
+    large, so the mixing is memory-bound and temporaries are reused.
+    """
+    values = np.array(values, dtype=np.uint64, copy=True)
+    values += _SPLITMIX_GOLDEN
+    scratch = values >> np.uint64(30)
+    values ^= scratch
+    values *= _SPLITMIX_MIX1
+    np.right_shift(values, np.uint64(27), out=scratch)
+    values ^= scratch
+    values *= _SPLITMIX_MIX2
+    np.right_shift(values, np.uint64(31), out=scratch)
+    values ^= scratch
+    return values
+
 
 def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for ``seed``.

@@ -1,0 +1,390 @@
+"""Sharded execution of replica ensembles with exact merge semantics.
+
+Section 1.3 of the paper motivates perfect ``L_p`` sampling with
+*distributed databases*: the dataset is partitioned across machines, every
+machine maintains a small linear summary of its local portion, and a
+coordinator combines the local summaries into global samples — the
+"aggregate summary" argument, exact because linear sketches over disjoint
+sub-streams merge by addition.  This module is that execution layer for the
+library's replica-ensemble engine (:mod:`repro.utils.ensemble`): it splits
+a Monte-Carlo/evaluation workload across workers along either axis and
+merges the per-worker results back together, preserving the engine's
+bit-identity contract.
+
+Mode (a) — replica sharding (:func:`replica_sharded_ensemble`)
+    The *replica* range is partitioned: each shard wraps a contiguous slice
+    of the ``R`` replica instances in its own native
+    :class:`~repro.utils.ensemble.ReplicaEnsemble` and ingests the full
+    shared stream.  Per-replica state computation is untouched — a replica
+    runs the exact same kernels whether its ensemble holds 1 or 1000
+    members — so merging the shards back with the ensemble ``concat``
+    protocol (pure array concatenation along the replica axis) is
+    *bit-identical* to the monolithic ensemble, for every native ensemble
+    and for the generic fallback.  In the distributed-databases picture
+    this is the coordinator fanning independent replicas out to machines
+    that each see the whole stream.
+
+Mode (b) — stream sharding (:func:`stream_sharded_ensemble`)
+    The *stream* is partitioned by a coordinate-ownership hash
+    (:func:`repro.applications.distributed.shard_assignment`): every shard
+    holds a same-seed *copy* of the whole ensemble, ingests only its own
+    sub-stream, and the coordinator folds the shard states together with
+    the ensemble ``merge`` protocol — entrywise addition of the stacked
+    linear-sketch state, the ensemble-level extension of
+    :meth:`repro.sketch.countsketch.CountSketch.merge` /
+    :meth:`repro.sketch.pstable.PStableSketch.merge`.  This is exactly
+    Section 1.3's aggregate-summary step: local linear summaries add into
+    the summary of the union stream, with no per-shard bias accumulating
+    as machines are added.  Merging is defined for the linear-sketch
+    ensembles (CountSketch, AMS, p-stable, the Fp estimators, and the
+    JW18/precision sampler ensembles built from them); ensembles whose
+    state lives in rng-consuming instances refuse.
+
+Merge-order semantics (what the equivalence suite pins down)
+    Per-coordinate state (oracle-mode scaled vectors) merges bit-identically
+    in any order, because coordinate ownership is disjoint across shards.
+    Bucketed state (sketch tables, projections) receives contributions from
+    several shards per cell, so exact bitwise agreement with a monolithic
+    run holds when the fold-left shard merge replays the same per-cell
+    addition order — i.e. against a monolithic ensemble that ingests the
+    per-shard sub-streams sequentially, each as one batch (the per-batch
+    table contributions of the vectorised update paths are pure functions
+    of the batch).  Against the original interleaved stream order the
+    merged state is equal up to float re-association only — the standard
+    caveat of any distributed linear-sketch merge — and integer-delta
+    streams (exact float arithmetic) are bitwise in every order.
+
+Execution back-ends
+    Shards run ``serial`` (in-process, the default) or via
+    ``multiprocessing`` (one worker process per shard; the worker ingests
+    and ships the ensemble state back).  Both back-ends run the same numpy
+    kernels on the same arrays, so the execution mode never changes a
+    single bit of the result — parallelism is free to be a pure wall-clock
+    knob.  Benchmark E9d (``benchmarks/bench_e9_update_time.py``) tracks
+    the speedup in ``BENCH_e9.json``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.utils.batching import stream_arrays
+from repro.utils.ensemble import ReplicaEnsemble, build_ensemble
+
+__all__ = [
+    "EXECUTION_MODES",
+    "usable_cpu_count",
+    "concat_ensembles",
+    "ingest_sharded",
+    "merge_ensembles",
+    "replica_sharded_ensemble",
+    "shard_ranges",
+    "shard_replicas",
+    "sharded_ensemble_samples",
+    "stream_sharded_ensemble",
+]
+
+#: Execution back-ends understood by the sharded ingest layer.
+EXECUTION_MODES = ("serial", "multiprocessing")
+
+
+def usable_cpu_count() -> int:
+    """CPUs this process may actually run on (cgroup/affinity aware).
+
+    ``os.cpu_count()`` reports the host's cores even inside a 1-CPU
+    container quota; the scheduler affinity mask is what bounds real
+    parallelism, so worker defaults (and benchmark assertions) use it.
+    """
+    affinity = getattr(os, "sched_getaffinity", None)
+    if affinity is not None:
+        try:
+            return max(1, len(affinity(0)))
+        except OSError:
+            pass
+    return os.cpu_count() or 1
+
+
+def _require_execution(execution: str) -> str:
+    if execution not in EXECUTION_MODES:
+        raise InvalidParameterError(
+            f"execution must be one of {EXECUTION_MODES}, got {execution!r}")
+    return execution
+
+
+def shard_ranges(total: int, num_shards: int) -> list[tuple[int, int]]:
+    """Contiguous, nearly equal ``(start, stop)`` ranges covering ``total``.
+
+    The first ``total % num_shards`` shards receive one extra element, so
+    splits of a non-divisible replica count are uneven by at most one; with
+    ``num_shards > total`` the tail shards are empty ranges.
+    """
+    if total < 0:
+        raise InvalidParameterError("total must be non-negative")
+    if num_shards < 1:
+        raise InvalidParameterError("num_shards must be at least 1")
+    base, extra = divmod(total, num_shards)
+    ranges = []
+    start = 0
+    for shard in range(num_shards):
+        stop = start + base + (1 if shard < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+def shard_replicas(instances: Sequence, num_shards: int) -> list[list]:
+    """Partition replica instances into per-shard lists (empty shards kept)."""
+    return [list(instances[start:stop])
+            for start, stop in shard_ranges(len(instances), num_shards)]
+
+
+def concat_ensembles(ensembles: Sequence[ReplicaEnsemble]) -> ReplicaEnsemble:
+    """Merge replica-shard ensembles back along the replica axis.
+
+    Dispatches to the shards' ``concat`` protocol; all shards must be the
+    same ensemble type (a homogeneous replica factory guarantees this).
+    A single shard is returned unchanged.
+    """
+    ensembles = list(ensembles)
+    if not ensembles:
+        raise InvalidParameterError("need at least one ensemble to concat")
+    first_type = type(ensembles[0])
+    if any(type(e) is not first_type for e in ensembles):
+        raise InvalidParameterError(
+            "cannot concat ensembles of different types: "
+            f"{sorted({type(e).__name__ for e in ensembles})}")
+    if len(ensembles) == 1:
+        return ensembles[0]
+    return first_type.concat(ensembles)
+
+
+def merge_ensembles(ensembles: Sequence[ReplicaEnsemble]) -> ReplicaEnsemble:
+    """Fold stream-shard ensembles together entrywise (left to right).
+
+    The fold order is the shard order; see the module docstring for the
+    exact bitwise semantics this pins down.  The first shard is mutated in
+    place and returned.
+    """
+    ensembles = list(ensembles)
+    if not ensembles:
+        raise InvalidParameterError("need at least one ensemble to merge")
+    merged = ensembles[0]
+    for ensemble in ensembles[1:]:
+        merged = merged.merge(ensemble)
+    return merged
+
+
+def _universe_size(stream) -> int:
+    """The universe size of an array-backed stream (``.n``, or from indices)."""
+    n = getattr(stream, "n", None)
+    if n is not None:
+        return int(n)
+    return int(stream.indices.max()) + 1 if stream.indices.size else 1
+
+
+def _materialise_streams(streams: Sequence) -> list:
+    """Replace one-shot iterables with replayable array-backed streams.
+
+    Shards replay their stream independently (and the shared-stream replica
+    mode hands the *same* object to every shard), so a lazy iterable must
+    be materialised exactly once — otherwise the first shard would drain it
+    and later shards would silently ingest nothing.  Repeated occurrences
+    of one iterator object map to one materialised stream; array-backed
+    streams pass through zero-copy.
+    """
+    from repro.streams.stream import TurnstileStream
+
+    cache: dict[int, TurnstileStream] = {}
+    materialised = []
+    for stream in streams:
+        indices = getattr(stream, "indices", None)
+        deltas = getattr(stream, "deltas", None)
+        if isinstance(indices, np.ndarray) and isinstance(deltas, np.ndarray):
+            materialised.append(stream)
+            continue
+        key = id(stream)
+        if key not in cache:
+            arrays = stream_arrays(stream)
+            n = int(arrays[0].max()) + 1 if arrays[0].size else 1
+            cache[key] = TurnstileStream.from_arrays(n, arrays[0], arrays[1])
+        materialised.append(cache[key])
+    return materialised
+
+
+def _ingest_shard(payload):
+    """Worker body: ingest one shard's sub-stream and return the ensemble.
+
+    Module-level so every ``multiprocessing`` start method can import it;
+    the stream travels as raw ``(n, indices, deltas)`` arrays and is
+    rebuilt into a :class:`~repro.streams.stream.TurnstileStream` so the
+    worker replays through exactly the same ``update_stream`` chunking as
+    the serial path (bit-identity requires identical batch boundaries).
+    """
+    ensemble, n, indices, deltas, batch_size = payload
+    from repro.streams.stream import TurnstileStream
+
+    stream = TurnstileStream.from_arrays(n, indices, deltas)
+    ensemble.update_stream(stream, batch_size=batch_size)
+    return ensemble
+
+
+def ingest_sharded(ensembles: Sequence[ReplicaEnsemble], streams: Sequence,
+                   *, execution: str = "serial",
+                   processes: Optional[int] = None,
+                   batch_size: Optional[int] = None) -> list[ReplicaEnsemble]:
+    """Ingest ``streams[i]`` into ``ensembles[i]``, serially or in parallel.
+
+    ``serial`` ingests in-process and returns the same ensemble objects;
+    ``multiprocessing`` forks one worker per shard (bounded by
+    ``processes``, default the machine's CPU count) and returns the
+    ensembles shipped back from the workers — freshly unpickled objects
+    whose state is bit-identical to the serial path, because the workers
+    run the same kernels over the same batch boundaries.
+    """
+    _require_execution(execution)
+    ensembles = list(ensembles)
+    streams = _materialise_streams(streams)
+    if len(ensembles) != len(streams):
+        raise InvalidParameterError(
+            f"got {len(ensembles)} ensembles but {len(streams)} streams")
+    if execution == "serial" or len(ensembles) <= 1:
+        for ensemble, stream in zip(ensembles, streams):
+            ensemble.update_stream(stream, batch_size=batch_size)
+        return ensembles
+    payloads = []
+    for ensemble, stream in zip(ensembles, streams):
+        indices, deltas = stream_arrays(stream)
+        payloads.append((ensemble, _universe_size(stream),
+                         np.asarray(indices), np.asarray(deltas), batch_size))
+    if processes is None:
+        processes = usable_cpu_count()
+    processes = max(1, min(int(processes), len(payloads)))
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context("fork" if "fork" in methods else None)
+    try:
+        with context.Pool(processes=processes) as pool:
+            return pool.map(_ingest_shard, payloads)
+    except (AttributeError, TypeError, pickle.PicklingError) as error:
+        # Ensembles travel to the workers by pickle; instances holding
+        # closures or other unpicklable members can only run in-process.
+        # pool.map also re-raises genuine worker exceptions of these types,
+        # which must surface untouched — only serialisation failures get
+        # the remedial message.
+        if "pickle" not in str(error).lower():
+            raise
+        raise InvalidParameterError(
+            "multiprocessing execution requires picklable ensembles "
+            f"(use execution='serial' instead): {error}") from error
+
+
+def replica_sharded_ensemble(instances: Sequence, stream=None, *,
+                             num_shards: int,
+                             execution: str = "serial",
+                             processes: Optional[int] = None,
+                             batch_size: Optional[int] = None) -> ReplicaEnsemble:
+    """Mode (a): shard the replica axis, ingest one shared stream, concat.
+
+    The replica instances are split into ``num_shards`` contiguous groups,
+    each group is stacked into its own native ensemble (empty groups are
+    skipped), every shard ingests the *same* stream, and the shards are
+    concatenated back into one ensemble whose replica order — and every
+    replica's state and one-shot sample — is bit-identical to building the
+    monolithic ensemble directly.
+    """
+    instances = list(instances)
+    if not instances:
+        raise InvalidParameterError("an ensemble needs at least one replica")
+    groups = [group for group in shard_replicas(instances, num_shards) if group]
+    ensembles = [build_ensemble(group) for group in groups]
+    if stream is not None:
+        ensembles = ingest_sharded(
+            ensembles, [stream] * len(ensembles), execution=execution,
+            processes=processes, batch_size=batch_size)
+    return concat_ensembles(ensembles)
+
+
+def stream_sharded_ensemble(factory: Callable[[int], object],
+                            seeds: Iterable[int], stream, *,
+                            num_shards: Optional[int] = None,
+                            assignment: Optional[np.ndarray] = None,
+                            assignment_seed: int = 0,
+                            execution: str = "serial",
+                            processes: Optional[int] = None,
+                            batch_size: Optional[int] = None) -> ReplicaEnsemble:
+    """Mode (b): shard the stream by coordinate, ingest copies, merge.
+
+    Every shard builds its own same-seed copy of the replica ensemble (so
+    all copies share hash functions, scalings, and coefficient oracles),
+    ingests the sub-stream of the coordinates it owns, and the copies are
+    folded together with the linear-sketch ``merge`` protocol — entrywise
+    state addition, the coordinator step of Section 1.3.  The returned
+    ensemble carries the first shard's replica instances, whose query-time
+    generators were never consumed during ingest, so post-merge samples
+    follow the monolithic draw sequence.
+
+    ``assignment`` (a length-``n`` coordinate-to-shard array) may be given
+    directly; otherwise it is derived from ``num_shards`` and
+    ``assignment_seed`` via the vectorised
+    :func:`repro.applications.distributed.shard_assignment` oracle.
+    """
+    from repro.applications.distributed import shard_assignment, split_stream
+
+    seeds = list(seeds)
+    if not seeds:
+        raise InvalidParameterError("an ensemble needs at least one replica")
+    if assignment is None:
+        if num_shards is None:
+            raise InvalidParameterError(
+                "stream sharding needs num_shards or an explicit assignment")
+        assignment = shard_assignment(stream.n, num_shards, seed=assignment_seed)
+    else:
+        assignment = np.asarray(assignment, dtype=np.int64)
+        if num_shards is None:
+            num_shards = int(assignment.max()) + 1 if assignment.size else 1
+        if assignment.size and (assignment.min() < 0
+                                or assignment.max() >= num_shards):
+            # An owner outside [0, num_shards) would silently drop every
+            # update to its coordinates — refuse instead (negative owners
+            # can slip through even when num_shards is inferred).
+            raise InvalidParameterError(
+                f"assignment owners must lie in [0, {num_shards}); got range "
+                f"[{int(assignment.min())}, {int(assignment.max())}]")
+    substreams = split_stream(stream, assignment, num_shards)
+    ensembles = [build_ensemble([factory(seed) for seed in seeds])
+                 for _ in range(num_shards)]
+    ensembles = ingest_sharded(ensembles, substreams, execution=execution,
+                               processes=processes, batch_size=batch_size)
+    return merge_ensembles(ensembles)
+
+
+def sharded_ensemble_samples(factory: Callable[[int], object],
+                             seeds: Iterable[int], stream=None, *,
+                             num_shards: Optional[int] = None,
+                             execution: str = "serial",
+                             processes: Optional[int] = None,
+                             batch_size: Optional[int] = None) -> list:
+    """Sharded drop-in for :func:`repro.utils.ensemble.ensemble_samples`.
+
+    Builds the ``len(seeds)`` replicas, drives them replica-sharded across
+    ``num_shards`` workers (default: the worker count, else the CPU count),
+    and returns the per-replica one-shot samples in seed order —
+    bit-identical to the monolithic engine and hence to the sequential
+    construct/replay/sample loop.
+    """
+    _require_execution(execution)
+    instances = [factory(seed) for seed in seeds]
+    if not instances:
+        return []
+    if num_shards is None:
+        num_shards = processes if processes else usable_cpu_count()
+    num_shards = max(1, min(int(num_shards), len(instances)))
+    ensemble = replica_sharded_ensemble(
+        instances, stream, num_shards=num_shards, execution=execution,
+        processes=processes, batch_size=batch_size)
+    return ensemble.replica_samples()
