@@ -88,15 +88,17 @@ def run_bulk_experiment(n: int = 48, p: float = 3.0, draws: int = 600):
     ingests the per-shard sub-streams once through the sharded execution
     layer, and serves each draw from its own replica — one-shot draws, the
     regime the paper's samplers are defined for, instead of re-querying a
-    single long-lived local sampler.
+    single long-lived local sampler.  The per-shard ingests also run under
+    the ``threaded`` back-end (machines working in parallel inside one
+    process, zero pickling) and must serve draw-for-draw identical
+    samples.
     """
     vector = zipfian_frequency_vector(n, skew=1.3, scale=70.0, seed=EXPERIMENT_SEED)
     stream = stream_from_vector(vector, updates_per_unit=2, seed=EXPERIMENT_SEED + 1)
     target = np.abs(vector) ** p
     target = target / target.sum()
 
-    rows = []
-    for num_shards in (2, 4):
+    def build_coordinator(num_shards: int) -> DistributedSamplingCoordinator:
         coordinator = DistributedSamplingCoordinator(
             n, num_shards,
             sampler_factory=lambda shard, seed: ExactLpSampler(n, p, seed=seed),
@@ -104,7 +106,22 @@ def run_bulk_experiment(n: int = 48, p: float = 3.0, draws: int = 600):
             seed=EXPERIMENT_SEED + 60 + num_shards,
         )
         coordinator.update_stream(stream)
-        samples = coordinator.bulk_samples(stream, draws)
+        return coordinator
+
+    rows = []
+    for num_shards in (2, 4):
+        samples = build_coordinator(num_shards).bulk_samples(stream, draws)
+        # A same-seed coordinator driven through the threaded back-end
+        # serves the exact same draw sequence (execution is a pure
+        # wall-clock knob at every layer).
+        threaded = build_coordinator(num_shards).bulk_samples(
+            stream, draws, execution="threaded", processes=2)
+        assert len(threaded) == len(samples)
+        for left, right in zip(samples, threaded):
+            assert (left is None) == (right is None)
+            if left is not None:
+                assert (left.index, left.exact_value, left.metadata) == \
+                    (right.index, right.exact_value, right.metadata)
         counts = np.zeros(n)
         for drawn in samples:
             if drawn is not None:

@@ -259,18 +259,21 @@ def run_ensemble_draws():
 
 
 def run_sharded_execution():
-    """E9d: sharded replica execution — monolithic vs serial vs 2 workers.
+    """E9d: sharded execution — monolithic vs serial vs threaded vs 2 workers.
 
     The replica axis of an ensemble is split into 2 shard ensembles that
-    are driven either in-process (pure overhead measurement: the sharding
-    layer must not cost anything) or in 2 worker processes via
-    ``multiprocessing`` (the wall-clock win of parallel ingest).  Every
-    mode produces bit-identical per-replica results — asserted here and
-    enforced by tests/test_sharding_equivalence.py — so the execution knob
-    is purely a throughput choice.  The representative workload is the
-    ``p``-stable ensemble, whose counter-based coefficient oracle is
-    compute-bound (splitmix mixing + trig over the whole replica grid) and
-    ships only ``O(R * num_rows)`` state back from the workers.
+    are driven in-process one after another (pure overhead measurement:
+    the sharding layer must not cost anything), from a 2-thread in-process
+    pool (``threaded`` — zero pickling, the gemv kernels release the GIL),
+    or in 2 worker processes via ``multiprocessing`` (the wall-clock win
+    of parallel ingest when start-up amortises).  Every mode produces
+    bit-identical per-replica results — asserted here and enforced by
+    tests/test_sharding_equivalence.py + tests/test_threaded_execution.py
+    — so the execution knob is purely a throughput choice.  The
+    representative workload is the ``p``-stable ensemble, whose
+    counter-based coefficient oracle is compute-bound (splitmix mixing +
+    trig over the whole replica grid) and ships only ``O(R * num_rows)``
+    state back from the workers.
     """
     n = 512
     workers = 2
@@ -299,14 +302,16 @@ def run_sharded_execution():
 
     monolithic_seconds, monolithic_results = timed("monolithic")
     serial_seconds, serial_results = timed("serial")
+    threaded_seconds, threaded_results = timed("threaded")
     forked_seconds, forked_results = timed("multiprocessing")
 
     # The execution knob must never change a bit of any replica's output.
     np.testing.assert_array_equal(monolithic_results, serial_results)
+    np.testing.assert_array_equal(monolithic_results, threaded_results)
     np.testing.assert_array_equal(monolithic_results, forked_results)
 
     # Affinity-aware: a 1-CPU container quota on a many-core host must not
-    # arm the parallel-speedup assertion.
+    # arm the parallel-speedup assertions.
     cpus = usable_cpu_count()
     row = {
         "sampler": "PStableSketch(p=1, rows=128)",
@@ -316,8 +321,11 @@ def run_sharded_execution():
         "cpu_count": cpus,
         "monolithic_seconds": monolithic_seconds,
         "serial_sharded_seconds": serial_seconds,
+        "threaded_seconds": threaded_seconds,
         "multiprocessing_seconds": forked_seconds,
         "sharding_overhead_vs_monolithic": serial_seconds / monolithic_seconds,
+        "speedup_threaded_vs_serial_sharded": serial_seconds / threaded_seconds,
+        "speedup_threaded_vs_monolithic": monolithic_seconds / threaded_seconds,
         "speedup_mp_vs_serial_sharded": serial_seconds / forked_seconds,
         "speedup_mp_vs_monolithic": monolithic_seconds / forked_seconds,
     }
@@ -331,10 +339,13 @@ def test_e9d_sharded_execution(benchmark):
     print_rows(
         "E9d: sharded replica execution (2 shards; bit-identical results)",
         ["sampler", "draws", "monolithic s", "serial-sharded s",
-         "2-worker mp s", "mp speedup vs serial", "cpus"],
+         "2-thread s", "2-worker mp s", "threaded speedup vs serial",
+         "mp speedup vs serial", "cpus"],
         [[row["sampler"], row["draws"], round(row["monolithic_seconds"], 3),
           round(row["serial_sharded_seconds"], 3),
+          round(row["threaded_seconds"], 3),
           round(row["multiprocessing_seconds"], 3),
+          round(row["speedup_threaded_vs_serial_sharded"], 2),
           round(row["speedup_mp_vs_serial_sharded"], 2), row["cpu_count"]]],
     )
     # Timing assertions only run on the full workload: the quick-mode (CI
@@ -344,10 +355,15 @@ def test_e9d_sharded_execution(benchmark):
         # Serial sharding is a pure reorganisation of the same work; its
         # overhead over the monolithic ensemble must stay small.
         assert row["sharding_overhead_vs_monolithic"] < 1.6, row
-        # The acceptance bar for multiprocessing needs real parallel
-        # hardware: on >= 2 usable cores the 2-worker ingest must beat
-        # serial sharding.
+        # The parallel-speedup bars need real parallel hardware; mirroring
+        # the multiprocessing rule, they arm only on >= 2 *usable* cores
+        # (affinity/cgroup aware), so quota-limited builders record honest
+        # sub-1x numbers without failing.
         if row["cpu_count"] >= 2:
+            # Threaded execution pays no pickling and no process start-up;
+            # its bar is the in-process serial reorganisation of the same
+            # kernels.
+            assert row["speedup_threaded_vs_serial_sharded"] > 1.05, row
             assert row["speedup_mp_vs_serial_sharded"] > 1.15, row
 
 

@@ -242,8 +242,9 @@ class DistributedSamplingCoordinator(BatchUpdateMixin):
         replica set is independent of how draws land) into the sampler's
         registered native ensemble, and the shard sub-streams of ``stream``
         are ingested once through the sharded execution layer
-        (``execution`` is ``serial`` or ``multiprocessing`` — the
-        Section 1.3 picture of machines working in parallel).  Only
+        (``execution`` is ``serial``, ``threaded`` — an in-process thread
+        pool with zero pickling — or ``multiprocessing``: the Section 1.3
+        picture of machines working in parallel).  Only
         ``num_draws`` replicas are built in total; shards that serve no
         draw are skipped entirely.
 

@@ -12,11 +12,15 @@ stacked into the sampler's registered native ensemble (or the generic
 shared-stream fallback) and the stream is ingested once for the whole
 round, which removes the ``R ×`` per-instance cost of the old loop while
 producing draw-for-draw identical results (replica state and samples are
-bit-identical to the sequential path).
+bit-identical to the sequential path).  Retries run through the
+ensemble-aware :func:`overprovisioned_draws` engine, which sizes spare
+replicas by a failure-rate EWMA and consumes them in-round instead of
+paying per-attempt rebuild rounds — with the exact same per-draw outcome.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
@@ -36,6 +40,138 @@ from repro.utils.stats import (
 from repro.utils.validation import require_positive_int
 
 SamplerFactory = Callable[[int], object]
+
+#: Smoothing factor of the per-round failure-rate EWMA of the retry engine.
+RETRY_EWMA_ALPHA = 0.5
+#: Safety margin on the EWMA estimate when sizing a round's spare replicas.
+RETRY_SPARE_MARGIN = 1.5
+
+
+@dataclass(frozen=True)
+class RetryStats:
+    """Diagnostics of one :func:`overprovisioned_draws` run.
+
+    Attributes
+    ----------
+    rounds:
+        Number of shared-ingest ensemble rounds executed.
+    replicas_built:
+        Total replicas constructed and ingested across all rounds
+        (primaries plus spares).
+    spares_built:
+        Replicas built speculatively for a draw's *next* attempt.
+    spares_consumed:
+        Spares that actually served a draw whose primary attempt failed —
+        each one is a rebuild round the old per-attempt engine would have
+        needed a later round for.
+    failure_rate_ewma:
+        Final EWMA estimate of the per-attempt failure rate.
+    """
+
+    rounds: int
+    replicas_built: int
+    spares_built: int
+    spares_consumed: int
+    failure_rate_ewma: float
+
+
+def overprovisioned_draws(
+    draw_samples: Callable[[Sequence[int]], list],
+    num_draws: int,
+    max_attempts_per_draw: int,
+    *,
+    failure_rate_prior: float = 0.0,
+) -> tuple[list, RetryStats]:
+    """Ensemble-aware retry engine: over-provision spares, consume on failure.
+
+    The per-attempt engine this replaces rebuilt failed draws in fresh
+    rounds: attempt ``k`` ran only after *every* draw's attempt ``k - 1``
+    had been ingested and queried, so a 10% failure rate paid a whole extra
+    shared-ingest round (stream materialisation, hash-family evaluation
+    over the universe, ensemble assembly) to redo 10% of the replicas.
+    With the replica-ensemble engine the marginal cost of one more replica
+    inside a round is tiny compared to the round itself, so this engine
+    *over-provisions*: every round ingests, alongside each pending draw's
+    primary attempt, spare replicas evaluating the *next* attempt of the
+    first ``ceil(EWMA * pending * RETRY_SPARE_MARGIN)`` pending draws.  A
+    draw whose primary fails consumes its spare immediately — only draws
+    that fail both (or hold no spare) roll into a rebuild round.
+
+    Draw-for-draw reproducibility is exact: the seed schedule is the
+    per-attempt engine's ``draw * max_attempts + attempt + 1``, replicas
+    are independent (ensemble cohorts never change a replica's outcome —
+    the engine's bit-identity contract), and a draw's result is still the
+    first non-``None`` sample in attempt order, so every draw's outcome —
+    and the failure count — is identical to the sequential path
+    (asserted by ``tests/test_retry_overprovision.py``).
+
+    The failure rate is tracked as an EWMA over rounds
+    (:data:`RETRY_EWMA_ALPHA`); ``failure_rate_prior`` pre-seeds it so
+    callers who know their sampler's failure probability skip the
+    spare-less first round.  Returns ``(results, stats)`` with one entry
+    per draw (``None`` for a draw that exhausted its attempts).
+    """
+    require_positive_int(num_draws, "num_draws")
+    require_positive_int(max_attempts_per_draw, "max_attempts_per_draw")
+    if not (0.0 <= failure_rate_prior < 1.0):
+        raise InvalidParameterError(
+            f"failure_rate_prior must lie in [0, 1), got {failure_rate_prior}")
+
+    def seed_of(draw: int, attempt: int) -> int:
+        return draw * max_attempts_per_draw + attempt + 1
+
+    results: list = [None] * num_draws
+    attempt_of = [0] * num_draws
+    pending = list(range(num_draws))
+    ewma = float(failure_rate_prior)
+    observed = failure_rate_prior > 0.0
+    rounds = replicas_built = spares_built = spares_consumed = 0
+    while pending:
+        eligible = [draw for draw in pending
+                    if attempt_of[draw] + 1 < max_attempts_per_draw]
+        spare_count = 0
+        if observed and ewma > 0.0:
+            spare_count = min(len(eligible), int(math.ceil(
+                ewma * len(pending) * RETRY_SPARE_MARGIN)))
+        spare_draws = eligible[:spare_count]
+        seeds = [seed_of(draw, attempt_of[draw]) for draw in pending]
+        seeds += [seed_of(draw, attempt_of[draw] + 1) for draw in spare_draws]
+        samples = draw_samples(seeds)
+        rounds += 1
+        replicas_built += len(seeds)
+        spares_built += len(spare_draws)
+        spare_result = dict(zip(spare_draws, samples[len(pending):]))
+        failed_primaries = 0
+        still_pending = []
+        for draw, result in zip(pending, samples[:len(pending)]):
+            attempt_of[draw] += 1
+            if result is not None:
+                results[draw] = result
+                continue
+            failed_primaries += 1
+            if draw in spare_result:
+                # The spare IS attempt a+1 of this draw: consume it now
+                # instead of paying a rebuild round for it.
+                spares_consumed += 1
+                attempt_of[draw] += 1
+                spare = spare_result[draw]
+                if spare is not None:
+                    results[draw] = spare
+                    continue
+            if attempt_of[draw] < max_attempts_per_draw:
+                still_pending.append(draw)
+        rate = failed_primaries / len(pending)
+        ewma = rate if not observed else (
+            RETRY_EWMA_ALPHA * rate + (1.0 - RETRY_EWMA_ALPHA) * ewma)
+        observed = True
+        pending = still_pending
+    return results, RetryStats(
+        rounds=rounds,
+        replicas_built=replicas_built,
+        spares_built=spares_built,
+        spares_consumed=spares_consumed,
+        failure_rate_ewma=ewma,
+    )
 
 
 @dataclass(frozen=True)
@@ -97,6 +233,7 @@ def evaluate_sampler_distribution(
     execution: str = "serial",
     num_shards: Optional[int] = None,
     processes: Optional[int] = None,
+    failure_rate_prior: float = 0.0,
 ) -> DistributionReport:
     """Measure a sampler family's empirical distribution against a target.
 
@@ -123,25 +260,32 @@ def evaluate_sampler_distribution(
     execution:
         ``"serial"`` (the default) runs the monolithic replica-ensemble
         engine; ``"sharded"`` splits each round's replicas across
-        ``num_shards`` shard ensembles executed in-process; and
-        ``"multiprocessing"`` executes those shards in worker processes.
+        ``num_shards`` shard ensembles executed in-process one after
+        another; ``"threaded"`` drives those shards from an in-process
+        thread pool (zero pickling — the shard kernels release the GIL);
+        and ``"multiprocessing"`` executes them in worker processes.
         Replica sharding is bit-identical to the monolithic engine, so the
         report is draw-for-draw independent of this knob — it is purely a
         wall-clock/parallelism choice.
     num_shards, processes:
         Shard and worker counts for the non-serial modes (defaults: the
-        worker count, else the machine's CPU count).
+        worker count, else the affinity-aware usable CPU count).
+    failure_rate_prior:
+        Pre-seeds the retry engine's failure-rate EWMA (see
+        :func:`overprovisioned_draws`) so the first round already carries
+        spare replicas; the report is identical for any value — only the
+        round count changes.
     """
     require_positive_int(num_draws, "num_draws")
-    if execution not in ("serial", "sharded", "multiprocessing"):
+    if execution not in ("serial", "sharded", "threaded", "multiprocessing"):
         raise InvalidParameterError(
-            "execution must be one of ('serial', 'sharded', 'multiprocessing'), "
-            f"got {execution!r}")
+            "execution must be one of ('serial', 'sharded', 'threaded', "
+            f"'multiprocessing'), got {execution!r}")
 
     def draw_samples(seeds: Sequence[int]) -> list:
         if execution == "serial":
             return ensemble_samples(sampler_factory, seeds, stream)
-        shard_execution = "serial" if execution == "sharded" else "multiprocessing"
+        shard_execution = "serial" if execution == "sharded" else execution
         return sharded_ensemble_samples(
             sampler_factory, seeds, stream, num_shards=num_shards,
             execution=shard_execution, processes=processes)
@@ -163,24 +307,18 @@ def evaluate_sampler_distribution(
             else:
                 counts[result.index] += 1.0
     else:
-        # One ensemble round per retry attempt: attempt k rebuilds replicas
-        # only for the draws still failing, with the same per-draw seed
-        # schedule the sequential loop used, so the outcome of every draw
-        # is identical to the per-instance path.
-        pending = list(range(num_draws))
-        for attempt in range(max_attempts_per_draw):
-            if not pending:
-                break
-            seeds = [draw * max_attempts_per_draw + attempt + 1 for draw in pending]
-            samples = draw_samples(seeds)
-            still_pending = []
-            for draw, result in zip(pending, samples):
-                if result is None:
-                    still_pending.append(draw)
-                else:
-                    counts[result.index] += 1.0
-            pending = still_pending
-        failures = len(pending)
+        # The over-provisioned retry engine: same per-draw seed schedule
+        # as the sequential loop (so every draw's outcome is identical to
+        # the per-instance path), but failed draws consume in-round spare
+        # replicas before paying a rebuild round.
+        samples, _ = overprovisioned_draws(
+            draw_samples, num_draws, max_attempts_per_draw,
+            failure_rate_prior=failure_rate_prior)
+        for result in samples:
+            if result is None:
+                failures += 1
+            else:
+                counts[result.index] += 1.0
 
     successes = int(counts.sum())
     if successes == 0:

@@ -118,6 +118,30 @@ class PerfectL0Sampler(BatchUpdateMixin):
                                indices, deltas)
         self._num_updates += int(indices.size)
 
+    def merge(self, other: "PerfectL0Sampler") -> "PerfectL0Sampler":
+        """Merge a same-seed sampler fed a disjoint stream shard.
+
+        Level membership is a per-coordinate oracle and every level's
+        :class:`~repro.sketch.sparse_recovery.KSparseRecovery` state is
+        linear, so two same-seed samplers over disjoint sub-streams fold
+        entrywise into the sampler of the union stream; query-time
+        behaviour (the level walk and the min-variate pick) then matches a
+        monolithic ingest.  Exact for integer-delta streams.  In place;
+        returns ``self``.
+        """
+        if not isinstance(other, PerfectL0Sampler):
+            raise InvalidParameterError(
+                "can only merge PerfectL0Sampler with its own kind")
+        if (other._n, other._sparsity, other._num_levels) != \
+                (self._n, self._sparsity, self._num_levels) or \
+                not np.array_equal(self._level_variates, other._level_variates):
+            raise InvalidParameterError(
+                "can only merge identically configured same-seed samplers")
+        for level, other_level in zip(self._levels, other._levels):
+            level.merge(other_level)
+        self._num_updates += other._num_updates
+        return self
+
     def sample(self) -> Optional[Sample]:
         """Return a uniform support element with its exact value, or ``None``.
 

@@ -235,9 +235,19 @@ class AMSEnsemble(ReplicaEnsemble):
         if not shared and deltas.shape != (self.num_members, indices.size):
             raise InvalidParameterError(
                 f"ensemble deltas must be (B,) or (M, B); got {deltas.shape}")
+        # The per-member gemv grid writes into one scratch row allocated
+        # once per batch and accumulates in place: the BLAS product and the
+        # vector add both release the GIL, and no per-member temporaries
+        # are allocated under it — this is what lets the `threaded`
+        # sharding back-end overlap shard ingests inside one process (the
+        # scratch is call-local, so it is thread-private by construction).
+        # ``np.dot(..., out=)`` runs the identical BLAS routine as ``@``,
+        # so member state stays bit-identical to the standalone sketch.
+        scratch = np.empty(self._counters.shape[1], dtype=float)
         for member in range(self.num_members):
             selected = self._signs[member][:, indices]
-            self._counters[member] += selected @ (deltas if shared else deltas[member])
+            np.dot(selected, deltas if shared else deltas[member], out=scratch)
+            np.add(self._counters[member], scratch, out=self._counters[member])
         self._num_updates += int(indices.size)
 
     def estimate_f2_member(self, member: int) -> float:

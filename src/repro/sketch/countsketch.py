@@ -378,13 +378,22 @@ class CountSketchEnsemble(ReplicaEnsemble):
                           * block[:, None, None, :]).reshape(chunk, self._rows,
                                                              batch)
             if use_bincount:
+                # The fused scatter: one flat weighted bincount per member
+                # chunk, accumulated into the table slice in place.  Both
+                # the bincount and the in-place add release the GIL on
+                # these array sizes, which is what lets the `threaded`
+                # sharding back-end overlap shard ingests in one process
+                # (the small-batch ``np.add.at`` fallback below holds it —
+                # large-batch ingest is the path worth parallelising).
                 flat = buckets + (row_index * self._buckets
                                   + np.arange(chunk, dtype=np.int64)[:, None, None]
                                   * cells_per_member)
                 counts = np.bincount(flat.ravel(), weights=values.ravel(),
                                      minlength=chunk * cells_per_member)
-                self._table[start:stop] += counts.reshape(
-                    chunk, self._rows, self._buckets)
+                target = self._table[start:stop]
+                np.add(target,
+                       counts.reshape(chunk, self._rows, self._buckets),
+                       out=target)
             else:
                 member_index = np.arange(start, stop)[:, None, None]
                 np.add.at(self._table, (member_index, row_index, buckets), values)

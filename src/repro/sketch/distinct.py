@@ -199,6 +199,28 @@ class RoughL0Estimator(BatchUpdateMixin):
                                indices, deltas)
         self._num_updates += int(indices.size)
 
+    def merge(self, other: "RoughL0Estimator") -> "RoughL0Estimator":
+        """Merge a same-seed estimator fed a disjoint stream shard.
+
+        Same argument as :meth:`PerfectL0Sampler.merge`: level membership
+        is an oracle and per-level recovery state is linear, so same-seed
+        copies over disjoint sub-streams fold entrywise into the estimator
+        of the union stream.  Exact for integer-delta streams.  In place;
+        returns ``self``.
+        """
+        if not isinstance(other, RoughL0Estimator):
+            raise InvalidParameterError(
+                "can only merge RoughL0Estimator with its own kind")
+        if (other._n, other._sparsity, other._num_levels) != \
+                (self._n, self._sparsity, self._num_levels) or \
+                not np.array_equal(self._level_variates, other._level_variates):
+            raise InvalidParameterError(
+                "can only merge identically configured same-seed estimators")
+        for level, other_level in zip(self._levels, other._levels):
+            level.merge(other_level)
+        self._num_updates += other._num_updates
+        return self
+
     def estimate(self) -> Optional[float]:
         """Constant-factor estimate of ``||x||_0``, or ``None`` if no level decodes."""
         if self._num_updates == 0:

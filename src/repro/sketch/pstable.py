@@ -345,12 +345,21 @@ class PStableEnsemble(ReplicaEnsemble):
         # cache-resident (the kernel is memory-bound on big grids).
         cells = self._num_rows * max(unique.size, 1)
         step = max(1, (1 << 18) // cells)
+        # Per-replica gemv into one scratch row allocated once per batch,
+        # accumulated in place: the BLAS product and the add release the
+        # GIL and no per-replica temporaries are allocated under it, so the
+        # `threaded` sharding back-end overlaps shard ingests in one
+        # process (the scratch is call-local, hence thread-private).
+        # ``np.dot`` with ``out=`` is the identical BLAS call as ``@`` —
+        # replica state stays bit-identical to the standalone sketch.
+        scratch = np.empty(self._num_rows, dtype=float)
         for start in range(0, self.num_replicas, step):
             stop = min(self.num_replicas, start + step)
             blocks = stable_coefficient_block(self._roots[start:stop], self._p,
                                               self._num_rows, unique)
             for replica in range(start, stop):
-                self._state[replica] += blocks[replica - start] @ aggregated
+                np.dot(blocks[replica - start], aggregated, out=scratch)
+                np.add(self._state[replica], scratch, out=self._state[replica])
         self._num_updates += int(indices.size)
 
     def estimate_norm_replica(self, replica: int) -> float:

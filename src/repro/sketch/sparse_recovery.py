@@ -122,6 +122,22 @@ class _Fingerprint:
         total = int(terms.astype(object).sum()) % _FINGERPRINT_PRIME
         self._value = (self._value + total) % _FINGERPRINT_PRIME
 
+    def merge(self, other: "_Fingerprint") -> "_Fingerprint":
+        """Add a same-key fingerprint built over a disjoint sub-stream.
+
+        The fingerprint is a linear function of the (integer-scaled) vector
+        over the Mersenne-prime field, so two fingerprints sharing the
+        evaluation point ``r`` and the scale add exactly — modular
+        arithmetic has no rounding, making the fold bit-identical in every
+        merge order.  In place; returns ``self``.
+        """
+        if self._r != other._r or self._scale != other._scale:
+            raise InvalidParameterError(
+                "can only merge fingerprints sharing the evaluation point "
+                "and scale (build the shard copies from the same seed)")
+        self._value = (self._value + other._value) % _FINGERPRINT_PRIME
+        return self
+
     def matches(self, items: Iterable[RecoveredItem]) -> bool:
         total = 0
         for item in items:
@@ -169,6 +185,20 @@ class OneSparseRecovery(BatchUpdateMixin):
         self._weighted_index += float((indices * deltas).sum())
         self._fingerprint.update_many(indices, deltas)
         self._num_updates += int(indices.size)
+
+    def merge(self, other: "OneSparseRecovery") -> "OneSparseRecovery":
+        """Merge a same-seed cell fed a disjoint sub-stream (linearity).
+
+        All three aggregates are linear in the stream: the weight and the
+        index-weighted sum add as floats (exact for the integer-delta
+        streams of every ``L_0`` workload) and the fingerprint adds in the
+        Mersenne-prime field (always exact).  In place; returns ``self``.
+        """
+        self._weight += other._weight
+        self._weighted_index += other._weighted_index
+        self._fingerprint.merge(other._fingerprint)
+        self._num_updates += other._num_updates
+        return self
 
     def is_zero(self) -> bool:
         """True if the routed sub-vector is (with high probability) zero."""
@@ -277,6 +307,36 @@ class KSparseRecovery(BatchUpdateMixin):
                 bucket = int(buckets[segment[0]])
                 self._cells[row][bucket].update_batch(indices[segment], deltas[segment])
         self._global_fingerprint.update_many(indices, deltas)
+
+    def merge(self, other: "KSparseRecovery") -> "KSparseRecovery":
+        """Merge a same-seed structure fed a disjoint stream shard.
+
+        Every cell of the grid is three linear aggregates and the global
+        fingerprint is linear over the Mersenne-prime field, so two
+        structures sharing hash functions and fingerprint keys (same
+        construction seed) fold entrywise into the structure of the union
+        stream — the level-stack analogue of
+        :meth:`repro.sketch.countsketch.CountSketch.merge`, unlocking
+        stream sharding for the ``L_0``/distinct substrate.  Exact for
+        integer-delta streams (fingerprints are always exact; the float
+        weights add without rounding below ``2^53``).  In place; returns
+        ``self``.
+        """
+        if not isinstance(other, KSparseRecovery):
+            raise InvalidParameterError(
+                "can only merge KSparseRecovery with its own kind")
+        if (other._n, other._k, other._rows) != (self._n, self._k, self._rows):
+            raise InvalidParameterError(
+                "can only merge identically configured recovery structures")
+        if not np.array_equal(self._bucket_of, other._bucket_of):
+            raise InvalidParameterError(
+                "can only merge recovery structures sharing hash functions "
+                "(build the shard copies from the same seed)")
+        for mine, theirs in zip(self._cells, other._cells):
+            for cell, other_cell in zip(mine, theirs):
+                cell.merge(other_cell)
+        self._global_fingerprint.merge(other._global_fingerprint)
+        return self
 
     def recover(self) -> list[RecoveredItem] | None:
         """Recover the exact non-zero coordinates, or ``None`` on failure.

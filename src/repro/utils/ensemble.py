@@ -245,6 +245,30 @@ class LevelStackEnsemble(ReplicaEnsemble):
                                    indices, deltas)
             instance._num_updates += int(indices.size)
 
+    def merge(self, other: "LevelStackEnsemble") -> "LevelStackEnsemble":
+        """Entrywise-merge a same-seed ensemble fed a disjoint stream shard.
+
+        The per-replica state lives in the instances' level stacks, whose
+        per-level fingerprint/aggregate state is linear over the
+        Mersenne-prime field (see
+        :meth:`repro.sketch.sparse_recovery.KSparseRecovery.merge`), so
+        the fold delegates replica-for-replica to the instances' ``merge``
+        — the fold-left contract of the sharding module docstring, exact
+        for the integer-delta streams of every ``L_0`` workload.  In
+        place; returns ``self``.
+        """
+        if not isinstance(other, LevelStackEnsemble):
+            raise InvalidParameterError(
+                "can only merge LevelStackEnsemble with its own kind")
+        if other.num_replicas != self.num_replicas or other._n != self._n \
+                or not np.array_equal(self._deepest, other._deepest):
+            raise InvalidParameterError(
+                "can only merge same-seed ensembles (identical replica "
+                "counts, universe, and level assignments)")
+        for mine, theirs in zip(self._instances, other._instances):
+            mine.merge(theirs)
+        return self
+
     def sample_replica(self, replica: int):
         """Delegate to the replica instance (state lives there)."""
         return self._instances[replica].sample()

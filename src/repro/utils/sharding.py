@@ -55,13 +55,43 @@ Merge-order semantics (what the equivalence suite pins down)
     streams (exact float arithmetic) are bitwise in every order.
 
 Execution back-ends
-    Shards run ``serial`` (in-process, the default) or via
-    ``multiprocessing`` (one worker process per shard; the worker ingests
-    and ships the ensemble state back).  Both back-ends run the same numpy
-    kernels on the same arrays, so the execution mode never changes a
-    single bit of the result — parallelism is free to be a pure wall-clock
-    knob.  Benchmark E9d (``benchmarks/bench_e9_update_time.py``) tracks
-    the speedup in ``BENCH_e9.json``.
+    ============================ ======================================================
+    ``execution=``               contract
+    ============================ ======================================================
+    ``serial`` (default)         In-process, one shard after another.  Zero overhead
+                                 beyond the shard bookkeeping; the reference the
+                                 other two back-ends are asserted bitwise against.
+    ``threaded``                 In-process ``ThreadPoolExecutor`` (default worker
+                                 count: :func:`usable_cpu_count`, so cgroup-limited
+                                 runners never oversubscribe).  Zero pickling: each
+                                 thread drives its own shard ensemble's arrays, and
+                                 the hot per-replica kernels — the AMS/p-stable gemv
+                                 grids (BLAS ``np.dot`` into pre-allocated per-shard
+                                 output buffers) and the CountSketch fused
+                                 ``bincount`` scatter — release the GIL, so shard
+                                 ingests overlap on real cores.  Beats
+                                 ``multiprocessing`` whenever worker start-up plus
+                                 pickling the ensemble state both ways costs more
+                                 than the residual GIL-held bookkeeping — i.e. for
+                                 short streams, large universes (big hash tables
+                                 would be pickled), and compute-bound oracle grids.
+    ``multiprocessing``          One worker process per shard (fork-preferring).
+                                 The materialised stream is installed once per
+                                 worker by a pool initializer; per-shard payloads
+                                 carry only the ensemble and a stream slot index,
+                                 so payload size is independent of stream length.
+                                 Wins over ``threaded`` when the per-shard work
+                                 holds the GIL (Python-level level-stack loops) or
+                                 the streams are long enough to amortise start-up.
+    ============================ ======================================================
+
+    All back-ends run the same numpy kernels on the same arrays over the
+    same batch boundaries, so the execution mode never changes a single
+    bit of the result — parallelism is free to be a pure wall-clock knob.
+    Benchmark E9d (``benchmarks/bench_e9_update_time.py``) tracks all
+    three against the monolithic ensemble in ``BENCH_e9.json``, and the
+    CI regression gate (``benchmarks/check_bench_regression.py``) fails
+    on tracked-metric slowdowns.
 """
 
 from __future__ import annotations
@@ -69,6 +99,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Optional, Sequence
 
 import numpy as np
@@ -91,7 +122,7 @@ __all__ = [
 ]
 
 #: Execution back-ends understood by the sharded ingest layer.
-EXECUTION_MODES = ("serial", "multiprocessing")
+EXECUTION_MODES = ("serial", "threaded", "multiprocessing")
 
 
 def usable_cpu_count() -> int:
@@ -217,18 +248,63 @@ def _materialise_streams(streams: Sequence) -> list:
     return materialised
 
 
+#: Worker-side stream table, installed once per worker process by
+#: :func:`_install_worker_streams`.  Each entry is ``(n, indices, deltas)``.
+_WORKER_STREAMS: list | None = None
+
+
+def _install_worker_streams(stream_table) -> None:
+    """Pool initializer: materialise the shared stream table once per worker.
+
+    The table is shipped exactly once per worker (inherited for free under
+    the fork start method, pickled once in the initargs otherwise) instead
+    of once per shard payload — with replica sharding every shard ingests
+    the *same* stream, so the old per-payload ``(indices, deltas)`` copies
+    re-pickled the stream ``num_shards`` times.
+    """
+    global _WORKER_STREAMS
+    _WORKER_STREAMS = list(stream_table)
+
+
+def _shard_payloads(ensembles: Sequence[ReplicaEnsemble], streams: Sequence,
+                    batch_size: Optional[int]):
+    """Deduplicated ``(stream_table, payloads)`` for the worker pool.
+
+    Streams are deduplicated by identity so the shared-stream replica mode
+    contributes one table entry no matter how many shards ingest it; each
+    payload carries only ``(ensemble, slot, batch_size)`` — its size is
+    independent of stream length (regression-tested).
+    """
+    slot_of: dict[int, int] = {}
+    stream_table: list = []
+    payloads = []
+    for ensemble, stream in zip(ensembles, streams):
+        key = id(stream)
+        slot = slot_of.get(key)
+        if slot is None:
+            indices, deltas = stream_arrays(stream)
+            slot = len(stream_table)
+            stream_table.append((_universe_size(stream),
+                                 np.asarray(indices), np.asarray(deltas)))
+            slot_of[key] = slot
+        payloads.append((ensemble, slot, batch_size))
+    return stream_table, payloads
+
+
 def _ingest_shard(payload):
     """Worker body: ingest one shard's sub-stream and return the ensemble.
 
     Module-level so every ``multiprocessing`` start method can import it;
-    the stream travels as raw ``(n, indices, deltas)`` arrays and is
-    rebuilt into a :class:`~repro.streams.stream.TurnstileStream` so the
-    worker replays through exactly the same ``update_stream`` chunking as
-    the serial path (bit-identity requires identical batch boundaries).
+    the stream arrives via the worker's installed table as raw
+    ``(n, indices, deltas)`` arrays and is rebuilt into a
+    :class:`~repro.streams.stream.TurnstileStream` so the worker replays
+    through exactly the same ``update_stream`` chunking as the serial path
+    (bit-identity requires identical batch boundaries).
     """
-    ensemble, n, indices, deltas, batch_size = payload
+    ensemble, slot, batch_size = payload
     from repro.streams.stream import TurnstileStream
 
+    n, indices, deltas = _WORKER_STREAMS[slot]
     stream = TurnstileStream.from_arrays(n, indices, deltas)
     ensemble.update_stream(stream, batch_size=batch_size)
     return ensemble
@@ -241,11 +317,15 @@ def ingest_sharded(ensembles: Sequence[ReplicaEnsemble], streams: Sequence,
     """Ingest ``streams[i]`` into ``ensembles[i]``, serially or in parallel.
 
     ``serial`` ingests in-process and returns the same ensemble objects;
-    ``multiprocessing`` forks one worker per shard (bounded by
-    ``processes``, default the machine's CPU count) and returns the
-    ensembles shipped back from the workers — freshly unpickled objects
-    whose state is bit-identical to the serial path, because the workers
-    run the same kernels over the same batch boundaries.
+    ``threaded`` drives the same in-process objects from a thread pool
+    (bounded by ``processes``, default :func:`usable_cpu_count` — the
+    affinity-aware count, so cgroup-quota'd CI runners never
+    oversubscribe), relying on the ensembles' GIL-releasing kernels to
+    overlap; ``multiprocessing`` forks one worker per shard (same bound)
+    and returns the ensembles shipped back from the workers — freshly
+    unpickled objects whose state is bit-identical to the serial path,
+    because every back-end runs the same kernels over the same batch
+    boundaries.
     """
     _require_execution(execution)
     ensembles = list(ensembles)
@@ -253,22 +333,35 @@ def ingest_sharded(ensembles: Sequence[ReplicaEnsemble], streams: Sequence,
     if len(ensembles) != len(streams):
         raise InvalidParameterError(
             f"got {len(ensembles)} ensembles but {len(streams)} streams")
-    if execution == "serial" or len(ensembles) <= 1:
+    if processes is None:
+        processes = usable_cpu_count()
+    processes = max(1, min(int(processes), max(len(ensembles), 1)))
+    # A 1-thread pool is exactly the serial loop, so `threaded` degrades to
+    # it for free; `multiprocessing` keeps its 1-worker pool instead — its
+    # contract (pickling failures surface, results come back freshly
+    # unpickled) must not silently change on 1-CPU runners.
+    if execution == "serial" or len(ensembles) <= 1 or (
+            execution == "threaded" and processes <= 1):
         for ensemble, stream in zip(ensembles, streams):
             ensemble.update_stream(stream, batch_size=batch_size)
         return ensembles
-    payloads = []
-    for ensemble, stream in zip(ensembles, streams):
-        indices, deltas = stream_arrays(stream)
-        payloads.append((ensemble, _universe_size(stream),
-                         np.asarray(indices), np.asarray(deltas), batch_size))
-    if processes is None:
-        processes = usable_cpu_count()
-    processes = max(1, min(int(processes), len(payloads)))
+    if execution == "threaded":
+        # In-process and zero-copy: each thread owns its shard ensemble's
+        # arrays, the shared stream is only ever read, and the hot kernels
+        # drop the GIL, so no pickling (and no result shipping) is needed.
+        with ThreadPoolExecutor(max_workers=processes) as pool:
+            list(pool.map(
+                lambda pair: pair[0].update_stream(pair[1],
+                                                   batch_size=batch_size),
+                zip(ensembles, streams)))
+        return ensembles
+    stream_table, payloads = _shard_payloads(ensembles, streams, batch_size)
     methods = multiprocessing.get_all_start_methods()
     context = multiprocessing.get_context("fork" if "fork" in methods else None)
     try:
-        with context.Pool(processes=processes) as pool:
+        with context.Pool(processes=processes,
+                          initializer=_install_worker_streams,
+                          initargs=(stream_table,)) as pool:
             return pool.map(_ingest_shard, payloads)
     except (AttributeError, TypeError, pickle.PicklingError) as error:
         # Ensembles travel to the workers by pickle; instances holding
@@ -280,7 +373,7 @@ def ingest_sharded(ensembles: Sequence[ReplicaEnsemble], streams: Sequence,
             raise
         raise InvalidParameterError(
             "multiprocessing execution requires picklable ensembles "
-            f"(use execution='serial' instead): {error}") from error
+            f"(use execution='serial' or 'threaded' instead): {error}") from error
 
 
 def replica_sharded_ensemble(instances: Sequence, stream=None, *,

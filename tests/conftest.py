@@ -7,8 +7,27 @@ oracle backends documented in DESIGN.md.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+try:
+    from hypothesis import settings as _hypothesis_settings
+
+    # The `ci` profile makes the property suites (tests/test_merge_properties.py)
+    # deterministic across CI matrix entries: derandomize replaces the
+    # random example seed with a stable derivation from each test's source,
+    # and print_blob emits the `@reproduce_failure` blob (the seed-equivalent
+    # reproduction handle) whenever an example fails.  Select it with
+    # HYPOTHESIS_PROFILE=ci (the CI workflow does) or --hypothesis-profile.
+    _hypothesis_settings.register_profile(
+        "ci", derandomize=True, print_blob=True, deadline=None)
+    _profile = os.environ.get("HYPOTHESIS_PROFILE")
+    if _profile:
+        _hypothesis_settings.load_profile(_profile)
+except ImportError:  # pragma: no cover - hypothesis is optional outside CI
+    pass
 
 from repro.streams.generators import (
     planted_heavy_hitter_vector,

@@ -1,0 +1,223 @@
+"""Draw-for-draw identity of the over-provisioned retry engine.
+
+:func:`repro.evaluation.distribution_tests.overprovisioned_draws` replaces
+the per-attempt rebuild rounds of the evaluation harness.  Its contract:
+
+* every draw's outcome — and the total failure count — is *identical* to
+  the sequential per-attempt engine (same ``draw * max_attempts + attempt
+  + 1`` seed schedule, first non-``None`` attempt wins), for any failure
+  pattern and any EWMA prior;
+* spares are consumed in-round: a failing draw holding a spare resolves
+  without a rebuild round, so well-predicted failure rates cut the round
+  count (never the results).
+
+The reference implementation below is the old engine's loop verbatim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation.distribution_tests import (
+    evaluate_sampler_distribution,
+    lp_target_weights,
+    overprovisioned_draws,
+)
+from repro.exceptions import InvalidParameterError
+from repro.samplers.exact import ExactLpSampler
+from repro.streams.generators import stream_from_vector, zipfian_frequency_vector
+
+
+def reference_per_attempt_rounds(draw_samples, num_draws, max_attempts):
+    """The old engine: one round per attempt, rebuilds only failed draws."""
+    results = [None] * num_draws
+    rounds = 0
+    pending = list(range(num_draws))
+    for attempt in range(max_attempts):
+        if not pending:
+            break
+        seeds = [draw * max_attempts + attempt + 1 for draw in pending]
+        samples = draw_samples(seeds)
+        rounds += 1
+        still_pending = []
+        for draw, result in zip(pending, samples):
+            if result is None:
+                still_pending.append(draw)
+            else:
+                results[draw] = result
+        pending = still_pending
+    return results, rounds
+
+
+def deterministic_flaky(failure_of):
+    """A draw oracle: seed -> seed itself, or ``None`` when marked failing.
+
+    ``failure_of(draw, attempt)`` decides the outcome, decoded from the
+    engine's seed schedule, so both engines see the exact same world.
+    """
+
+    def draw_samples(seeds, *, max_attempts):
+        out = []
+        for seed in seeds:
+            draw, attempt = divmod(seed - 1, max_attempts)
+            out.append(None if failure_of(draw, attempt) else seed)
+        return out
+
+    return draw_samples
+
+
+RATES = [
+    ("never-fails", lambda draw, attempt: False),
+    ("hash-30pct", lambda draw, attempt:
+        ((draw * 4 + attempt + 1) * 2654435761) % 10 < 3),
+    ("hash-70pct", lambda draw, attempt:
+        ((draw * 4 + attempt + 1) * 2654435761) % 10 < 7),
+    ("always-fails", lambda draw, attempt: True),
+    ("prefix-fails-once", lambda draw, attempt: attempt == 0 and draw < 16),
+]
+
+
+@pytest.mark.parametrize("name,failure_of", RATES, ids=[r[0] for r in RATES])
+@pytest.mark.parametrize("prior", [0.0, 0.25, 0.9])
+def test_results_identical_to_per_attempt_engine(name, failure_of, prior) -> None:
+    """Every failure pattern and every prior: outcomes match the old engine."""
+    num_draws, max_attempts = 32, 4
+    oracle = deterministic_flaky(failure_of)
+    draw_samples = lambda seeds: oracle(seeds, max_attempts=max_attempts)  # noqa: E731
+
+    reference, _ = reference_per_attempt_rounds(
+        draw_samples, num_draws, max_attempts)
+    results, stats = overprovisioned_draws(
+        draw_samples, num_draws, max_attempts, failure_rate_prior=prior)
+    assert results == reference
+    assert stats.spares_consumed <= stats.spares_built
+    assert stats.rounds >= 1
+
+
+def test_spares_cut_rebuild_rounds_for_predicted_failures() -> None:
+    """A well-predicted failure prefix resolves in ONE round via spares."""
+    num_draws, max_attempts = 32, 4
+    failure_of = dict(RATES)["prefix-fails-once"]
+    oracle = deterministic_flaky(failure_of)
+    draw_samples = lambda seeds: oracle(seeds, max_attempts=max_attempts)  # noqa: E731
+
+    _, reference_rounds = reference_per_attempt_rounds(
+        draw_samples, num_draws, max_attempts)
+    assert reference_rounds == 2
+
+    results, stats = overprovisioned_draws(
+        draw_samples, num_draws, max_attempts, failure_rate_prior=0.5)
+    assert all(result is not None for result in results)
+    # The EWMA prior (0.5 * margin 1.5 = 24 spares) covers the 16 failing
+    # draws, every spare for a failing draw is consumed in-round, and the
+    # rebuild round disappears.
+    assert stats.rounds == 1
+    assert stats.spares_built == 24
+    assert stats.spares_consumed == 16
+
+    # Without a prior the first round carries no spares, so the rebuild
+    # round is still paid (same results); the observed 50% rate then sizes
+    # the rebuild round's own spares (ceil(0.5 * 16 * 1.5) = 12), which go
+    # unconsumed because every second attempt succeeds.
+    cold_results, cold_stats = overprovisioned_draws(
+        draw_samples, num_draws, max_attempts)
+    assert cold_results == results
+    assert cold_stats.rounds == 2
+    assert cold_stats.spares_built == 12
+    assert cold_stats.spares_consumed == 0
+
+
+def test_ewma_learns_the_failure_rate_across_rounds() -> None:
+    """With no prior, round two onward provisions spares from observed rates."""
+    num_draws, max_attempts = 40, 6
+    failure_of = lambda draw, attempt: attempt < 2  # noqa: E731  (fail twice)
+    oracle = deterministic_flaky(failure_of)
+    draw_samples = lambda seeds: oracle(seeds, max_attempts=max_attempts)  # noqa: E731
+
+    reference, reference_rounds = reference_per_attempt_rounds(
+        draw_samples, num_draws, max_attempts)
+    assert reference_rounds == 3
+    results, stats = overprovisioned_draws(draw_samples, num_draws, max_attempts)
+    assert results == reference
+    # Round 1 (no spares) observes a 100% failure rate; round 2 then
+    # carries spares for every pending draw, which all fail attempt 1 and
+    # consume their spares to resolve at attempt 2 — beating the
+    # per-attempt engine by one round with identical outcomes.
+    assert stats.rounds == 2
+    assert stats.spares_built == num_draws
+    assert stats.spares_consumed == num_draws
+
+
+def test_replica_accounting_never_loses_attempts() -> None:
+    """Attempt budgets hold: an always-failing draw burns exactly its budget."""
+    num_draws, max_attempts = 8, 3
+    oracle = deterministic_flaky(lambda draw, attempt: True)
+    draw_samples = lambda seeds: oracle(seeds, max_attempts=max_attempts)  # noqa: E731
+    results, stats = overprovisioned_draws(
+        draw_samples, num_draws, max_attempts, failure_rate_prior=0.5)
+    assert results == [None] * num_draws
+    # Primaries + spares never exceed the total attempt budget.
+    assert stats.replicas_built <= num_draws * max_attempts
+
+
+def test_invalid_prior_rejected() -> None:
+    with pytest.raises(InvalidParameterError):
+        overprovisioned_draws(lambda seeds: [], 4, 2, failure_rate_prior=1.0)
+    with pytest.raises(InvalidParameterError):
+        overprovisioned_draws(lambda seeds: [], 4, 2, failure_rate_prior=-0.1)
+
+
+class _FlakyExactSampler:
+    """An exact sampler whose one-shot draw fails for hash-marked seeds."""
+
+    def __init__(self, n: int, seed: int):
+        self._fails = (int(seed) * 2654435761) % 8 < 3
+        self._inner = ExactLpSampler(n, 2.0, seed=seed)
+
+    def update(self, index, delta):
+        self._inner.update(index, delta)
+
+    def update_batch(self, indices, deltas):
+        self._inner.update_batch(indices, deltas)
+
+    def update_stream(self, stream):
+        self._inner.update_stream(stream)
+
+    def sample(self):
+        return None if self._fails else self._inner.sample()
+
+    def space_counters(self):
+        return self._inner.space_counters()
+
+
+def test_harness_report_matches_sequential_ground_truth() -> None:
+    """End-to-end: the harness equals a hand-rolled per-instance retry loop."""
+    n, num_draws, max_attempts = 24, 60, 4
+    vector = zipfian_frequency_vector(n, skew=1.2, scale=80.0, seed=3)
+    stream = stream_from_vector(vector, updates_per_unit=2, seed=4)
+    factory = lambda seed: _FlakyExactSampler(n, seed)  # noqa: E731
+
+    counts = np.zeros(n)
+    failures = 0
+    for draw in range(num_draws):
+        result = None
+        for attempt in range(max_attempts):
+            instance = factory(draw * max_attempts + attempt + 1)
+            instance.update_stream(stream)
+            result = instance.sample()
+            if result is not None:
+                break
+        if result is None:
+            failures += 1
+        else:
+            counts[result.index] += 1
+
+    for prior in (0.0, 0.4):
+        report = evaluate_sampler_distribution(
+            factory, stream, lp_target_weights(vector, 2.0), num_draws,
+            max_attempts_per_draw=max_attempts, failure_rate_prior=prior)
+        assert report.num_failures == failures
+        assert report.num_draws == int(counts.sum())
+        np.testing.assert_array_equal(report.empirical,
+                                      counts / counts.sum())

@@ -244,11 +244,20 @@ class TestMergeValidation:
         assert isinstance(fallback, SamplerEnsemble)
         with pytest.raises(InvalidParameterError):
             fallback.merge(fallback)
+        # Level stacks DO merge since the fingerprint-union protocol —
+        # but only same-seed copies; mismatched level assignments refuse.
         stacks = build_ensemble([PerfectL0Sampler(N, sparsity=6, seed=s)
                                  for s in range(2)])
         assert isinstance(stacks, LevelStackEnsemble)
+        other_seeds = build_ensemble([PerfectL0Sampler(N, sparsity=6, seed=s)
+                                      for s in (7, 8)])
         with pytest.raises(InvalidParameterError):
-            stacks.merge(stacks)
+            stacks.merge(other_seeds)
+        fewer = build_ensemble([PerfectL0Sampler(N, sparsity=6, seed=0)])
+        with pytest.raises(InvalidParameterError):
+            stacks.merge(fewer)
+        with pytest.raises(InvalidParameterError):
+            stacks.merge(fallback)
 
 
 class TestExecutionValidation:

@@ -333,7 +333,7 @@ def test_stream_sharded_multiprocessing_matches_serial(long_stream) -> None:
         np.testing.assert_array_equal(serial_state, forked_state)
 
 
-@pytest.mark.parametrize("execution", ["sharded", "multiprocessing"])
+@pytest.mark.parametrize("execution", ["sharded", "threaded", "multiprocessing"])
 def test_distribution_harness_execution_knob_is_draw_identical(
         stream, execution) -> None:
     """The evaluation harness returns the same report under every back-end."""
