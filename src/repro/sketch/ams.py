@@ -18,6 +18,7 @@ from repro.sketch.hashing import SignHashFamily
 from repro.utils.batching import BatchUpdateMixin, check_batch_bounds, coerce_batch
 from repro.utils.ensemble import ReplicaEnsemble, register_ensemble
 from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.table_cache import resolve_table_block, resolve_table_mode
 from repro.utils.validation import require_positive_int
 
 
@@ -40,13 +41,17 @@ class AMSSketch(BatchUpdateMixin):
         Number of groups (the median over groups boosts confidence).
     """
 
-    def __init__(self, n: int, width: int = 16, depth: int = 5, seed: SeedLike = None) -> None:
+    def __init__(self, n: int, width: int = 16, depth: int = 5, seed: SeedLike = None,
+                 table_mode: str | None = None,
+                 table_block: int | None = None) -> None:
         require_positive_int(n, "n")
         require_positive_int(width, "width")
         require_positive_int(depth, "depth")
         self._n = n
         self._width = width
         self._depth = depth
+        self._table_mode = resolve_table_mode(table_mode)
+        self._table_block = resolve_table_block(table_block)
         rng = ensure_rng(seed)
         self._sign_family = SignHashFamily.from_rng(rng, width * depth, 4)
         # Shape (depth * width, n): one row of signs per counter (lazy).
@@ -57,8 +62,39 @@ class AMSSketch(BatchUpdateMixin):
     def _ensure_signs(self) -> None:
         """Materialise the dense sign matrix on first use (lazy)."""
         if self._signs is None:
+            if self._table_mode == "cached":
+                self._signs = self._sign_family.sign_table_float(self._n)
+                return
             all_indices = np.arange(self._n, dtype=np.int64)
             self._signs = self._sign_family.sign_all(all_indices).astype(float)
+
+    def _sign_columns(self, indices: np.ndarray) -> np.ndarray:
+        """``(counters, B)`` float sign columns at the given keys.
+
+        The fancy-index gather ``signs[:, indices]`` comes out
+        **F-contiguous** (the advanced axis varies slowest in memory), and
+        BLAS picks its accumulation order from the operand layout — so the
+        ``blocked`` branch converts its fresh evaluation to the same
+        F-contiguous layout to keep the downstream gemv bitwise-equal to
+        the materialised path.
+        """
+        if self._table_mode == "blocked":
+            return np.asfortranarray(
+                self._sign_family.sign_all(indices).astype(float))
+        self._ensure_signs()
+        return self._signs[:, indices]
+
+    def __getstate__(self):
+        """Pickle without the dense sign matrix (re-derived lazily from the
+        cache), keeping multiprocessing payloads table-independent."""
+        state = self.__dict__.copy()
+        state["_signs"] = None
+        return state
+
+    @property
+    def table_mode(self) -> str:
+        """The table-materialisation mode latched at construction."""
+        return self._table_mode
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -73,8 +109,8 @@ class AMSSketch(BatchUpdateMixin):
         """Apply the stream update ``(index, delta)``."""
         if not (0 <= index < self._n):
             raise InvalidParameterError(f"index {index} outside universe [0, {self._n})")
-        self._ensure_signs()
-        self._counters += self._signs[:, index] * delta
+        signs = self._sign_columns(np.asarray([index], dtype=np.int64))
+        self._counters += signs[:, 0] * delta
         self._num_updates += 1
 
     def update_batch(self, indices, deltas) -> None:
@@ -83,8 +119,7 @@ class AMSSketch(BatchUpdateMixin):
         if indices.size == 0:
             return
         check_batch_bounds(indices, self._n)
-        self._ensure_signs()
-        self._counters += self._signs[:, indices] @ deltas
+        self._counters += self._sign_columns(indices) @ deltas
         self._num_updates += int(indices.size)
 
     def update_vector(self, vector: np.ndarray) -> None:
@@ -92,6 +127,18 @@ class AMSSketch(BatchUpdateMixin):
         vector = np.asarray(vector, dtype=float)
         if vector.shape != (self._n,):
             raise InvalidParameterError("vector shape must match the universe size")
+        if self._table_mode == "blocked":
+            # The gemv over the whole universe cannot be key-block split
+            # without re-associating each counter's sum, so bit-identity
+            # requires one *transient* full sign evaluation here — built,
+            # multiplied, and freed (never cached or stored).  Dense-vector
+            # ingest is a bulk-load path, not the streaming path the
+            # blocked mode exists for.
+            signs = self._sign_family.sign_all(
+                np.arange(self._n, dtype=np.int64)).astype(float)
+            self._counters += signs @ vector
+            self._num_updates += int(np.count_nonzero(vector))
+            return
         self._ensure_signs()
         self._counters += self._signs @ vector
         self._num_updates += int(np.count_nonzero(vector))
@@ -143,17 +190,63 @@ class AMSEnsemble(ReplicaEnsemble):
         if any(inst.shape != first.shape or inst._n != first._n
                for inst in instances):
             raise InvalidParameterError("ensemble members must share (n, width, depth)")
+        if any(inst._table_mode != first._table_mode for inst in instances):
+            raise InvalidParameterError("ensemble members must share table_mode")
         self._n = first._n
         self._depth, self._width = first.shape
+        self._table_mode = first._table_mode
+        self._table_block = first._table_block
         members = len(instances)
         counters = self._width * self._depth
-        all_indices = np.arange(self._n, dtype=np.int64)
-        family = SignHashFamily.concatenate(
+        self._sign_family = SignHashFamily.concatenate(
             [inst._sign_family for inst in instances])
-        self._signs = family.sign_all(all_indices).astype(float).reshape(
-            members, counters, self._n)
+        # The stacked (M, counters, n) sign matrix is built lazily in one
+        # concatenated family evaluation (shared through the keyed cache in
+        # ``cached`` mode, never materialised in ``blocked`` mode).
+        self._signs: np.ndarray | None = None
         self._counters = np.zeros((members, counters), dtype=float)
         self._num_updates = np.zeros(members, dtype=np.int64)
+
+    def _ensure_signs(self) -> None:
+        """Materialise the stacked sign matrix on first use (lazy)."""
+        if self._signs is None:
+            members = self._counters.shape[0]
+            counters = self._counters.shape[1]
+            if self._table_mode == "cached":
+                self._signs = self._sign_family.sign_table_float(
+                    self._n).reshape(members, counters, self._n)
+                return
+            all_indices = np.arange(self._n, dtype=np.int64)
+            self._signs = self._sign_family.sign_all(all_indices).astype(
+                float).reshape(members, counters, self._n)
+
+    def _member_signs(self, member: int, indices: np.ndarray) -> np.ndarray:
+        """One member's ``(counters, B)`` float sign columns (mode-aware).
+
+        The materialised gather ``signs[member][:, indices]`` is
+        F-contiguous; the ``blocked`` branch converts its fresh evaluation
+        to the same layout so the per-member gemv accumulates
+        bit-identically (BLAS order follows operand layout).
+        """
+        if self._table_mode == "blocked":
+            counters = self._counters.shape[1]
+            return np.asfortranarray(self._sign_family.sign_slice(
+                member * counters, (member + 1) * counters,
+                indices).astype(float))
+        self._ensure_signs()
+        return self._signs[member][:, indices]
+
+    def __getstate__(self):
+        """Pickle without the stacked sign matrix (re-derived lazily from
+        the cache), keeping multiprocessing payloads table-independent."""
+        state = self.__dict__.copy()
+        state["_signs"] = None
+        return state
+
+    @property
+    def table_mode(self) -> str:
+        """The table-materialisation mode shared by every member."""
+        return self._table_mode
 
     @classmethod
     def concat(cls, ensembles: "list[AMSEnsemble]") -> "AMSEnsemble":
@@ -169,13 +262,24 @@ class AMSEnsemble(ReplicaEnsemble):
         if any((e._n, e._depth, e._width) != (first._n, first._depth, first._width)
                for e in ensembles):
             raise InvalidParameterError("ensembles must share (n, width, depth)")
+        if any(e._table_mode != first._table_mode for e in ensembles):
+            raise InvalidParameterError("ensembles must share table_mode")
         merged = cls.__new__(cls)
         ReplicaEnsemble.__init__(
             merged, [inst for e in ensembles for inst in e._instances])
         merged._n = first._n
         merged._depth = first._depth
         merged._width = first._width
-        merged._signs = np.concatenate([e._signs for e in ensembles])
+        merged._table_mode = first._table_mode
+        merged._table_block = first._table_block
+        merged._sign_family = SignHashFamily.concatenate(
+            [e._sign_family for e in ensembles])
+        if all(e._signs is None for e in ensembles):
+            merged._signs = None
+        else:
+            for ensemble in ensembles:
+                ensemble._ensure_signs()
+            merged._signs = np.concatenate([e._signs for e in ensembles])
         merged._counters = np.concatenate([e._counters for e in ensembles])
         merged._num_updates = np.concatenate([e._num_updates for e in ensembles])
         return merged
@@ -245,7 +349,7 @@ class AMSEnsemble(ReplicaEnsemble):
         # so member state stays bit-identical to the standalone sketch.
         scratch = np.empty(self._counters.shape[1], dtype=float)
         for member in range(self.num_members):
-            selected = self._signs[member][:, indices]
+            selected = self._member_signs(member, indices)
             np.dot(selected, deltas if shared else deltas[member], out=scratch)
             np.add(self._counters[member], scratch, out=self._counters[member])
         self._num_updates += int(indices.size)

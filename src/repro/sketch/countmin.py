@@ -22,6 +22,7 @@ from repro.exceptions import InvalidParameterError
 from repro.sketch.hashing import KWiseHashFamily
 from repro.utils.batching import BatchUpdateMixin, check_batch_bounds, coerce_batch
 from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.table_cache import resolve_table_block, resolve_table_mode
 from repro.utils.validation import require_positive_int
 
 
@@ -40,10 +41,17 @@ class CountMin(BatchUpdateMixin):
         If ``True`` the query uses the minimum over rows (valid for
         strict-turnstile streams); if ``False`` the median is used, which
         stays correct in expectation for general turnstile streams.
+    table_mode:
+        ``"cached"`` / ``"private"`` / ``"blocked"`` table materialisation
+        (see :mod:`repro.utils.table_cache`); ``None`` takes the process
+        default.  All three modes are bit-identical.
+    table_block:
+        Coordinates per chunk for ``blocked``-mode universe sweeps.
     """
 
     def __init__(self, n: int, buckets: int, rows: int, seed: SeedLike = None,
-                 conservative: bool = True) -> None:
+                 conservative: bool = True, table_mode: str | None = None,
+                 table_block: int | None = None) -> None:
         require_positive_int(n, "n")
         require_positive_int(buckets, "buckets")
         require_positive_int(rows, "rows")
@@ -51,6 +59,8 @@ class CountMin(BatchUpdateMixin):
         self._buckets = buckets
         self._rows = rows
         self._conservative = conservative
+        self._table_mode = resolve_table_mode(table_mode)
+        self._table_block = resolve_table_block(table_block)
         rng = ensure_rng(seed)
         # Hash coefficients are drawn eagerly (one vectorised call); the
         # O(n * rows) per-coordinate bucket table is built lazily on first
@@ -60,10 +70,32 @@ class CountMin(BatchUpdateMixin):
         self._table = np.zeros((rows, buckets), dtype=float)
 
     def _ensure_tables(self) -> None:
-        """Build the per-coordinate bucket table on first use (lazy)."""
+        """Materialise the per-coordinate bucket table on first use (lazy)."""
         if self._bucket_of is None:
+            if self._table_mode == "cached":
+                self._bucket_of = self._bucket_family.hash_table(self._n)
+                return
             all_indices = np.arange(self._n, dtype=np.int64)
             self._bucket_of = self._bucket_family.hash_all(all_indices)
+
+    def _columns(self, indices: np.ndarray) -> np.ndarray:
+        """``(rows, B)`` bucket columns at the given keys (mode-aware)."""
+        if self._table_mode == "blocked":
+            return self._bucket_family.hash_all(indices)
+        self._ensure_tables()
+        return self._bucket_of[:, indices]
+
+    def __getstate__(self):
+        """Pickle without the bucket table (re-derived lazily from the
+        cache), keeping multiprocessing payloads table-independent."""
+        state = self.__dict__.copy()
+        state["_bucket_of"] = None
+        return state
+
+    @property
+    def table_mode(self) -> str:
+        """The table-materialisation mode latched at construction."""
+        return self._table_mode
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -78,9 +110,9 @@ class CountMin(BatchUpdateMixin):
         """Apply the stream update ``(index, delta)``."""
         if not (0 <= index < self._n):
             raise InvalidParameterError(f"index {index} outside universe [0, {self._n})")
-        self._ensure_tables()
+        buckets = self._columns(np.asarray([index], dtype=np.int64))
         rows = np.arange(self._rows)
-        self._table[rows, self._bucket_of[:, index]] += delta
+        self._table[rows, buckets[:, 0]] += delta
 
     def update_batch(self, indices, deltas) -> None:
         """Apply a whole batch of updates with one scatter-add per row."""
@@ -88,23 +120,34 @@ class CountMin(BatchUpdateMixin):
         if indices.size == 0:
             return
         check_batch_bounds(indices, self._n)
-        self._ensure_tables()
+        buckets = self._columns(indices)
         for row in range(self._rows):
-            np.add.at(self._table[row], self._bucket_of[row, indices], deltas)
+            np.add.at(self._table[row], buckets[row], deltas)
 
     def estimate(self, index: int) -> float:
         """Point query for coordinate ``index``."""
         if not (0 <= index < self._n):
             raise InvalidParameterError(f"index {index} outside universe [0, {self._n})")
-        self._ensure_tables()
+        buckets = self._columns(np.asarray([index], dtype=np.int64))
         rows = np.arange(self._rows)
-        values = self._table[rows, self._bucket_of[:, index]]
+        values = self._table[rows, buckets[:, 0]]
         if self._conservative:
             return float(values.min())
         return float(np.median(values))
 
     def estimate_all(self) -> np.ndarray:
         """Point-query estimates for every coordinate."""
+        if self._table_mode == "blocked":
+            # min / median are per-coordinate reductions, so a key-block
+            # sweep reproduces the monolithic result bitwise.
+            out = np.empty(self._n, dtype=float)
+            rows = np.arange(self._rows)[:, None]
+            for start, stop, buckets in self._bucket_family.hash_blocks(
+                    self._n, self._table_block):
+                values = self._table[rows, buckets]
+                out[start:stop] = (values.min(axis=0) if self._conservative
+                                   else np.median(values, axis=0))
+            return out
         self._ensure_tables()
         rows = np.arange(self._rows)[:, None]
         values = self._table[rows, self._bucket_of]

@@ -44,6 +44,7 @@ from repro.utils.batching import (
 )
 from repro.utils.ensemble import ReplicaEnsemble, member_chunks, register_ensemble
 from repro.utils.rng import SeedLike, ensure_rng, random_seed_array
+from repro.utils.table_cache import resolve_table_block, resolve_table_mode
 from repro.utils.validation import require_positive_int
 
 
@@ -70,15 +71,29 @@ class CountSketch(BatchUpdateMixin):
         Number of rows (the estimate is a median over rows).
     seed:
         Seed or generator for hash functions.
+    table_mode:
+        How the per-coordinate hash tables are materialised — ``"cached"``
+        (shared through :mod:`repro.utils.table_cache`), ``"private"``
+        (per-instance copies, the pre-cache behaviour) or ``"blocked"``
+        (never materialised; columns are evaluated per batch and
+        full-universe queries sweep the universe in ``table_block``-sized
+        chunks).  ``None`` takes the process default.  All three modes are
+        bit-identical.
+    table_block:
+        Coordinates per chunk for ``blocked``-mode universe sweeps.
     """
 
-    def __init__(self, n: int, buckets: int, rows: int, seed: SeedLike = None) -> None:
+    def __init__(self, n: int, buckets: int, rows: int, seed: SeedLike = None,
+                 table_mode: str | None = None,
+                 table_block: int | None = None) -> None:
         require_positive_int(n, "n")
         require_positive_int(buckets, "buckets")
         require_positive_int(rows, "rows")
         self._n = n
         self._buckets = buckets
         self._rows = rows
+        self._table_mode = resolve_table_mode(table_mode)
+        self._table_block = resolve_table_block(table_block)
         rng = ensure_rng(seed)
         self._bucket_family = KWiseHashFamily.from_rng(rng, rows, 2, buckets)
         self._sign_family = SignHashFamily.from_rng(rng, rows, 4)
@@ -87,11 +102,51 @@ class CountSketch(BatchUpdateMixin):
         self._table = np.zeros((rows, buckets), dtype=float)
 
     def _ensure_tables(self) -> None:
-        """Build the per-coordinate hash tables on first use (lazy)."""
+        """Materialise the per-coordinate hash tables on first use (lazy).
+
+        ``cached`` mode fetches read-only shared tables from the keyed
+        cache; ``private`` evaluates per-instance copies.  ``blocked`` mode
+        never reaches here — its consumers evaluate columns on demand via
+        :meth:`_columns`.
+        """
         if self._bucket_of is None:
-            all_indices = np.arange(self._n, dtype=np.int64)
-            self._bucket_of = self._bucket_family.hash_all(all_indices)
-            self._sign_of = self._sign_family.sign_all(all_indices)
+            if self._table_mode == "cached":
+                self._bucket_of = self._bucket_family.hash_table(self._n)
+                self._sign_of = self._sign_family.sign_table(self._n)
+            else:
+                all_indices = np.arange(self._n, dtype=np.int64)
+                self._bucket_of = self._bucket_family.hash_all(all_indices)
+                self._sign_of = self._sign_family.sign_all(all_indices)
+
+    def _columns(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(rows, B)`` bucket and sign columns at the given keys.
+
+        ``blocked`` mode evaluates them directly — bit-identical to
+        gathering from the materialised table because every
+        ``(member, key)`` cell of the Horner sweep is independent.
+        """
+        if self._table_mode == "blocked":
+            return (self._bucket_family.hash_all(indices),
+                    self._sign_family.sign_all(indices))
+        self._ensure_tables()
+        return self._bucket_of[:, indices], self._sign_of[:, indices]
+
+    def __getstate__(self):
+        """Pickle without the per-coordinate tables.
+
+        The tables are re-derived lazily (from the cache in ``cached``
+        mode), so multiprocessing shard payloads stay independent of both
+        stream length and table size.
+        """
+        state = self.__dict__.copy()
+        state["_bucket_of"] = None
+        state["_sign_of"] = None
+        return state
+
+    @property
+    def table_mode(self) -> str:
+        """The table-materialisation mode latched at construction."""
+        return self._table_mode
 
     @property
     def n(self) -> int:
@@ -111,9 +166,9 @@ class CountSketch(BatchUpdateMixin):
         """Apply the stream update ``(index, delta)``."""
         if not (0 <= index < self._n):
             raise InvalidParameterError(f"index {index} outside universe [0, {self._n})")
-        self._ensure_tables()
+        buckets, signs = self._columns(np.asarray([index], dtype=np.int64))
         rows = np.arange(self._rows)
-        self._table[rows, self._bucket_of[:, index]] += self._sign_of[:, index] * delta
+        self._table[rows, buckets[:, 0]] += signs[:, 0] * delta
 
     def update_batch(self, indices, deltas) -> None:
         """Apply a whole batch of updates with one fused scatter-add.
@@ -133,25 +188,37 @@ class CountSketch(BatchUpdateMixin):
         if indices.size == 0:
             return
         check_batch_bounds(indices, self._n)
-        self._ensure_tables()
+        buckets, signs = self._columns(indices)
         if indices.size >= self._buckets:
-            buckets = self._bucket_of[:, indices]
             flat = buckets + (np.arange(self._rows, dtype=np.int64)[:, None]
                               * self._buckets)
-            values = self._sign_of[:, indices] * deltas
+            values = signs * deltas
             counts = np.bincount(flat.ravel(), weights=values.ravel(),
                                  minlength=self._rows * self._buckets)
             self._table += counts.reshape(self._rows, self._buckets)
             return
         for row in range(self._rows):
-            signed = deltas * self._sign_of[row, indices]
-            np.add.at(self._table[row], self._bucket_of[row, indices], signed)
+            signed = deltas * signs[row]
+            np.add.at(self._table[row], buckets[row], signed)
 
     def update_vector(self, vector: np.ndarray) -> None:
         """Add an entire frequency vector to the sketch in one shot."""
         vector = np.asarray(vector, dtype=float)
         if vector.shape != (self._n,):
             raise InvalidParameterError("vector shape must match the universe size")
+        if self._table_mode == "blocked":
+            # Key-block splitting keeps each table cell's accumulation
+            # sequence in ascending key order — the same per-cell order as
+            # the monolithic ``np.add.at`` — so this is bitwise equal.
+            for start, stop, buckets in self._bucket_family.hash_blocks(
+                    self._n, self._table_block):
+                signs = self._sign_family.sign_all(
+                    np.arange(start, stop, dtype=np.int64))
+                segment = vector[start:stop]
+                for row in range(self._rows):
+                    np.add.at(self._table[row], buckets[row],
+                              segment * signs[row])
+            return
         self._ensure_tables()
         for row in range(self._rows):
             signed = vector * self._sign_of[row]
@@ -161,13 +228,25 @@ class CountSketch(BatchUpdateMixin):
         """Point query: the median-of-rows estimate of coordinate ``index``."""
         if not (0 <= index < self._n):
             raise InvalidParameterError(f"index {index} outside universe [0, {self._n})")
-        self._ensure_tables()
+        buckets, signs = self._columns(np.asarray([index], dtype=np.int64))
         rows = np.arange(self._rows)
-        values = self._sign_of[:, index] * self._table[rows, self._bucket_of[:, index]]
+        values = signs[:, 0] * self._table[rows, buckets[:, 0]]
         return float(np.median(values))
 
     def estimate_all(self) -> np.ndarray:
         """Vector of point-query estimates for every coordinate."""
+        if self._table_mode == "blocked":
+            # The median is taken per coordinate (column-wise), so a
+            # key-block sweep reproduces the monolithic result bitwise.
+            out = np.empty(self._n, dtype=float)
+            rows = np.arange(self._rows)[:, None]
+            for start, stop, buckets in self._bucket_family.hash_blocks(
+                    self._n, self._table_block):
+                signs = self._sign_family.sign_all(
+                    np.arange(start, stop, dtype=np.int64))
+                values = signs * self._table[rows, buckets]
+                out[start:stop] = np.median(values, axis=0)
+            return out
         self._ensure_tables()
         rows = np.arange(self._rows)[:, None]
         values = self._sign_of * self._table[rows, self._bucket_of]
@@ -218,6 +297,10 @@ class CountSketchEnsemble(ReplicaEnsemble):
             raise InvalidParameterError("ensemble members must share (n, buckets, rows)")
         self._n = first._n
         self._rows, self._buckets = first.shape
+        if any(inst._table_mode != first._table_mode for inst in instances):
+            raise InvalidParameterError("ensemble members must share table_mode")
+        self._table_mode = first._table_mode
+        self._table_block = first._table_block
         members = len(instances)
         self._bucket_family = KWiseHashFamily.concatenate(
             [inst._bucket_family for inst in instances])
@@ -235,11 +318,52 @@ class CountSketchEnsemble(ReplicaEnsemble):
         """Build the stacked per-coordinate hash tables on first use."""
         if self._bucket_of is None:
             members = self._table.shape[0]
+            if self._table_mode == "cached":
+                self._bucket_of = self._bucket_family.hash_table(
+                    self._n).reshape(members, self._rows, self._n)
+                self._sign_of = self._sign_family.sign_table(
+                    self._n).reshape(members, self._rows, self._n)
+                return
             all_indices = np.arange(self._n, dtype=np.int64)
             self._bucket_of = self._bucket_family.hash_all(all_indices).reshape(
                 members, self._rows, self._n)
             self._sign_of = self._sign_family.sign_all(all_indices).reshape(
                 members, self._rows, self._n)
+
+    def _member_columns(self, start: int, stop: int, indices: np.ndarray,
+                        ) -> tuple[np.ndarray, np.ndarray]:
+        """``(stop - start, rows, B)`` bucket/sign values of a member chunk.
+
+        In ``blocked`` mode the member slice of the concatenated families is
+        evaluated directly, with the same values as the fancy-index gather
+        from the materialised table.  The downstream bincount/scatter
+        kernels read operands element-wise in C order regardless of memory
+        layout, so the accumulation is bitwise-equal either way.
+        """
+        if self._table_mode == "blocked":
+            chunk = stop - start
+            lo, hi = start * self._rows, stop * self._rows
+            buckets = self._bucket_family.hash_slice(lo, hi, indices).reshape(
+                chunk, self._rows, indices.size)
+            signs = self._sign_family.sign_slice(lo, hi, indices).reshape(
+                chunk, self._rows, indices.size)
+            return buckets, signs
+        self._ensure_tables()
+        return (self._bucket_of[start:stop, :, indices],
+                self._sign_of[start:stop, :, indices])
+
+    def __getstate__(self):
+        """Pickle without the stacked tables (re-derived lazily from the
+        cache), keeping multiprocessing shard payloads table-independent."""
+        state = self.__dict__.copy()
+        state["_bucket_of"] = None
+        state["_sign_of"] = None
+        return state
+
+    @property
+    def table_mode(self) -> str:
+        """The table-materialisation mode shared by every member."""
+        return self._table_mode
 
     @classmethod
     def concat(cls, ensembles: "list[CountSketchEnsemble]") -> "CountSketchEnsemble":
@@ -257,12 +381,16 @@ class CountSketchEnsemble(ReplicaEnsemble):
         first = ensembles[0]
         if any(e.shape != first.shape or e._n != first._n for e in ensembles):
             raise InvalidParameterError("ensembles must share (n, buckets, rows)")
+        if any(e._table_mode != first._table_mode for e in ensembles):
+            raise InvalidParameterError("ensembles must share table_mode")
         merged = cls.__new__(cls)
         ReplicaEnsemble.__init__(
             merged, [inst for e in ensembles for inst in e._instances])
         merged._n = first._n
         merged._rows = first._rows
         merged._buckets = first._buckets
+        merged._table_mode = first._table_mode
+        merged._table_block = first._table_block
         merged._bucket_family = KWiseHashFamily.concatenate(
             [e._bucket_family for e in ensembles])
         merged._sign_family = SignHashFamily.concatenate(
@@ -350,7 +478,6 @@ class CountSketchEnsemble(ReplicaEnsemble):
         if indices.size == 0:
             return
         check_batch_bounds(indices, self._n)
-        self._ensure_tables()
         deltas = self._coerce_deltas(raw_deltas, indices.size)
         groups = deltas.shape[0]
         per_group = self.num_members // groups
@@ -366,8 +493,7 @@ class CountSketchEnsemble(ReplicaEnsemble):
                 groups, per_group * self._rows * batch):
             start = group_start * per_group
             stop = group_stop * per_group
-            buckets = self._bucket_of[start:stop, :, indices]
-            signs = self._sign_of[start:stop, :, indices]
+            buckets, signs = self._member_columns(start, stop, indices)
             chunk = stop - start
             if groups == 1:
                 values = signs * deltas[0]
@@ -408,8 +534,24 @@ class CountSketchEnsemble(ReplicaEnsemble):
         vector = np.asarray(vector, dtype=float)
         if vector.shape != (self._n,):
             raise InvalidParameterError("vector shape must match the universe size")
-        self._ensure_tables()
         row_index = np.arange(self._rows)[None, :, None]
+        if self._table_mode == "blocked":
+            # Key-block outer, member-chunk inner: every (member, row,
+            # bucket) cell still accumulates its keys in ascending order,
+            # so the result is bitwise equal to the monolithic scatter.
+            for kstart in range(0, self._n, self._table_block):
+                kstop = min(self._n, kstart + self._table_block)
+                keys = np.arange(kstart, kstop, dtype=np.int64)
+                segment = vector[kstart:kstop]
+                for start, stop in member_chunks(self.num_members,
+                                                 self._rows * keys.size):
+                    member_index = np.arange(start, stop)[:, None, None]
+                    buckets, signs = self._member_columns(start, stop, keys)
+                    np.add.at(self._table,
+                              (member_index, row_index, buckets),
+                              signs * segment)
+            return
+        self._ensure_tables()
         for start, stop in member_chunks(self.num_members, self._rows * self._n):
             member_index = np.arange(start, stop)[:, None, None]
             values = self._sign_of[start:stop] * vector
@@ -419,18 +561,19 @@ class CountSketchEnsemble(ReplicaEnsemble):
 
     def estimate_member(self, member: int, index: int) -> float:
         """Point query of one member (matches ``CountSketch.estimate``)."""
-        self._ensure_tables()
+        buckets, signs = self._member_columns(
+            member, member + 1, np.asarray([index], dtype=np.int64))
         rows = np.arange(self._rows)
-        values = (self._sign_of[member, :, index]
-                  * self._table[member, rows, self._bucket_of[member, :, index]])
+        values = signs[0, :, 0] * self._table[member, rows, buckets[0, :, 0]]
         return float(np.median(values))
 
     def estimate_members_at(self, members: slice | np.ndarray,
                             index: int) -> np.ndarray:
         """Per-member point queries at one coordinate for a member range."""
-        self._ensure_tables()
-        signs = self._sign_of[members, :, index]
-        buckets = self._bucket_of[members, :, index]
+        buckets, signs = self._member_columns(
+            0, self.num_members, np.asarray([index], dtype=np.int64))
+        signs = signs[:, :, 0][members]
+        buckets = buckets[:, :, 0][members]
         rows = np.arange(self._rows)[None, :]
         member_index = np.arange(self.num_members)[members, None]
         values = signs * self._table[member_index, rows, buckets]
@@ -438,6 +581,16 @@ class CountSketchEnsemble(ReplicaEnsemble):
 
     def estimate_all_member(self, member: int) -> np.ndarray:
         """``estimate_all`` of one member (bit-identical to standalone)."""
+        if self._table_mode == "blocked":
+            out = np.empty(self._n, dtype=float)
+            rows = np.arange(self._rows)[:, None]
+            for kstart in range(0, self._n, self._table_block):
+                kstop = min(self._n, kstart + self._table_block)
+                keys = np.arange(kstart, kstop, dtype=np.int64)
+                buckets, signs = self._member_columns(member, member + 1, keys)
+                values = signs[0] * self._table[member, rows, buckets[0]]
+                out[kstart:kstop] = np.median(values, axis=0)
+            return out
         self._ensure_tables()
         rows = np.arange(self._rows)[:, None]
         values = (self._sign_of[member]
@@ -446,9 +599,19 @@ class CountSketchEnsemble(ReplicaEnsemble):
 
     def estimate_all_members(self) -> np.ndarray:
         """``(M, n)`` matrix of every member's point-query estimates."""
-        self._ensure_tables()
         rows = np.arange(self._rows)[None, :, None]
         member_index = np.arange(self.num_members)[:, None, None]
+        if self._table_mode == "blocked":
+            out = np.empty((self.num_members, self._n), dtype=float)
+            for kstart in range(0, self._n, self._table_block):
+                kstop = min(self._n, kstart + self._table_block)
+                keys = np.arange(kstart, kstop, dtype=np.int64)
+                buckets, signs = self._member_columns(
+                    0, self.num_members, keys)
+                values = signs * self._table[member_index, rows, buckets]
+                out[:, kstart:kstop] = np.median(values, axis=1)
+            return out
+        self._ensure_tables()
         values = self._sign_of * self._table[member_index, rows, self._bucket_of]
         return np.median(values, axis=1)
 
@@ -475,7 +638,8 @@ class AveragedCountSketch(BatchUpdateMixin):
     """
 
     def __init__(self, n: int, buckets: int, rows: int, num_instances: int,
-                 seed: SeedLike = None) -> None:
+                 seed: SeedLike = None, table_mode: str | None = None,
+                 table_block: int | None = None) -> None:
         require_positive_int(num_instances, "num_instances")
         rng = ensure_rng(seed)
         seeds = random_seed_array(rng, num_instances)
@@ -483,7 +647,9 @@ class AveragedCountSketch(BatchUpdateMixin):
         # member sketches are cheap seed carriers and all their hash tables
         # and counters live in one stacked CountSketchEnsemble.
         self._ensemble = CountSketchEnsemble(
-            [CountSketch(n, buckets, rows, int(seed_value)) for seed_value in seeds]
+            [CountSketch(n, buckets, rows, int(seed_value),
+                         table_mode=table_mode, table_block=table_block)
+             for seed_value in seeds]
         )
         self._n = n
 

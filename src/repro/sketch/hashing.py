@@ -16,17 +16,46 @@ coefficient vectors of many independent hash functions and evaluate all of
 them at every requested point in one pass; replica ensembles use them to
 build the hash tables of hundreds of sketch replicas in a single numpy call,
 and single sketches use them to build all of their rows at once.
+
+Shared-table cache contract
+---------------------------
+An evaluated table is a pure function of ``(coefficients, range_size,
+universe)`` — the modular Horner sweep is exact — so same-parameter
+families share evaluated tables through the process-wide keyed cache in
+:mod:`repro.utils.table_cache`:
+
+* :meth:`KWiseHashFamily.hash_table` / :meth:`SignHashFamily.sign_table`
+  return the full-universe table via the cache (read-only; hits return the
+  identical array a cold miss produced, so stream-sharded ensemble copies,
+  retry rounds, and re-built sketches evaluate each distinct table once
+  per process instead of once per instance).
+* :meth:`KWiseHashFamily.hash_blocks` / :meth:`SignHashFamily.sign_blocks`
+  stream the same table in coordinate chunks without ever materialising
+  the ``(F, n)`` whole, and :meth:`KWiseHashFamily.hash_slice` /
+  :meth:`SignHashFamily.sign_slice` evaluate a member sub-range at
+  arbitrary keys — the primitives behind the consumers' ``blocked`` table
+  mode.  Because every ``(member, key)`` cell is computed independently,
+  any chunking (by member, by key, or both) is bit-identical to the
+  monolithic evaluation.
+* Families pickle as coefficients only (a few hundred bytes); consumers
+  drop their table references when pickled and re-derive them from the
+  cache on first use, so multiprocessing payloads stay table-independent.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterator, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import InvalidParameterError
 from repro.utils.batching import MERSENNE_PRIME_61, polyval_mersenne
 from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.table_cache import (
+    cached_table,
+    family_table_key,
+    resolve_table_block,
+)
 
 MERSENNE_PRIME = MERSENNE_PRIME_61
 
@@ -202,10 +231,13 @@ class KWiseHashFamily:
         return self._coefficients
 
     #: Soft cap on ``members * keys`` cells per evaluation chunk.  The
-    #: Horner sweep is memory-bound; keeping each chunk's temporaries inside
-    #: the cache makes huge stacked-replica evaluations run at the same
-    #: per-cell cost as small ones (measured sweet spot ~128k cells = 1 MB
-    #: per uint64 temporary).
+    #: Horner sweep is memory-bound, so each chunk is sized to keep its
+    #: ``uint64`` temporaries resident in the *CPU* caches (measured sweet
+    #: spot ~128k cells = 1 MB per temporary); huge stacked-replica
+    #: evaluations then run at the same per-cell cost as small ones.  This
+    #: is purely an execution-speed knob and is unrelated to the keyed
+    #: *table* cache in :mod:`repro.utils.table_cache`, which shares whole
+    #: evaluated tables between same-coefficient families.
     _EVAL_CHUNK_CELLS = 1 << 17
 
     def hash_all(self, keys: np.ndarray) -> np.ndarray:
@@ -225,6 +257,51 @@ class KWiseHashFamily:
             values %= modulus
             out[start:stop] = values
         return out
+
+    def table_key(self, universe: int, kind: str = "kwise"):
+        """The :class:`~repro.utils.table_cache.TableKey` of this family's
+        full-universe table (picklable; shared by byte-identical families)."""
+        return family_table_key(kind, self._coefficients, self._range_size,
+                                int(universe))
+
+    def hash_table(self, universe: int) -> np.ndarray:
+        """The ``(F, universe)`` table over ``[0, universe)`` via the cache.
+
+        The returned array is read-only and bit-identical to
+        ``hash_all(np.arange(universe))``; same-coefficient families in the
+        same process share one evaluation.
+        """
+        return cached_table(
+            self.table_key(universe),
+            lambda: self.hash_all(np.arange(int(universe), dtype=np.int64)),
+        )
+
+    def hash_slice(self, start: int, stop: int, keys: np.ndarray) -> np.ndarray:
+        """``hash_all(keys)`` restricted to members ``[start, stop)``.
+
+        Evaluates only the selected coefficient rows, so the cost is
+        ``(stop - start) * len(keys)`` cells; bit-identical to slicing the
+        full evaluation (every ``(member, key)`` cell is independent).
+        """
+        return KWiseHashFamily.from_coefficients(
+            self._coefficients[int(start):int(stop)], self._range_size
+        ).hash_all(keys)
+
+    def hash_blocks(self, universe: int, block: int | None = None,
+                    ) -> Iterator[Tuple[int, int, np.ndarray]]:
+        """Stream the full-universe table as ``(start, stop, chunk)`` triples.
+
+        Each ``chunk`` is the ``(F, stop - start)`` evaluation at
+        coordinates ``[start, stop)``; concatenating the chunks along axis 1
+        reproduces ``hash_all(np.arange(universe))`` bitwise, but only one
+        chunk exists at a time — peak memory is ``O(F * block)``.
+        """
+        universe = int(universe)
+        step = resolve_table_block(block)
+        for start in range(0, universe, step):
+            stop = min(universe, start + step)
+            yield start, stop, self.hash_all(
+                np.arange(start, stop, dtype=np.int64))
 
 
 class SignHashFamily:
@@ -268,6 +345,41 @@ class SignHashFamily:
         """``(F, len(keys))`` table of ``{-1, +1}`` signs (int64)."""
         bits = self._family.hash_all(keys)
         return np.where(bits == 1, 1, -1).astype(np.int64)
+
+    def table_key(self, universe: int, kind: str = "sign"):
+        """The cache key of this family's full-universe sign table."""
+        return self._family.table_key(universe, kind=kind)
+
+    def sign_table(self, universe: int) -> np.ndarray:
+        """The ``(F, universe)`` int64 sign table via the cache (read-only)."""
+        return cached_table(
+            self.table_key(universe),
+            lambda: self.sign_all(np.arange(int(universe), dtype=np.int64)),
+        )
+
+    def sign_table_float(self, universe: int) -> np.ndarray:
+        """The sign table pre-cast to ``float64``, via the cache.
+
+        The AMS gemv kernels consume float signs; caching the cast table
+        (under its own ``kind``) avoids re-casting — and double-storing —
+        per consumer.
+        """
+        return cached_table(
+            self.table_key(universe, kind="sign-f8"),
+            lambda: self.sign_all(
+                np.arange(int(universe), dtype=np.int64)).astype(float),
+        )
+
+    def sign_slice(self, start: int, stop: int, keys: np.ndarray) -> np.ndarray:
+        """``sign_all(keys)`` restricted to members ``[start, stop)``."""
+        bits = self._family.hash_slice(start, stop, keys)
+        return np.where(bits == 1, 1, -1).astype(np.int64)
+
+    def sign_blocks(self, universe: int, block: int | None = None,
+                    ) -> Iterator[Tuple[int, int, np.ndarray]]:
+        """Stream the sign table as ``(start, stop, chunk)`` triples."""
+        for start, stop, bits in self._family.hash_blocks(universe, block):
+            yield start, stop, np.where(bits == 1, 1, -1).astype(np.int64)
 
 
 class PairwiseHash(KWiseHash):

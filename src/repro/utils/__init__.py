@@ -37,6 +37,11 @@ without import cycles:
     stream across workers (serial or ``multiprocessing``) and merge back
     bit-identically via the ensemble ``concat`` / ``merge`` protocols —
     the Section 1.3 aggregate-summary layer.
+``table_cache``
+    The keyed, thread-safe, fork-aware cache of evaluated hash tables plus
+    the ``table_mode`` knobs (``cached`` / ``private`` / ``blocked``) the
+    table-consuming sketches use to share or stream their per-coordinate
+    tables; all modes are bit-identical.
 """
 
 from repro.utils.batching import (
@@ -71,6 +76,18 @@ from repro.utils.sharding import (
     stream_sharded_ensemble,
 )
 from repro.utils.rounding import round_down_to_power, discretize_support
+from repro.utils.table_cache import (
+    CacheStats,
+    TableKey,
+    cache_budget,
+    cache_clear,
+    cache_stats,
+    cached_table,
+    default_table_mode,
+    set_cache_budget,
+    set_default_table_mode,
+    table_mode,
+)
 from repro.utils.taylor import TaylorPowerEstimator, taylor_power_estimate
 from repro.utils.stats import (
     total_variation_distance,
@@ -110,6 +127,16 @@ __all__ = [
     "stream_sharded_ensemble",
     "round_down_to_power",
     "discretize_support",
+    "CacheStats",
+    "TableKey",
+    "cache_budget",
+    "cache_clear",
+    "cache_stats",
+    "cached_table",
+    "default_table_mode",
+    "set_cache_budget",
+    "set_default_table_mode",
+    "table_mode",
     "TaylorPowerEstimator",
     "taylor_power_estimate",
     "total_variation_distance",

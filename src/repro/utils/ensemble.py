@@ -16,9 +16,11 @@ A native ensemble stacks the per-replica state along axis 0:
 * ``CountSketchEnsemble`` holds tables of shape ``(M, rows, buckets)`` and
   hash tables of shape ``(M, rows, n)`` for ``M`` member sketches, built by
   evaluating *one* concatenated :class:`~repro.sketch.hashing.KWiseHashFamily`
-  over the universe;
+  over the universe (shared through the keyed cache of
+  :mod:`repro.utils.table_cache` in ``cached`` table mode, or never
+  materialised at all in ``blocked`` mode — both bit-identical);
 * ``AMSEnsemble`` holds counters ``(M, width * depth)`` and signs
-  ``(M, width * depth, n)``;
+  ``(M, width * depth, n)`` (same table modes);
 * ``PStableEnsemble`` holds projection states ``(R, num_rows)`` with the
   counter-based stable-coefficient oracle evaluated over the whole
   ``(R, num_rows, batch)`` grid at once;

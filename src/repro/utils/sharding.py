@@ -32,7 +32,15 @@ Mode (b) — stream sharding (:func:`stream_sharded_ensemble`)
     the ensemble ``merge`` protocol — entrywise addition of the stacked
     linear-sketch state, the ensemble-level extension of
     :meth:`repro.sketch.countsketch.CountSketch.merge` /
-    :meth:`repro.sketch.pstable.PStableSketch.merge`.  This is exactly
+    :meth:`repro.sketch.pstable.PStableSketch.merge`.  The same-seed
+    copies share their evaluated hash tables through the keyed cache of
+    :mod:`repro.utils.table_cache` (``S`` shards evaluate each distinct
+    table once, not ``S`` times), and the table-consuming sketches pickle
+    *without* their tables — shard payloads carry coefficient matrices
+    (cache keys), never ``(rows, n)`` payloads, so multiprocessing
+    payload bytes stay independent of both stream length and table size;
+    forked workers repopulate their own cache rather than trusting
+    copy-on-write snapshots.  This is exactly
     Section 1.3's aggregate-summary step: local linear summaries add into
     the summary of the union stream, with no per-shard bias accumulating
     as machines are added.  Merging is defined for the linear-sketch

@@ -1,0 +1,319 @@
+"""Keyed, thread-safe, fork-aware cache for evaluated hash tables.
+
+The scale ceiling of the execution substrate is memory, not CPU: every
+:class:`~repro.sketch.hashing.KWiseHashFamily` /
+:class:`~repro.sketch.hashing.SignHashFamily` consumer materialises its own
+``(rows, n)`` per-coordinate table, so at ``n ~ 10^7`` with hundreds of
+replicas the hash tables dwarf the sketches they feed.  Two observations
+remove the ceiling:
+
+1. Evaluated tables are **pure functions of the coefficient matrix** (plus
+   the range size and the universe) — the Horner sweep over the Mersenne
+   prime is exact integer arithmetic, so any two families with the same
+   coefficients produce bit-identical tables.  Same-parameter families
+   therefore *share* one evaluated table: stream-sharded ensemble copies,
+   ensemble retry rounds, and re-built sketches all key into this module's
+   process-wide cache instead of re-evaluating.
+2. The fused ingest kernels (bincount scatter, gemv grids) only ever touch
+   the table columns of the *current batch*, so the full table never needs
+   to exist at once — the ``blocked`` table mode evaluates chunks on
+   demand and discards them (see ``table_mode`` below).
+
+Cache contract
+--------------
+* **Keys, not payloads.**  A :class:`TableKey` is a small, hashable,
+  picklable record ``(kind, members, k, range_size, universe, digest)``
+  where ``digest`` is a BLAKE2b hash of the coefficient bytes.  Sketches
+  drop their table references when pickled and re-derive them from their
+  (tiny) families on first use, so multiprocessing shard payloads stay
+  independent of both stream length and table size.
+* **Bit-identity.**  :func:`cached_table` returns exactly what the builder
+  callback produced on the first (miss) call; hits return the *same*
+  read-only array object.  Eviction and :func:`cache_clear` only ever cost
+  a re-evaluation — results never change (the builders are deterministic).
+* **Thread safety.**  One process-wide lock serialises lookup and build;
+  concurrent same-key requests from the ``threaded`` sharding back-end get
+  the identical array object with no torn reads (entries are marked
+  read-only before publication).
+* **Fork awareness.**  The cache records its owner PID and empties itself
+  on first use in a forked child, so multiprocessing workers repopulate
+  their own cache state instead of trusting copy-on-write snapshots.
+* **Bounded.**  Entries are evicted least-recently-used once the byte
+  budget (:func:`set_cache_budget`, default 1 GiB) is exceeded.  A single
+  table larger than the whole budget bypasses the cache — it is built and
+  returned (and counted under ``oversize``) but never stored, so callers
+  that keep their own reference still pay exactly one evaluation.
+
+Table modes
+-----------
+The table consumers (CountSketch, CountMin, AMS and their ensembles) take
+a ``table_mode`` knob, defaulting to the process-wide
+:func:`default_table_mode`:
+
+``"cached"`` (default)
+    Materialise the full per-coordinate table through this cache, sharing
+    it with every same-parameter family in the process.
+``"private"``
+    Materialise per instance without touching the cache — the pre-cache
+    behaviour, kept as the equivalence-testing reference.
+``"blocked"``
+    Never materialise the full table.  Ingest evaluates hash chunks for
+    each batch's indices on the fly; full-universe queries sweep the
+    universe in blocks of ``table_block`` coordinates.  Peak memory drops
+    from ``O(rows * n)`` to ``O(rows * block)`` with bit-identical results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Callable, NamedTuple
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "DEFAULT_CACHE_BUDGET",
+    "DEFAULT_TABLE_BLOCK",
+    "TABLE_MODES",
+    "CacheStats",
+    "TableKey",
+    "cache_budget",
+    "cache_clear",
+    "cache_stats",
+    "cached_table",
+    "default_table_mode",
+    "family_table_key",
+    "resolve_table_block",
+    "resolve_table_mode",
+    "set_cache_budget",
+    "set_default_table_mode",
+    "table_mode",
+]
+
+#: Default byte budget for cached tables; LRU entries are evicted past it.
+DEFAULT_CACHE_BUDGET = 1 << 30
+
+#: Default number of coordinates per chunk when a ``blocked``-mode consumer
+#: sweeps the full universe (estimate_all / update_vector).  64k coordinates
+#: keep the per-chunk table (rows * block cells) and the Horner temporaries
+#: a few MB regardless of ``n``.
+DEFAULT_TABLE_BLOCK = 1 << 16
+
+#: Valid table-materialisation modes (see the module docstring).
+TABLE_MODES = ("cached", "private", "blocked")
+
+
+class TableKey(NamedTuple):
+    """Identity of one evaluated table: small, hashable, picklable.
+
+    ``kind`` distinguishes the evaluation applied on top of the same
+    coefficients (bucket values, ``{-1,+1}`` signs, float signs);
+    ``digest`` is a BLAKE2b-128 hash of the raw coefficient bytes, so two
+    families share a key exactly when their coefficient matrices are
+    byte-identical and they evaluate the same function over the same
+    universe.
+    """
+
+    kind: str
+    members: int
+    k: int
+    range_size: int
+    universe: int
+    digest: bytes
+
+
+class CacheStats(NamedTuple):
+    """Point-in-time cache counters (monotonic until :func:`cache_clear`)."""
+
+    hits: int
+    misses: int
+    evictions: int
+    oversize: int
+    entries: int
+    current_bytes: int
+
+
+def family_table_key(kind: str, coefficients: np.ndarray, range_size: int,
+                     universe: int) -> TableKey:
+    """The :class:`TableKey` of a family's full-universe evaluated table."""
+    coefficients = np.ascontiguousarray(coefficients, dtype=np.uint64)
+    digest = hashlib.blake2b(coefficients.tobytes(), digest_size=16).digest()
+    members, k = (coefficients.shape if coefficients.ndim == 2
+                  else (1, coefficients.shape[-1]))
+    return TableKey(str(kind), int(members), int(k), int(range_size),
+                    int(universe), digest)
+
+
+class _TableCache:
+    """The process-wide LRU table store (module singleton ``_CACHE``)."""
+
+    def __init__(self, budget: int = DEFAULT_CACHE_BUDGET) -> None:
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[TableKey, np.ndarray]" = OrderedDict()
+        self._budget = int(budget)
+        self._bytes = 0
+        self._owner_pid = os.getpid()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._oversize = 0
+
+    def _check_fork(self) -> None:
+        """Drop inherited state on first use in a forked child (lock held)."""
+        pid = os.getpid()
+        if pid != self._owner_pid:
+            self._entries.clear()
+            self._bytes = 0
+            self._hits = self._misses = self._evictions = self._oversize = 0
+            self._owner_pid = pid
+
+    def _evict_over_budget(self) -> None:
+        while self._bytes > self._budget and self._entries:
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= evicted.nbytes
+            self._evictions += 1
+
+    def get(self, key: TableKey, builder: Callable[[], np.ndarray]) -> np.ndarray:
+        with self._lock:
+            self._check_fork()
+            table = self._entries.get(key)
+            if table is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return table
+            self._misses += 1
+            table = np.asarray(builder())
+            table.setflags(write=False)
+            if table.nbytes > self._budget:
+                # Larger than the whole budget: caching it would evict
+                # everything and still thrash, so hand it straight to the
+                # caller (who keeps its own reference, exactly like the
+                # ``private`` mode).
+                self._oversize += 1
+                return table
+            self._entries[key] = table
+            self._bytes += table.nbytes
+            self._evict_over_budget()
+            return table
+
+    def clear(self) -> None:
+        with self._lock:
+            self._check_fork()
+            self._entries.clear()
+            self._bytes = 0
+            self._hits = self._misses = self._evictions = self._oversize = 0
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            self._check_fork()
+            return CacheStats(self._hits, self._misses, self._evictions,
+                              self._oversize, len(self._entries), self._bytes)
+
+    def set_budget(self, max_bytes: int) -> int:
+        with self._lock:
+            self._check_fork()
+            previous = self._budget
+            self._budget = int(max_bytes)
+            if self._budget < 0:
+                self._budget = previous
+                raise InvalidParameterError(
+                    f"cache budget must be non-negative, got {max_bytes}")
+            self._evict_over_budget()
+            return previous
+
+    def budget(self) -> int:
+        with self._lock:
+            return self._budget
+
+
+_CACHE = _TableCache()
+
+
+def cached_table(key: TableKey, builder: Callable[[], np.ndarray]) -> np.ndarray:
+    """Return the table for ``key``, building it via ``builder`` on a miss.
+
+    The returned array is read-only; hits return the identical object the
+    miss produced.  See the module docstring for the full contract.
+    """
+    return _CACHE.get(key, builder)
+
+
+def cache_clear() -> None:
+    """Empty the cache and reset all counters (results never change)."""
+    _CACHE.clear()
+
+
+def cache_stats() -> CacheStats:
+    """Current :class:`CacheStats` (fork check applied first)."""
+    return _CACHE.stats()
+
+
+def set_cache_budget(max_bytes: int) -> int:
+    """Set the byte budget, evicting LRU entries if needed; returns the old."""
+    return _CACHE.set_budget(max_bytes)
+
+
+def cache_budget() -> int:
+    """The current byte budget."""
+    return _CACHE.budget()
+
+
+_DEFAULT_TABLE_MODE = "cached"
+
+
+def resolve_table_mode(mode: str | None) -> str:
+    """Validate ``mode``, substituting the process default for ``None``."""
+    if mode is None:
+        return _DEFAULT_TABLE_MODE
+    if mode not in TABLE_MODES:
+        raise InvalidParameterError(
+            f"table_mode must be one of {TABLE_MODES}, got {mode!r}")
+    return mode
+
+
+def resolve_table_block(block: int | None) -> int:
+    """Validate a blocked-sweep chunk size (``None`` -> the default)."""
+    if block is None:
+        return DEFAULT_TABLE_BLOCK
+    block = int(block)
+    if block < 1:
+        raise InvalidParameterError(
+            f"table_block must be at least 1, got {block}")
+    return block
+
+
+def default_table_mode() -> str:
+    """The process-wide default table mode consumers inherit."""
+    return _DEFAULT_TABLE_MODE
+
+
+def set_default_table_mode(mode: str) -> str:
+    """Set the process-wide default table mode; returns the previous one.
+
+    Composite samplers construct their inner sketches without exposing a
+    ``table_mode`` knob at every call site; setting the default before
+    construction flows the mode through the whole object graph (the mode
+    is latched per instance at construction time).
+    """
+    global _DEFAULT_TABLE_MODE
+    if mode not in TABLE_MODES:
+        raise InvalidParameterError(
+            f"table_mode must be one of {TABLE_MODES}, got {mode!r}")
+    previous = _DEFAULT_TABLE_MODE
+    _DEFAULT_TABLE_MODE = mode
+    return previous
+
+
+@contextmanager
+def table_mode(mode: str):
+    """Context manager scoping :func:`set_default_table_mode`."""
+    previous = set_default_table_mode(mode)
+    try:
+        yield
+    finally:
+        set_default_table_mode(previous)
