@@ -377,6 +377,128 @@ def test_e9d_sharded_execution(benchmark):
             assert row["speedup_mp_vs_serial_sharded"] > 1.15, row
 
 
+def run_distributed_execution():
+    """E9f: distributed execution — scatter/gather overhead vs multiprocessing.
+
+    The E9d workload (replica-sharded ``p``-stable ensemble, 2 shards)
+    driven through ``execution="distributed"``: two localhost worker
+    subprocesses behind the socket transport, scattered and gathered by
+    the coordinator.  Worker spawn is excluded from the timing — workers
+    are long-lived hosts in the deployment picture; what this section
+    tracks is the steady-state scatter/gather overhead *relative to the
+    multiprocessing back-end on the same machine*
+    (``overhead_vs_multiprocessing``, a ratio, so builder speed cancels
+    out of the regression gate), plus the raw transport round-trip
+    throughput of a 1 MiB echo payload and the wire-traffic/re-dispatch
+    accounting of the run.  Bit-identity to the serial back-end is
+    asserted always, as everywhere else in the execution layer.
+    """
+    from repro.utils.coordinator import (
+        spawn_local_workers,
+        stop_local_workers,
+        worker_echo,
+        worker_pool,
+    )
+
+    n = 512
+    workers = 2
+    draws = 64 if QUICK_MODE else 240
+    num_updates = 1_500 if QUICK_MODE else 6_000
+    rng = np.random.default_rng(EXPERIMENT_SEED + 23)
+    indices = rng.integers(0, n, size=num_updates)
+    deltas = rng.choice(np.asarray([-2.0, -1.0, 1.0, 2.0, 3.0]), size=num_updates)
+    stream = TurnstileStream.from_arrays(n, indices, deltas)
+
+    factory = lambda s: PStableSketch(n, 1.0, num_rows=128, seed=s)  # noqa: E731
+    query = lambda ensemble, r: ensemble.estimate_norm_replica(r)  # noqa: E731
+
+    def timed(mode):
+        instances = [factory(seed) for seed in range(draws)]
+        start = time.perf_counter()
+        ensemble = replica_sharded_ensemble(
+            instances, stream, num_shards=workers, execution=mode,
+            processes=workers)
+        results = np.asarray([query(ensemble, r) for r in range(draws)])
+        return time.perf_counter() - start, results
+
+    serial_seconds, serial_results = timed("serial")
+    forked_seconds, forked_results = timed("multiprocessing")
+
+    processes, addresses = spawn_local_workers(workers)
+    try:
+        with worker_pool(addresses) as executor:
+            distributed_seconds, distributed_results = timed("distributed")
+        stats = executor.last_stats
+
+        # Transport round trip: 1 MiB of float64 through one worker and
+        # back (pickle protocol 5, out-of-band buffers, CRC per frame).
+        echo_payload = np.arange(1 << 17, dtype=np.float64)  # 1 MiB
+        start = time.perf_counter()
+        echoed = worker_echo(addresses[0], echo_payload)
+        echo_seconds = time.perf_counter() - start
+        np.testing.assert_array_equal(echoed, echo_payload)
+    finally:
+        stop_local_workers(processes)
+
+    # The execution knob must never change a bit of any replica's output.
+    np.testing.assert_array_equal(serial_results, forked_results)
+    np.testing.assert_array_equal(serial_results, distributed_results)
+
+    rows = [
+        {
+            "case": "replica_sharded_pstable",
+            "sampler": "PStableSketch(p=1, rows=128)",
+            "draws": draws,
+            "stream_length": num_updates,
+            "workers": workers,
+            "cpu_count": usable_cpu_count(),
+            "serial_sharded_seconds": serial_seconds,
+            "multiprocessing_seconds": forked_seconds,
+            "distributed_seconds": distributed_seconds,
+            "overhead_vs_multiprocessing": distributed_seconds / forked_seconds,
+            "overhead_vs_serial_sharded": distributed_seconds / serial_seconds,
+            "bytes_sent": stats.bytes_sent,
+            "bytes_received": stats.bytes_received,
+            "redispatches": stats.redispatches,
+            "dead_workers": stats.dead_workers,
+        },
+        {
+            "case": "transport_echo_1mib",
+            "payload_bytes": int(echo_payload.nbytes),
+            "roundtrip_seconds": echo_seconds,
+            "mib_per_second": (2 * echo_payload.nbytes / 2**20)
+                              / max(echo_seconds, 1e-9),
+        },
+    ]
+    _BENCH_PAYLOAD["distributed_execution"] = rows
+    _flush_bench_json()
+    return rows
+
+
+def test_e9f_distributed_execution(benchmark):
+    rows = benchmark.pedantic(run_distributed_execution, rounds=1, iterations=1)
+    sharded, echo = rows[0], rows[1]
+    print_rows(
+        "E9f: distributed execution (2 localhost workers; bit-identical results)",
+        ["case", "serial s", "mp s", "distributed s",
+         "overhead vs mp", "sent KiB", "recv KiB", "echo MiB/s"],
+        [[sharded["case"], round(sharded["serial_sharded_seconds"], 3),
+          round(sharded["multiprocessing_seconds"], 3),
+          round(sharded["distributed_seconds"], 3),
+          round(sharded["overhead_vs_multiprocessing"], 2),
+          round(sharded["bytes_sent"] / 1024, 1),
+          round(sharded["bytes_received"] / 1024, 1),
+          round(echo["mib_per_second"], 1)]],
+    )
+    # Bit-identity is asserted inside the run; here the accounting must be
+    # sane: a healthy 2-worker run re-dispatches nothing and ships real
+    # payload traffic both ways.
+    assert sharded["dead_workers"] == 0 and sharded["redispatches"] == 0
+    assert sharded["bytes_sent"] > 0 and sharded["bytes_received"] > 0
+    assert np.isfinite(sharded["overhead_vs_multiprocessing"])
+    assert sharded["overhead_vs_multiprocessing"] > 0
+
+
 def _peak_traced_bytes(fn):
     """``(peak_bytes, fn())`` with the Python/numpy allocation peak traced.
 

@@ -137,6 +137,18 @@ from repro.utils.sharding import (
     sharded_ensemble_samples,
     stream_sharded_ensemble,
 )
+from repro.utils.coordinator import (
+    DistributedExecutor,
+    GatherStats,
+    WorkerError,
+    distributed_ingest,
+    last_gather_stats,
+    set_default_workers,
+    spawn_local_workers,
+    stop_local_workers,
+    worker_pool,
+)
+from repro.utils.transport import TransportError
 from repro.utils.table_cache import (
     CacheStats,
     cache_budget,
@@ -248,6 +260,17 @@ __all__ = [
     "replica_sharded_ensemble",
     "sharded_ensemble_samples",
     "stream_sharded_ensemble",
+    # distributed execution (socket transport + scatter/gather coordinator)
+    "DistributedExecutor",
+    "GatherStats",
+    "WorkerError",
+    "TransportError",
+    "distributed_ingest",
+    "last_gather_stats",
+    "set_default_workers",
+    "spawn_local_workers",
+    "stop_local_workers",
+    "worker_pool",
     "CacheStats",
     "cache_budget",
     "cache_clear",

@@ -242,9 +242,12 @@ class DistributedSamplingCoordinator(BatchUpdateMixin):
         replica set is independent of how draws land) into the sampler's
         registered native ensemble, and the shard sub-streams of ``stream``
         are ingested once through the sharded execution layer
-        (``execution`` is ``serial``, ``threaded`` — an in-process thread
-        pool with zero pickling — or ``multiprocessing``: the Section 1.3
-        picture of machines working in parallel).  Only
+        (``execution`` is ``serial``; ``threaded`` — an in-process thread
+        pool with zero pickling; ``multiprocessing``; or ``distributed`` —
+        socket worker hosts behind the scatter/gather coordinator of
+        :mod:`repro.utils.coordinator`, the literal Section 1.3 picture of
+        machines working in parallel, dead-worker re-dispatch included).
+        Only
         ``num_draws`` replicas are built in total; shards that serve no
         draw are skipped entirely.
 

@@ -263,10 +263,13 @@ def evaluate_sampler_distribution(
         ``num_shards`` shard ensembles executed in-process one after
         another; ``"threaded"`` drives those shards from an in-process
         thread pool (zero pickling — the shard kernels release the GIL);
-        and ``"multiprocessing"`` executes them in worker processes.
-        Replica sharding is bit-identical to the monolithic engine, so the
-        report is draw-for-draw independent of this knob — it is purely a
-        wall-clock/parallelism choice.
+        ``"multiprocessing"`` executes them in worker processes; and
+        ``"distributed"`` ships them to socket worker hosts through the
+        scatter/gather coordinator (worker addresses come from
+        :mod:`repro.utils.coordinator`'s registry; with none reachable the
+        run degrades to serial).  Replica sharding is bit-identical to the
+        monolithic engine, so the report is draw-for-draw independent of
+        this knob — it is purely a wall-clock/parallelism choice.
     num_shards, processes:
         Shard and worker counts for the non-serial modes (defaults: the
         worker count, else the affinity-aware usable CPU count).
@@ -277,10 +280,11 @@ def evaluate_sampler_distribution(
         round count changes.
     """
     require_positive_int(num_draws, "num_draws")
-    if execution not in ("serial", "sharded", "threaded", "multiprocessing"):
+    if execution not in ("serial", "sharded", "threaded", "multiprocessing",
+                         "distributed"):
         raise InvalidParameterError(
             "execution must be one of ('serial', 'sharded', 'threaded', "
-            f"'multiprocessing'), got {execution!r}")
+            f"'multiprocessing', 'distributed'), got {execution!r}")
 
     def draw_samples(seeds: Sequence[int]) -> list:
         if execution == "serial":

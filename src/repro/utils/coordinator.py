@@ -1,0 +1,725 @@
+"""Host-level scatter/gather coordinator for sharded ensemble execution.
+
+Section 1.3 of the paper motivates perfect ``L_p`` sampling with
+distributed databases: machines keep local linear summaries and a
+coordinator combines them exactly.  The sharded execution layer
+(:mod:`repro.utils.sharding`) already runs that picture in-process
+(``serial``/``threaded``) and across fork-spawned processes
+(``multiprocessing``); this module is the third tier — ``distributed`` —
+where the "machines" are independent worker *processes reachable only over
+a socket*, the deployment shape of real hosts.  Payloads travel through
+the checksummed, protocol-5 framing of :mod:`repro.utils.transport`; the
+gathered shard ensembles reassemble through the exact same
+``concat``/``merge`` protocols as every other back-end, so the distributed
+tier inherits the library-wide bit-identity contract: byte-for-byte the
+serial result, worker deaths included.
+
+Failure handling is first-class, borrowing the *fast-reroute* controller
+shape used in programmable-switch networks: a link-failure controller does
+not ask a dead next-hop to retry — it detects the loss (missing
+heartbeats) and re-routes the affected traffic onto a pre-computed backup
+path within the surviving topology.  Here the "traffic" is a shard
+payload, detection is heartbeat-probe + per-reply timeout + any transport
+error, and the backup path is a surviving worker: the coordinator keeps
+each dispatched payload's serialised frames until its result has been
+gathered, so a lost shard re-dispatches instantly, without re-pickling,
+to the next live worker.  Spare dispatch capacity is sized by the same
+failure-rate EWMA the over-provisioned retry engine of
+:func:`repro.evaluation.distribution_tests.overprovisioned_draws` uses for
+spare replicas: a coordinator that has observed workers die holds back
+``ceil(EWMA * shards * margin)`` shards from the first scatter wave and
+late-binds them to workers that proved alive, shrinking the re-dispatch
+bill when deaths repeat.  When *no* worker is reachable the coordinator
+degrades cleanly to in-process serial ingest — same bits, no sockets.
+
+Workers (:func:`serve_worker`) are deliberately dumb: accept one
+coordinator connection, cache streams by slot (the same
+install-once-per-worker dedup as the multiprocessing back-end's pool
+initializer), ingest shard ensembles on request, and ship them back.
+Spawn localhost workers in-process-tree with :func:`spawn_local_workers`
+(the CI harness and the fault-injection suite do), or run
+``python -m repro.utils.coordinator --serve`` on any host.
+
+Remaining gap, recorded in ROADMAP.md: the transport is localhost TCP;
+multi-machine deployment needs only address configuration plus
+authentication, which this module does not provide.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import socket
+import subprocess
+import sys
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.evaluation.distribution_tests import (
+    RETRY_EWMA_ALPHA,
+    RETRY_SPARE_MARGIN,
+)
+from repro.exceptions import InvalidParameterError, ReproError
+from repro.utils.transport import (
+    TransportError,
+    dumps_frames,
+    frames_as_bytes,
+    frames_nbytes,
+    loads_frames,
+    recv_frames,
+    recv_message,
+    send_frames,
+    send_message,
+)
+
+__all__ = [
+    "DEFAULT_HEARTBEAT_TIMEOUT",
+    "DistributedExecutor",
+    "GatherStats",
+    "WorkerError",
+    "default_workers",
+    "distributed_ingest",
+    "last_gather_stats",
+    "parse_address",
+    "serve_worker",
+    "set_default_workers",
+    "shutdown_worker",
+    "spawn_local_workers",
+    "stop_local_workers",
+    "worker_echo",
+    "worker_pool",
+]
+
+#: Seconds the coordinator waits for any single worker reply before the
+#: worker is declared dead (the timeout half of dead-worker detection; the
+#: other half is the connect-time heartbeat probe).  Must exceed the
+#: longest expected single-shard ingest.
+DEFAULT_HEARTBEAT_TIMEOUT = 60.0
+#: Seconds allowed for the TCP connect + heartbeat probe of one worker.
+DEFAULT_CONNECT_TIMEOUT = 5.0
+
+#: Environment variables understood by workers / the default registry.
+WORKERS_ENV = "REPRO_DISTRIBUTED_WORKERS"
+INGEST_DELAY_ENV = "REPRO_WORKER_INGEST_DELAY"
+
+_READY_PREFIX = "REPRO-WORKER LISTENING "
+
+
+class WorkerError(ReproError):
+    """A worker was alive and replied, but the shard task itself failed.
+
+    Unlike :class:`~repro.utils.transport.TransportError` this is *not*
+    answered by re-dispatch: the failure is deterministic (an ingest
+    error, an unpicklable reply) and would reproduce on every worker.
+    """
+
+
+def parse_address(address) -> tuple[str, int]:
+    """Normalise ``"host:port"`` strings / ``(host, port)`` pairs."""
+    if isinstance(address, str):
+        host, sep, port = address.rpartition(":")
+        if not sep or not host:
+            raise InvalidParameterError(
+                f"worker address must look like 'host:port', got {address!r}")
+        return host, int(port)
+    host, port = address
+    return str(host), int(port)
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def _handle_ingest(message: dict, stream_cache: dict) -> dict:
+    """Ingest one shard ensemble exactly as the serial back-end would.
+
+    The stream arrives once per ``slot`` per connection as raw
+    ``(n, indices, deltas)`` arrays and is rebuilt into a
+    :class:`~repro.streams.stream.TurnstileStream`, so the worker replays
+    through the same ``update_stream`` chunking as every other back-end
+    (bit-identity requires identical batch boundaries).
+    """
+    from repro.streams.stream import TurnstileStream
+
+    delay = float(os.environ.get(INGEST_DELAY_ENV, "0") or 0.0)
+    if delay > 0:  # fault-injection hook: hold the shard "mid-ingest"
+        time.sleep(delay)
+    slot = message["slot"]
+    stream = message.get("stream")
+    if stream is not None:
+        n, indices, deltas = stream
+        stream_cache[slot] = TurnstileStream.from_arrays(n, indices, deltas)
+    if slot not in stream_cache:
+        return {"ok": False,
+                "error": f"stream slot {slot} was never installed"}
+    ensemble = message["ensemble"]
+    ensemble.update_stream(stream_cache[slot],
+                           batch_size=message.get("batch_size"))
+    return {"ok": True, "ensemble": ensemble}
+
+
+def serve_worker(host: str = "127.0.0.1", port: int = 0) -> None:
+    """Run a worker: accept coordinator connections until told to stop.
+
+    Announces the bound port on stdout as ``REPRO-WORKER LISTENING <port>``
+    (how :func:`spawn_local_workers` learns auto-assigned ports) and then
+    serves one coordinator connection at a time.  Per-connection state is a
+    stream cache keyed by slot; per-message ingest failures are reported
+    back as ``{"ok": False}`` replies, transport failures drop the
+    connection and wait for the next coordinator.
+    """
+    listener = socket.create_server((host, port))
+    try:
+        print(f"{_READY_PREFIX}{listener.getsockname()[1]}", flush=True)
+        while True:
+            conn, _ = listener.accept()
+            stream_cache: dict = {}
+            with conn:
+                while True:
+                    try:
+                        message = recv_message(conn)
+                    except TransportError:
+                        break  # coordinator went away; await the next one
+                    if not isinstance(message, dict):
+                        send_message(conn, {"ok": False,
+                                            "error": "malformed message"})
+                        continue
+                    op = message.get("op")
+                    if op == "ping":
+                        send_message(conn, {"op": "pong"})
+                    elif op == "echo":
+                        send_message(conn, {"ok": True,
+                                            "payload": message.get("payload")})
+                    elif op == "shutdown":
+                        send_message(conn, {"ok": True})
+                        return
+                    elif op == "ingest":
+                        try:
+                            reply = _handle_ingest(message, stream_cache)
+                        except Exception as error:  # ship, don't kill the worker
+                            reply = {"ok": False,
+                                     "error": f"{type(error).__name__}: {error}"}
+                        send_message(conn, reply)
+                    else:
+                        send_message(conn, {"ok": False,
+                                            "error": f"unknown op {op!r}"})
+    finally:
+        listener.close()
+
+
+def spawn_local_workers(num_workers: int, *, env: Optional[dict] = None,
+                        startup_timeout: float = 60.0,
+                        ) -> tuple[list, list[tuple[str, int]]]:
+    """Spawn ``num_workers`` localhost worker subprocesses.
+
+    Each worker binds an OS-assigned port and announces it on stdout;
+    returns ``(processes, addresses)`` once every worker is listening.
+    ``env`` entries overlay the inherited environment (the fault-injection
+    suite uses :data:`INGEST_DELAY_ENV` to hold a worker mid-ingest).
+    Callers own the processes — stop them with :func:`stop_local_workers`.
+    """
+    if num_workers < 1:
+        raise InvalidParameterError("num_workers must be at least 1")
+    src_dir = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    merged_env = dict(os.environ)
+    existing = merged_env.get("PYTHONPATH")
+    merged_env["PYTHONPATH"] = (src_dir if not existing
+                                else src_dir + os.pathsep + existing)
+    if env:
+        merged_env.update({key: str(value) for key, value in env.items()})
+    processes = []
+    addresses = []
+    try:
+        for _ in range(num_workers):
+            process = subprocess.Popen(
+                [sys.executable, "-m", "repro.utils.coordinator",
+                 "--serve", "--host", "127.0.0.1", "--port", "0"],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                text=True, env=merged_env)
+            processes.append(process)
+        deadline = time.monotonic() + startup_timeout
+        for process in processes:
+            line = process.stdout.readline()
+            while line and not line.startswith(_READY_PREFIX):
+                line = process.stdout.readline()  # skip interpreter noise
+            if not line.startswith(_READY_PREFIX):
+                stderr = ""
+                if process.poll() is not None:
+                    stderr = process.stderr.read()
+                raise TransportError(
+                    "worker subprocess failed to announce a port"
+                    + (f": {stderr.strip()}" if stderr else ""))
+            if time.monotonic() > deadline:
+                raise TransportError("worker start-up exceeded "
+                                     f"{startup_timeout}s")
+            addresses.append(("127.0.0.1", int(line[len(_READY_PREFIX):])))
+    except Exception:
+        stop_local_workers(processes)
+        raise
+    return processes, addresses
+
+
+def stop_local_workers(processes: Sequence) -> None:
+    """Terminate (then kill) worker subprocesses from :func:`spawn_local_workers`."""
+    for process in processes:
+        if process.poll() is None:
+            process.terminate()
+    for process in processes:
+        try:
+            process.wait(timeout=5.0)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait()
+        for pipe in (process.stdout, process.stderr):
+            if pipe is not None:
+                pipe.close()
+
+
+def shutdown_worker(address, *, timeout: float = DEFAULT_CONNECT_TIMEOUT) -> bool:
+    """Politely stop one worker; ``True`` when it acknowledged."""
+    host, port = parse_address(address)
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as sock:
+            sock.settimeout(timeout)
+            send_message(sock, {"op": "shutdown"})
+            reply = recv_message(sock)
+            return bool(isinstance(reply, dict) and reply.get("ok"))
+    except (OSError, TransportError):
+        return False
+
+
+def worker_echo(address, payload, *,
+                timeout: float = DEFAULT_HEARTBEAT_TIMEOUT) -> object:
+    """Round-trip ``payload`` through a worker (transport benchmarking)."""
+    host, port = parse_address(address)
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.settimeout(timeout)
+        send_message(sock, {"op": "echo", "payload": payload})
+        reply = recv_message(sock)
+    if not (isinstance(reply, dict) and reply.get("ok")):
+        raise WorkerError(f"echo to {host}:{port} failed: {reply!r}")
+    return reply["payload"]
+
+
+# ---------------------------------------------------------------------------
+# Coordinator side
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GatherStats:
+    """Diagnostics of one scatter/gather run (observable re-dispatch bill).
+
+    Attributes
+    ----------
+    shards:
+        Number of shard payloads in the run.
+    workers:
+        Worker addresses configured.
+    reachable_workers:
+        Workers that answered the connect-time heartbeat probe.
+    dead_workers:
+        Workers declared dead *during* the run (timeout / transport error).
+    redispatches:
+        Shard payloads sent a second-or-later time after their worker died.
+    spare_slots:
+        Shards held back from the first scatter wave (EWMA-sized spare
+        capacity) and late-bound to workers that proved alive.
+    degraded_serial_shards:
+        Shards ingested in-process because no worker could serve them.
+    bytes_sent, bytes_received:
+        Wire payload traffic (frame bytes, excluding headers).
+    failure_rate_ewma:
+        The coordinator's worker-failure EWMA after this run.
+    """
+
+    shards: int
+    workers: int
+    reachable_workers: int
+    dead_workers: int = 0
+    redispatches: int = 0
+    spare_slots: int = 0
+    degraded_serial_shards: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    failure_rate_ewma: float = 0.0
+
+
+class _WorkerLink:
+    """One live coordinator-to-worker connection with in-flight bookkeeping."""
+
+    def __init__(self, address: tuple[str, int], *, connect_timeout: float,
+                 reply_timeout: float) -> None:
+        self.address = address
+        self.sock = socket.create_connection(address, timeout=connect_timeout)
+        self.sock.settimeout(connect_timeout)
+        send_message(self.sock, {"op": "ping"})
+        reply = recv_message(self.sock)
+        if not (isinstance(reply, dict) and reply.get("op") == "pong"):
+            raise TransportError(f"worker {address} failed the heartbeat "
+                                 f"probe: {reply!r}")
+        self.sock.settimeout(reply_timeout)
+        self.installed_slots: set[int] = set()
+        self.inflight: list[int] = []  # shard ids, in send order
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class DistributedExecutor:
+    """Scatter shard payloads to socket workers, gather, survive deaths.
+
+    Parameters
+    ----------
+    addresses:
+        Worker endpoints (``"host:port"`` strings or ``(host, port)``
+        pairs).  An empty list is legal: every ingest degrades to the
+        in-process serial path (recorded in :class:`GatherStats`).
+    heartbeat_timeout:
+        Seconds to wait for any single worker reply before declaring the
+        worker dead and re-dispatching its outstanding shards.
+    connect_timeout:
+        Seconds allowed for the connect + heartbeat probe per worker.
+    failure_rate_prior:
+        Pre-seeds the worker-failure EWMA (same role as the retry
+        engine's ``failure_rate_prior``): a coordinator that expects
+        deaths holds back spare dispatch capacity from the first wave.
+    """
+
+    def __init__(self, addresses: Sequence, *,
+                 heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+                 connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
+                 failure_rate_prior: float = 0.0) -> None:
+        if not (0.0 <= failure_rate_prior < 1.0):
+            raise InvalidParameterError(
+                f"failure_rate_prior must lie in [0, 1), got {failure_rate_prior}")
+        self._addresses = [parse_address(address) for address in addresses]
+        self._heartbeat_timeout = float(heartbeat_timeout)
+        self._connect_timeout = float(connect_timeout)
+        self._failure_ewma = float(failure_rate_prior)
+        self._observed = failure_rate_prior > 0.0
+        self.last_stats: Optional[GatherStats] = None
+
+    @property
+    def failure_rate_ewma(self) -> float:
+        """Current worker-failure EWMA (sizes the next run's spare slots)."""
+        return self._failure_ewma
+
+    def spare_slots(self, num_shards: int) -> int:
+        """EWMA-sized spare dispatch capacity for a ``num_shards`` run.
+
+        Mirrors the retry engine's spare-replica formula: no spares until a
+        failure has been observed (or a prior supplied), then
+        ``ceil(EWMA * shards * margin)`` shards are late-bound.  At least
+        one shard always rides the first wave so a fully-spared run still
+        probes the workers.
+        """
+        if num_shards <= 1 or not self._observed or self._failure_ewma <= 0.0:
+            return 0
+        return min(num_shards - 1, int(math.ceil(
+            self._failure_ewma * num_shards * RETRY_SPARE_MARGIN)))
+
+    def _connect(self) -> list[_WorkerLink]:
+        links = []
+        for address in self._addresses:
+            try:
+                links.append(_WorkerLink(
+                    address, connect_timeout=self._connect_timeout,
+                    reply_timeout=self._heartbeat_timeout))
+            except (OSError, TransportError):
+                continue  # unreachable: simply not part of this run
+        return links
+
+    def ingest(self, ensembles: Sequence, streams: Sequence, *,
+               batch_size: Optional[int] = None) -> list:
+        """Ingest ``streams[i]`` into ``ensembles[i]`` across the workers.
+
+        Returns freshly unpickled ensembles in shard order, bit-identical
+        to the serial back-end (same kernels, same batch boundaries —
+        exactly the multiprocessing contract, carried over a socket).
+        Shards lost to worker deaths re-dispatch to survivors from their
+        retained payload frames; with no survivors the remainder ingests
+        in-process.  Diagnostics land in :attr:`last_stats`.
+        """
+        ensembles = list(ensembles)
+        streams = list(streams)
+        if len(ensembles) != len(streams):
+            raise InvalidParameterError(
+                f"got {len(ensembles)} ensembles but {len(streams)} streams")
+        num_shards = len(ensembles)
+        results: list = [None] * num_shards
+
+        # Deduplicate streams by identity (the shared-stream replica mode
+        # hands one object to every shard) into per-slot array tuples.
+        from repro.utils.sharding import _universe_size
+        from repro.utils.batching import stream_arrays
+
+        slot_of: dict[int, int] = {}
+        slot_payload: list = []
+        shard_slot: list[int] = []
+        for stream in streams:
+            key = id(stream)
+            if key not in slot_of:
+                indices, deltas = stream_arrays(stream)
+                slot_of[key] = len(slot_payload)
+                slot_payload.append((_universe_size(stream),
+                                     np.asarray(indices), np.asarray(deltas)))
+            shard_slot.append(slot_of[key])
+
+        links = self._connect()
+        opened = list(links)  # for cleanup: `links` drops dead entries
+        reachable = len(links)
+        dead = redispatches = degraded = 0
+        bytes_sent = bytes_received = 0
+        sends_of_shard = [0] * num_shards
+        # Retained wire frames per shard, pickled once; a re-dispatch
+        # resends these bytes instead of re-pickling the payload.
+        shard_frames: dict[int, list[bytes]] = {}
+
+        def frames_for(shard: int) -> list[bytes]:
+            if shard not in shard_frames:
+                shard_frames[shard] = frames_as_bytes(dumps_frames({
+                    "op": "ingest",
+                    "slot": shard_slot[shard],
+                    "stream": None,  # patched per-link by _send below
+                    "ensemble": ensembles[shard],
+                    "batch_size": batch_size,
+                }))
+            return shard_frames[shard]
+
+        def _send(link: _WorkerLink, shard: int) -> None:
+            nonlocal bytes_sent, redispatches
+            slot = shard_slot[shard]
+            if slot not in link.installed_slots:
+                # First shard of this slot on this worker: ship the stream
+                # alongside (the cached frames carry `stream: None`).
+                message = {"op": "ingest", "slot": slot,
+                           "stream": slot_payload[slot],
+                           "ensemble": ensembles[shard],
+                           "batch_size": batch_size}
+                frames = dumps_frames(message)
+                frames_for(shard)  # retain the stream-less copy for re-dispatch
+            else:
+                frames = frames_for(shard)
+            sent = send_frames(link.sock, frames)
+            link.installed_slots.add(slot)
+            link.bytes_sent += sent
+            bytes_sent += frames_nbytes(frames)
+            sends_of_shard[shard] += 1
+            if sends_of_shard[shard] > 1:
+                redispatches += 1
+            link.inflight.append(shard)
+
+        spares = self.spare_slots(num_shards) if links else 0
+        pending: list[int] = list(range(num_shards))
+        reserve: list[int] = pending[num_shards - spares:] if spares else []
+        first_wave: list[int] = pending[:num_shards - spares] if spares else pending
+
+        def dispatch(shards: Sequence[int]) -> list[int]:
+            """Round-robin ``shards`` over live links; returns undispatched."""
+            nonlocal dead
+            unsent = []
+            for position, shard in enumerate(shards):
+                if not links:
+                    unsent.extend(shards[position:])
+                    break
+                link = links[position % len(links)]
+                try:
+                    _send(link, shard)
+                except TransportError:
+                    # The send itself failed: this worker is dead too, and
+                    # everything already in flight on it is lost with it.
+                    unsent.extend(link.inflight)
+                    link.inflight.clear()
+                    self._kill(link, links)
+                    dead += 1
+                    unsent.append(shard)
+            return unsent
+
+        def gather() -> list[int]:
+            """Collect every in-flight reply; returns shards needing re-send."""
+            nonlocal bytes_received, dead
+            lost: list[int] = []
+            for link in list(links):
+                while link.inflight:
+                    shard = link.inflight[0]
+                    try:
+                        frames = recv_frames(link.sock)
+                        reply = loads_frames(frames)
+                    except (TransportError, OSError):
+                        # Dead or stalled worker: every outstanding shard
+                        # on this link re-routes to a survivor.
+                        lost.extend(link.inflight)
+                        link.inflight.clear()
+                        self._kill(link, links)
+                        dead += 1
+                        break
+                    link.inflight.pop(0)
+                    if not (isinstance(reply, dict) and reply.get("ok")):
+                        raise WorkerError(
+                            f"worker {link.address} failed shard {shard}: "
+                            f"{reply.get('error') if isinstance(reply, dict) else reply!r}")
+                    bytes_received += frames_nbytes(frames)
+                    results[shard] = reply["ensemble"]
+            return lost
+
+        try:
+            if links:
+                todo = dispatch(first_wave)
+                todo.extend(reserve)
+                while True:
+                    todo.extend(gather())
+                    if not todo:
+                        break
+                    if not links:
+                        break
+                    batch, todo = todo, []
+                    todo.extend(dispatch(batch))
+            else:
+                todo = list(pending)
+
+            # Last resort: no (remaining) workers — ingest in-process, which
+            # is the serial back-end itself, so the contract still holds.
+            for shard in todo:
+                ensembles[shard].update_stream(streams[shard],
+                                               batch_size=batch_size)
+                results[shard] = ensembles[shard]
+                degraded += 1
+        finally:
+            # Close even on the error paths (unpicklable payload, a worker's
+            # deterministic failure): a leaked connection would pin its
+            # single-coordinator worker on a dead socket for good.
+            for link in opened:
+                link.close()
+
+        if reachable:
+            rate = dead / reachable
+            self._failure_ewma = rate if not self._observed else (
+                RETRY_EWMA_ALPHA * rate
+                + (1.0 - RETRY_EWMA_ALPHA) * self._failure_ewma)
+            self._observed = True
+
+        self.last_stats = GatherStats(
+            shards=num_shards,
+            workers=len(self._addresses),
+            reachable_workers=reachable,
+            dead_workers=dead,
+            redispatches=redispatches,
+            spare_slots=spares,
+            degraded_serial_shards=degraded,
+            bytes_sent=bytes_sent,
+            bytes_received=bytes_received,
+            failure_rate_ewma=self._failure_ewma,
+        )
+        return results
+
+    @staticmethod
+    def _kill(link: _WorkerLink, links: list) -> None:
+        link.close()
+        if link in links:
+            links.remove(link)
+
+
+# ---------------------------------------------------------------------------
+# Default worker registry and the sharding-layer entry point
+# ---------------------------------------------------------------------------
+
+_DEFAULT_WORKERS: list[tuple[str, int]] = []
+_ACTIVE_EXECUTOR: Optional[DistributedExecutor] = None
+_LAST_STATS: Optional[GatherStats] = None
+
+
+def set_default_workers(addresses: Optional[Sequence]) -> None:
+    """Install the process-wide worker list used by ``execution="distributed"``.
+
+    ``None`` (or an empty sequence) clears the registry, falling back to
+    the :data:`WORKERS_ENV` environment variable.
+    """
+    global _DEFAULT_WORKERS
+    _DEFAULT_WORKERS = ([] if addresses is None
+                        else [parse_address(address) for address in addresses])
+
+
+def default_workers() -> list[tuple[str, int]]:
+    """The effective worker list: registry, else :data:`WORKERS_ENV`."""
+    if _DEFAULT_WORKERS:
+        return list(_DEFAULT_WORKERS)
+    configured = os.environ.get(WORKERS_ENV, "").strip()
+    if not configured:
+        return []
+    return [parse_address(part.strip())
+            for part in configured.split(",") if part.strip()]
+
+
+@contextmanager
+def worker_pool(addresses: Sequence, **executor_kwargs):
+    """Scope an executor over ``addresses`` for ``execution="distributed"``.
+
+    Every distributed ingest inside the block routes through one shared
+    :class:`DistributedExecutor` (so its failure EWMA accumulates across
+    calls); yields the executor for stats inspection.
+    """
+    global _ACTIVE_EXECUTOR
+    executor = DistributedExecutor(addresses, **executor_kwargs)
+    previous = _ACTIVE_EXECUTOR
+    _ACTIVE_EXECUTOR = executor
+    try:
+        yield executor
+    finally:
+        _ACTIVE_EXECUTOR = previous
+
+
+def last_gather_stats() -> Optional[GatherStats]:
+    """Stats of the most recent distributed ingest in this process."""
+    return _LAST_STATS
+
+
+def distributed_ingest(ensembles: Sequence, streams: Sequence, *,
+                       batch_size: Optional[int] = None) -> list:
+    """`ingest_sharded`'s ``execution="distributed"`` back-end.
+
+    Routes through the active :func:`worker_pool` executor when one is in
+    scope, else a one-shot executor over :func:`default_workers` (which
+    may be empty — the run then degrades to in-process serial ingest,
+    observable via :func:`last_gather_stats`).
+    """
+    global _LAST_STATS
+    executor = _ACTIVE_EXECUTOR
+    if executor is None:
+        executor = DistributedExecutor(default_workers())
+    results = executor.ingest(ensembles, streams, batch_size=batch_size)
+    _LAST_STATS = executor.last_stats
+    return results
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: ``python -m repro.utils.coordinator --serve [--host H] [--port P]``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Run a repro distributed-execution worker.")
+    parser.add_argument("--serve", action="store_true",
+                        help="start a worker server")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (0 = OS-assigned, announced on stdout)")
+    args = parser.parse_args(argv)
+    if not args.serve:
+        parser.error("nothing to do (pass --serve)")
+    serve_worker(args.host, args.port)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

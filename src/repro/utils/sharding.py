@@ -91,15 +91,25 @@ Execution back-ends
                                  Wins over ``threaded`` when the per-shard work
                                  holds the GIL (Python-level level-stack loops) or
                                  the streams are long enough to amortise start-up.
+    ``distributed``              One shard per remote worker *host* reached over
+                                 the checksummed socket transport of
+                                 :mod:`repro.utils.transport`, scattered and
+                                 gathered by :mod:`repro.utils.coordinator`.
+                                 Workers that die mid-ingest are detected by
+                                 heartbeat/timeout and their shards re-dispatch
+                                 to survivors (spare capacity sized by the retry
+                                 EWMA); with no reachable workers the run
+                                 degrades to the in-process serial loop.  Same
+                                 bits in every one of those paths.
     ============================ ======================================================
 
     All back-ends run the same numpy kernels on the same arrays over the
     same batch boundaries, so the execution mode never changes a single
     bit of the result — parallelism is free to be a pure wall-clock knob.
-    Benchmark E9d (``benchmarks/bench_e9_update_time.py``) tracks all
-    three against the monolithic ensemble in ``BENCH_e9.json``, and the
-    CI regression gate (``benchmarks/check_bench_regression.py``) fails
-    on tracked-metric slowdowns.
+    Benchmarks E9d and E9f (``benchmarks/bench_e9_update_time.py``) track
+    the back-ends against the monolithic ensemble in ``BENCH_e9.json``,
+    and the CI regression gate (``benchmarks/check_bench_regression.py``)
+    fails on tracked-metric slowdowns.
 """
 
 from __future__ import annotations
@@ -115,6 +125,7 @@ import numpy as np
 from repro.exceptions import InvalidParameterError
 from repro.utils.batching import stream_arrays
 from repro.utils.ensemble import ReplicaEnsemble, build_ensemble
+from repro.utils.transport import dumps_frames, frames_as_bytes, loads_frames
 
 __all__ = [
     "EXECUTION_MODES",
@@ -130,7 +141,7 @@ __all__ = [
 ]
 
 #: Execution back-ends understood by the sharded ingest layer.
-EXECUTION_MODES = ("serial", "threaded", "multiprocessing")
+EXECUTION_MODES = ("serial", "threaded", "multiprocessing", "distributed")
 
 
 def usable_cpu_count() -> int:
@@ -203,28 +214,56 @@ def concat_ensembles(ensembles: Sequence[ReplicaEnsemble]) -> ReplicaEnsemble:
     return first_type.concat(ensembles)
 
 
-def merge_ensembles(ensembles: Sequence[ReplicaEnsemble]) -> ReplicaEnsemble:
+def merge_ensembles(ensembles: Sequence[ReplicaEnsemble], *,
+                    copy_first: bool = False) -> ReplicaEnsemble:
     """Fold stream-shard ensembles together entrywise (left to right).
 
     The fold order is the shard order; see the module docstring for the
-    exact bitwise semantics this pins down.  The first shard is mutated in
-    place and returned.
+    exact bitwise semantics this pins down.  By default the first shard is
+    mutated in place and returned — the zero-copy fast path the in-process
+    back-ends rely on.  With ``copy_first=True`` the fold starts from a
+    pickle-roundtrip clone of the first shard, leaving every input shard
+    untouched: a caller that retains the shard list (the distributed
+    coordinator keeps shards around for re-dispatch after a worker death)
+    must not observe shard 0 silently absorbing the others, and a repeated
+    merge must not double-count it.  The clone is bit-identical state-wise
+    (the equivalence suites pin pickle round-trips), and cheaper than a
+    deepcopy because table-consuming sketches pickle without their
+    evaluated hash tables and re-derive them from the keyed cache.
     """
     ensembles = list(ensembles)
     if not ensembles:
         raise InvalidParameterError("need at least one ensemble to merge")
     merged = ensembles[0]
+    if copy_first and len(ensembles) > 1:
+        # frames_as_bytes forces real copies of the out-of-band buffers —
+        # loading the live memoryviews back would *alias* shard 0's arrays
+        # and the fold would mutate it through the "clone".
+        merged = loads_frames(frames_as_bytes(dumps_frames(merged)))
     for ensemble in ensembles[1:]:
         merged = merged.merge(ensemble)
     return merged
 
 
 def _universe_size(stream) -> int:
-    """The universe size of an array-backed stream (``.n``, or from indices)."""
+    """The *explicit* universe size (``.n``) of an array-backed stream.
+
+    Inferring ``max(indices) + 1`` here would let two shards of the same
+    logical stream disagree about the universe — a sub-stream whose tail
+    coordinates happen to be owned by another shard infers a smaller ``n``,
+    and the mismatch only surfaces later as a merge-shape error far from
+    the cause (or, for an empty sub-stream, as a silently wrong 1-element
+    universe).  Every shard payload must carry the coordinator's ``n``.
+    """
     n = getattr(stream, "n", None)
-    if n is not None:
-        return int(n)
-    return int(stream.indices.max()) + 1 if stream.indices.size else 1
+    if n is None:
+        raise InvalidParameterError(
+            "shard stream has no explicit universe size: two shards of one "
+            "logical stream must agree on n, which cannot be inferred from "
+            "a sub-stream's own indices — wrap the arrays with "
+            "TurnstileStream.from_arrays(n, indices, deltas) carrying the "
+            "coordinator's universe")
+    return int(n)
 
 
 def _materialise_streams(streams: Sequence) -> list:
@@ -299,6 +338,19 @@ def _shard_payloads(ensembles: Sequence[ReplicaEnsemble], streams: Sequence,
     return stream_table, payloads
 
 
+def _dump_payload(payload) -> list[bytes]:
+    """Serialise a shard payload/result as protocol-5 frames.
+
+    All payload pickling — here and on the socket transport — runs at
+    ``pickle.HIGHEST_PROTOCOL`` with out-of-band buffers, so large numpy
+    state (stacked ensemble tables, stream arrays) is exported as raw
+    buffer frames instead of being re-copied into the pickle byte stream.
+    Frames are materialised to ``bytes`` because they outlive the pool
+    call that carries them.
+    """
+    return frames_as_bytes(dumps_frames(payload))
+
+
 def _ingest_shard(payload):
     """Worker body: ingest one shard's sub-stream and return the ensemble.
 
@@ -318,6 +370,11 @@ def _ingest_shard(payload):
     return ensemble
 
 
+def _ingest_shard_frames(frames):
+    """Pool task: decode protocol-5 payload frames, ingest, re-frame result."""
+    return _dump_payload(_ingest_shard(loads_frames(frames)))
+
+
 def ingest_sharded(ensembles: Sequence[ReplicaEnsemble], streams: Sequence,
                    *, execution: str = "serial",
                    processes: Optional[int] = None,
@@ -333,7 +390,12 @@ def ingest_sharded(ensembles: Sequence[ReplicaEnsemble], streams: Sequence,
     and returns the ensembles shipped back from the workers — freshly
     unpickled objects whose state is bit-identical to the serial path,
     because every back-end runs the same kernels over the same batch
-    boundaries.
+    boundaries.  ``distributed`` ships the shards to socket worker hosts
+    through :func:`repro.utils.coordinator.distributed_ingest` (worker
+    addresses come from the coordinator's registry, not ``processes``) and
+    shares that contract — including when a worker dies mid-ingest and its
+    shard re-dispatches, and when no worker is reachable at all (the run
+    degrades to this function's serial loop).
     """
     _require_execution(execution)
     ensembles = list(ensembles)
@@ -341,6 +403,12 @@ def ingest_sharded(ensembles: Sequence[ReplicaEnsemble], streams: Sequence,
     if len(ensembles) != len(streams):
         raise InvalidParameterError(
             f"got {len(ensembles)} ensembles but {len(streams)} streams")
+    if execution == "distributed":
+        # Imported lazily: the coordinator sits above this module (it
+        # reuses the retry EWMA constants from the evaluation layer).
+        from repro.utils.coordinator import distributed_ingest
+
+        return distributed_ingest(ensembles, streams, batch_size=batch_size)
     if processes is None:
         processes = usable_cpu_count()
     processes = max(1, min(int(processes), max(len(ensembles), 1)))
@@ -367,10 +435,12 @@ def ingest_sharded(ensembles: Sequence[ReplicaEnsemble], streams: Sequence,
     methods = multiprocessing.get_all_start_methods()
     context = multiprocessing.get_context("fork" if "fork" in methods else None)
     try:
+        framed = [_dump_payload(payload) for payload in payloads]
         with context.Pool(processes=processes,
                           initializer=_install_worker_streams,
                           initargs=(stream_table,)) as pool:
-            return pool.map(_ingest_shard, payloads)
+            results = pool.map(_ingest_shard_frames, framed)
+        return [loads_frames(frames) for frames in results]
     except (AttributeError, TypeError, pickle.PicklingError) as error:
         # Ensembles travel to the workers by pickle; instances holding
         # closures or other unpicklable members can only run in-process.
@@ -461,7 +531,10 @@ def stream_sharded_ensemble(factory: Callable[[int], object],
                  for _ in range(num_shards)]
     ensembles = ingest_sharded(ensembles, substreams, execution=execution,
                                processes=processes, batch_size=batch_size)
-    return merge_ensembles(ensembles)
+    # The distributed coordinator may retain shard ensembles (re-dispatch
+    # bookkeeping, gather stats); merge into a clone so they stay pristine.
+    return merge_ensembles(ensembles,
+                           copy_first=(execution == "distributed"))
 
 
 def sharded_ensemble_samples(factory: Callable[[int], object],

@@ -145,6 +145,26 @@ def test_mp_payload_bytes_independent_of_table_size(stream) -> None:
             small, large)
 
 
+def test_protocol5_frames_no_larger_than_default_pickle(stream) -> None:
+    """The protocol-5 out-of-band framing (what the multiprocessing pool
+    and the socket transport now ship) never costs payload bytes over the
+    default-protocol pickling it replaced — out-of-band buffers skip the
+    in-stream copy, so total frame bytes stay unchanged or smaller."""
+    from repro.utils.sharding import _dump_payload
+
+    ensembles = [build_ensemble([CountSketch(N, 8, 3, seed=s,
+                                             table_mode="cached")])
+                 for s in range(3)]
+    for ensemble in ensembles:
+        ensemble._ensure_tables()
+    _, payloads = _shard_payloads(ensembles, [stream] * 3, None)
+    for payload in payloads:
+        frames = _dump_payload(payload)
+        framed_bytes = sum(len(frame) for frame in frames)
+        assert framed_bytes <= len(pickle.dumps(payload)), (
+            framed_bytes, len(pickle.dumps(payload)))
+
+
 def test_eviction_only_costs_reevaluation_in_sharded_runs(stream) -> None:
     """A run under a starved budget (nothing stays resident) produces the
     same ensemble state as an unbounded run — eviction is a pure

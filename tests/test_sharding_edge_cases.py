@@ -313,6 +313,98 @@ class TestExecutionValidation:
                 stream, num_shards=2, execution="multiprocessing", processes=2)
 
 
+class TestMergeCopyFirst:
+    """The ``copy_first`` knob of :func:`merge_ensembles` (both behaviours)."""
+
+    def _shards(self, stream):
+        assignment = shard_assignment(N, 3, seed=9)
+        substreams = split_stream(stream, assignment, 3)
+        shards = []
+        for substream in substreams:
+            ensemble = build_ensemble([CountSketch(N, 8, 3, seed=s)
+                                       for s in range(2)])
+            ensemble.update_stream(substream)
+            shards.append(ensemble)
+        return shards
+
+    def test_default_merge_mutates_first_shard_in_place(self, stream):
+        # The documented zero-copy fast path of the in-process back-ends.
+        shards = self._shards(stream)
+        before = shards[0]._table.copy()
+        merged = merge_ensembles(shards)
+        assert merged is shards[0]
+        assert not np.array_equal(before, shards[0]._table)
+
+    def test_copy_first_leaves_every_shard_pristine(self, stream):
+        shards = self._shards(stream)
+        tables = [shard._table.copy() for shard in shards]
+        reference = merge_ensembles(self._shards(stream))._table
+        merged = merge_ensembles(shards, copy_first=True)
+        assert merged is not shards[0]
+        for shard, table in zip(shards, tables):
+            np.testing.assert_array_equal(shard._table, table)
+        np.testing.assert_array_equal(merged._table, reference)
+
+    def test_copy_first_merge_is_repeatable_without_double_counting(self, stream):
+        # A re-dispatching caller may re-merge the same retained shard
+        # list; with the in-place fold shard 0 would absorb the others
+        # twice.
+        shards = self._shards(stream)
+        reference = merge_ensembles(self._shards(stream))._table
+        first = merge_ensembles(shards, copy_first=True)
+        second = merge_ensembles(shards, copy_first=True)
+        np.testing.assert_array_equal(first._table, reference)
+        np.testing.assert_array_equal(second._table, reference)
+
+    def test_copy_first_single_shard_passes_through(self, stream):
+        shards = self._shards(stream)[:1]
+        assert merge_ensembles(shards, copy_first=True) is shards[0]
+
+
+class _BareArrayStream:
+    """Array-backed stream-shaped object *without* an explicit universe."""
+
+    def __init__(self, indices, deltas):
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.deltas = np.asarray(deltas, dtype=float)
+
+
+class TestUniverseSizeStrictness:
+    """Shard payloads must carry the coordinator's explicit universe."""
+
+    def test_stream_without_universe_is_refused(self, stream):
+        # Inference from a sub-stream's own indices would let two shards
+        # disagree about n; the payload builders refuse instead.
+        bare = _BareArrayStream([0, 1, 0], [1.0, -2.0, 3.0])
+        ensembles = [build_ensemble([CountSketch(N, 8, 3, seed=s)])
+                     for s in range(2)]
+        with pytest.raises(InvalidParameterError, match="universe"):
+            ingest_sharded(ensembles, [bare, bare],
+                           execution="multiprocessing", processes=2)
+        with pytest.raises(InvalidParameterError, match="universe"):
+            ingest_sharded(ensembles, [bare, bare], execution="distributed")
+
+    def test_substream_missing_tail_coordinate_keeps_full_universe(self, stream):
+        # Shard 0 owns only coordinate 0, so its sub-stream never touches
+        # the tail of the universe — inferring n there would shrink the
+        # shard's sketches and the merge would fail far from the cause.
+        # The coordinator's n must reach every sub-stream.
+        assignment = (np.arange(N) >= 1).astype(np.int64)
+        substreams = split_stream(stream, assignment, 2)
+        assert int(substreams[0].indices.max(initial=0)) < N - 1
+        for substream in substreams:
+            assert substream.n == N
+
+        serial = stream_sharded_ensemble(
+            lambda s: CountSketch(N, 8, 3, seed=s), range(2), stream,
+            assignment=assignment, num_shards=2)
+        forked = stream_sharded_ensemble(
+            lambda s: CountSketch(N, 8, 3, seed=s), range(2), stream,
+            assignment=assignment, num_shards=2,
+            execution="multiprocessing", processes=2)
+        np.testing.assert_array_equal(serial._table, forked._table)
+
+
 class TestShardAssignmentOracle:
     def test_assignment_is_deterministic_vectorised_and_in_range(self):
         first = shard_assignment(5000, 7, seed=3)
