@@ -49,6 +49,12 @@ TRACKED_METRICS = [
     # multiprocessing back-end on the same machine — a ratio, so builder
     # speed cancels and quick/full workload sizes stay comparable.
     ("distributed_execution", "case", "overhead_vs_multiprocessing"),
+    # Time cost of the negotiated per-frame compression *relative to*
+    # the uncompressed distributed run of the same workload (the
+    # ``compressed_link`` row) — again a ratio, so a codec or framing
+    # change that makes compression expensive fails the gate even on a
+    # slow shared runner.
+    ("distributed_execution", "case", "overhead_vs_uncompressed"),
 ]
 
 DEFAULT_FACTOR = 1.5

@@ -137,9 +137,11 @@ from repro.utils.sharding import (
     sharded_ensemble_samples,
     stream_sharded_ensemble,
 )
+from repro.utils.chaos import ChaosProxy, Fault
 from repro.utils.coordinator import (
     DistributedExecutor,
     GatherStats,
+    RetryPolicy,
     WorkerError,
     distributed_ingest,
     last_gather_stats,
@@ -148,7 +150,7 @@ from repro.utils.coordinator import (
     stop_local_workers,
     worker_pool,
 )
-from repro.utils.transport import TransportError
+from repro.utils.transport import AuthenticationError, TransportError
 from repro.utils.table_cache import (
     CacheStats,
     cache_budget,
@@ -263,8 +265,12 @@ __all__ = [
     # distributed execution (socket transport + scatter/gather coordinator)
     "DistributedExecutor",
     "GatherStats",
+    "RetryPolicy",
     "WorkerError",
     "TransportError",
+    "AuthenticationError",
+    "ChaosProxy",
+    "Fault",
     "distributed_ingest",
     "last_gather_stats",
     "set_default_workers",

@@ -42,6 +42,24 @@ without import cycles:
     the ``table_mode`` knobs (``cached`` / ``private`` / ``blocked``) the
     table-consuming sketches use to share or stream their per-coordinate
     tables; all modes are bit-identical.
+``transport``
+    The socket wire format of the distributed back-end: CRC-covered
+    length-prefixed frames around pickle protocol 5 with out-of-band
+    buffers, negotiated per-frame compression, and the mutual
+    HMAC-SHA256 cluster-secret handshake run before any payload byte is
+    unpickled.
+``coordinator``
+    The scatter/gather layer over ``transport``: worker processes
+    (``serve_worker`` / ``spawn_local_workers``), the
+    :class:`~repro.utils.coordinator.DistributedExecutor` with
+    heartbeat-based dead-worker detection, ``RetryPolicy`` backoff,
+    restarted-worker rejoin, and serial degradation — see its module
+    docstring for the deployment/security model.
+``chaos``
+    A scripted fault-injection TCP proxy (latency, throttling, torn
+    frames, byte corruption, refused connections) used by the chaos
+    suite to prove the distributed back-end stays bit-identical to
+    serial execution while the network misbehaves.
 """
 
 from repro.utils.batching import (

@@ -29,33 +29,103 @@ failure-rate EWMA the over-provisioned retry engine of
 spare replicas: a coordinator that has observed workers die holds back
 ``ceil(EWMA * shards * margin)`` shards from the first scatter wave and
 late-binds them to workers that proved alive, shrinking the re-dispatch
-bill when deaths repeat.  When *no* worker is reachable the coordinator
-degrades cleanly to in-process serial ingest — same bits, no sockets.
+bill when deaths repeat.
+
+Real networks add two failure modes the fast-reroute picture does not
+cover, both handled by the :class:`RetryPolicy` threaded through every
+connection-making entry point.  *Transient* connect/dispatch failures
+(SYN drops, listen-backlog overflow, a worker restarting exactly now) are
+retried with exponential backoff and decorrelated jitter under an overall
+deadline — the jitter de-synchronises a fleet of coordinators hammering
+the same recovering worker.  And a worker that *died* is not dead
+forever: between dispatch rounds the coordinator re-probes every dead
+address, so a worker restarted at the same endpoint **rejoins the run in
+flight** and takes load again; when every link is down the coordinator
+waits out the probe backoff (bounded by the policy deadline) before
+giving up.  Only then does it degrade to in-process serial ingest — same
+bits, no sockets.  Rejoins, retries, and backoff time are all reported in
+:class:`GatherStats`.
 
 Workers (:func:`serve_worker`) are deliberately dumb: accept one
-coordinator connection, cache streams by slot (the same
-install-once-per-worker dedup as the multiprocessing back-end's pool
+coordinator connection, run the handshake, cache streams by slot (the
+same install-once-per-worker dedup as the multiprocessing back-end's pool
 initializer), ingest shard ensembles on request, and ship them back.
 Spawn localhost workers in-process-tree with :func:`spawn_local_workers`
 (the CI harness and the fault-injection suite do), or run
 ``python -m repro.utils.coordinator --serve`` on any host.
 
-Remaining gap, recorded in ROADMAP.md: the transport is localhost TCP;
-multi-machine deployment needs only address configuration plus
-authentication, which this module does not provide.
+Security and deployment model
+-----------------------------
+
+**Threat model.**  A shard payload is a pickle: anyone who can make this
+process unpickle bytes of their choosing owns the process (arbitrary code
+execution), so the boundary that matters is *who can get bytes accepted
+by the unpickler*.  Three tiers:
+
+1. **Trusted single host (default).**  No cluster secret configured;
+   workers bind localhost.  Anything on the machine can connect — the
+   same trust boundary as the multiprocessing back-end's pipes.  This is
+   the mode the test-suite and CI harnesses use.
+2. **Shared-secret cluster (LAN you mostly trust).**  Distribute one
+   secret to every host — environment variable ``REPRO_CLUSTER_SECRET``,
+   or ``REPRO_CLUSTER_SECRET_FILE`` pointing at a mounted secret file
+   (the shape container orchestrators produce).  Every connection then
+   starts with the HMAC-SHA256 challenge/response of
+   :func:`repro.utils.transport.client_handshake` /
+   :func:`~repro.utils.transport.server_handshake`: fresh 32-byte nonces
+   both ways, mutual proofs (the coordinator unpickles worker replies,
+   so workers must authenticate the coordinator *and vice versa*), and
+   the negotiated protocol version + compression codec bound into the
+   proofs so a man in the middle cannot downgrade either.  **No pickle
+   bytes are read before the handshake completes** — an unauthenticated
+   or wrong-secret peer is refused with a remedial error naming the
+   variables to fix.  What this tier does *not* give you: secrecy (frames
+   are plaintext), per-message authentication (the HMAC covers only the
+   handshake; an attacker who can inject into an *established* TCP
+   stream can still forge frames), or replay protection beyond the
+   per-connection nonces.
+3. **Untrusted networks.**  Do not point this transport at them
+   directly.  Tunnel the links through TLS termination or ssh port
+   forwarding so the cleartext TCP stream never crosses the hostile
+   segment; the handshake then still protects against a mis-pointed
+   coordinator or a port-squatting impostor inside the tunnel.
+
+**Secret distribution and rotation.**  The secret is a shared symmetric
+key: provision it out of band (config management, container secrets),
+never on the command line (visible in ``ps``).  Rotation is restart-time
+only — there is no re-keying protocol; restart workers with the new
+secret, then coordinators.  A worker refuses mismatched coordinators (and
+logs to stderr) without dying, so a mid-rotation fleet degrades to
+"stale coordinators can't dispatch" rather than crashing.
+
+**Compression** is negotiated per connection (off unless the coordinator
+offers it — see ``DistributedExecutor(compression=...)``): zlib always,
+lz4 when installed, chosen in the same hello that carries the auth
+challenge, applied per frame above a size threshold so control messages
+stay cheap.  Corrupted compressed frames fail the CRC *before*
+decompression and surface as dead-worker re-dispatch like every other
+transport fault.
+
+Remaining gaps, recorded in ROADMAP.md: native TLS on the socket (today:
+tunnel), and dynamic worker discovery/registration (today: static
+addresses via ``REPRO_DISTRIBUTED_WORKERS``, :func:`set_default_workers`,
+or :func:`worker_pool`).
 """
 
 from __future__ import annotations
 
 import math
 import os
+import random
+import signal
 import socket
 import subprocess
 import sys
+import threading
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -65,21 +135,28 @@ from repro.evaluation.distribution_tests import (
 )
 from repro.exceptions import InvalidParameterError, ReproError
 from repro.utils.transport import (
+    DEFAULT_MIN_COMPRESS_BYTES,
+    AuthenticationError,
     TransportError,
+    available_codecs,
+    client_handshake,
     dumps_frames,
     frames_as_bytes,
     frames_nbytes,
     loads_frames,
-    recv_frames,
+    recv_frames_counted,
     recv_message,
+    resolve_cluster_secret,
     send_frames,
     send_message,
+    server_handshake,
 )
 
 __all__ = [
     "DEFAULT_HEARTBEAT_TIMEOUT",
     "DistributedExecutor",
     "GatherStats",
+    "RetryPolicy",
     "WorkerError",
     "default_workers",
     "distributed_ingest",
@@ -99,23 +176,120 @@ __all__ = [
 #: other half is the connect-time heartbeat probe).  Must exceed the
 #: longest expected single-shard ingest.
 DEFAULT_HEARTBEAT_TIMEOUT = 60.0
-#: Seconds allowed for the TCP connect + heartbeat probe of one worker.
+#: Seconds allowed for the TCP connect + handshake + heartbeat probe of
+#: one worker.
 DEFAULT_CONNECT_TIMEOUT = 5.0
+#: Seconds a worker allows an accepted connection to finish the handshake
+#: (a connect-and-stall client must not pin the accept loop forever).
+HANDSHAKE_TIMEOUT = 30.0
 
 #: Environment variables understood by workers / the default registry.
 WORKERS_ENV = "REPRO_DISTRIBUTED_WORKERS"
 INGEST_DELAY_ENV = "REPRO_WORKER_INGEST_DELAY"
+#: Fault hook for the stop-harness tests: a worker started with this set
+#: ignores SIGTERM, pinning :func:`stop_local_workers`' kill fallback.
+IGNORE_TERM_ENV = "REPRO_WORKER_IGNORE_TERM"
 
 _READY_PREFIX = "REPRO-WORKER LISTENING "
+_UNSET = object()  # "resolve from the environment" sentinel for secrets
 
 
 class WorkerError(ReproError):
-    """A worker was alive and replied, but the shard task itself failed.
+    """A worker task failed for a reason re-dispatch cannot fix.
 
-    Unlike :class:`~repro.utils.transport.TransportError` this is *not*
-    answered by re-dispatch: the failure is deterministic (an ingest
-    error, an unpicklable reply) and would reproduce on every worker.
+    Raised when a worker was alive and replied that the shard task itself
+    failed (an ingest error, an unpicklable reply) — deterministic
+    failures that would reproduce on every worker — and by
+    :func:`worker_echo` when a worker could not be reached at all, so the
+    caller always gets the worker *address* in the error instead of a
+    bare socket error.  Unlike
+    :class:`~repro.utils.transport.TransportError` inside a gather, this
+    is never answered by re-dispatch.
     """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with decorrelated jitter under a deadline.
+
+    Governs every connection-making path of the distributed tier:
+    coordinator connects (initial scatter *and* the dead-address re-probes
+    that let restarted workers rejoin a run), :func:`worker_echo`, and
+    :func:`shutdown_worker`.  The sleep before retry ``k`` is drawn as
+    ``min(max_delay, uniform(base_delay, 3 * previous_sleep))`` — the
+    *decorrelated jitter* schedule, which de-synchronises many clients
+    retrying against the same recovering endpoint while still backing off
+    exponentially in expectation.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total tries per operation (1 = no retry).
+    base_delay:
+        Lower bound of every jittered sleep, and the first sleep's seed.
+    max_delay:
+        Upper cap on any single sleep.
+    deadline:
+        Overall budget in seconds: an operation whose *next* sleep would
+        land past ``start + deadline`` fails with the last error instead
+        of sleeping.  Inside a gather this also bounds the total
+        wait-for-rejoin time once every link is down.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 1.0
+    deadline: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise InvalidParameterError(
+                f"max_attempts must be at least 1, got {self.max_attempts}")
+        if not (0.0 < self.base_delay <= self.max_delay):
+            raise InvalidParameterError(
+                "need 0 < base_delay <= max_delay, got "
+                f"base_delay={self.base_delay}, max_delay={self.max_delay}")
+        if self.deadline <= 0.0:
+            raise InvalidParameterError(
+                f"deadline must be positive, got {self.deadline}")
+
+    def next_delay(self, previous: float, rng: random.Random) -> float:
+        """The next decorrelated-jitter sleep after a ``previous`` sleep."""
+        upper = max(previous, self.base_delay) * 3.0
+        return min(self.max_delay, rng.uniform(self.base_delay, upper))
+
+    def call(self, fn: Callable, *,
+             retry_on: tuple = (OSError, TransportError),
+             rng: Optional[random.Random] = None,
+             sleep: Callable[[float], None] = time.sleep,
+             clock: Callable[[], float] = time.monotonic,
+             on_backoff: Optional[Callable] = None):
+        """Run ``fn`` with retries; returns its result or raises the last error.
+
+        Only ``retry_on`` exceptions are retried —
+        :class:`~repro.utils.transport.AuthenticationError` deliberately
+        is not in the default tuple, because a secret mismatch does not
+        heal with time.  ``on_backoff(attempt, delay, error)`` is invoked
+        before each sleep (the executor uses it for
+        :class:`GatherStats` accounting); ``rng``/``sleep``/``clock`` are
+        injectable for deterministic tests.
+        """
+        rng = random.Random() if rng is None else rng
+        start = clock()
+        delay = self.base_delay
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn()
+            except retry_on as error:
+                if attempt >= self.max_attempts:
+                    raise
+                delay = self.next_delay(delay, rng)
+                if clock() + delay > start + self.deadline:
+                    raise
+                if on_backoff is not None:
+                    on_backoff(attempt, delay, error)
+                sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
 
 
 def parse_address(address) -> tuple[str, int]:
@@ -128,6 +302,34 @@ def parse_address(address) -> tuple[str, int]:
         return host, int(port)
     host, port = address
     return str(host), int(port)
+
+
+def _nodelay(sock: socket.socket) -> None:
+    """Disable Nagle on a connection socket.
+
+    The protocol is strictly request/response with small framed
+    handshake messages; leaving Nagle on costs a delayed-ACK stall
+    (~40 ms each) per handshake leg, which dwarfs the actual localhost
+    round trip by orders of magnitude.
+    """
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except OSError:
+        pass  # non-TCP sockets (e.g. test socketpairs) have no Nagle
+
+
+def _codec_offer(compression: Optional[str]):
+    """Map a ``compression`` knob to the handshake codec offer.
+
+    ``None``/``"none"`` offers nothing (uncompressed link), ``"auto"``
+    offers every codec this build speaks, and a codec name offers exactly
+    that codec.
+    """
+    if compression in (None, "none"):
+        return ()
+    if compression == "auto":
+        return None  # client_handshake default: all available codecs
+    return (compression,)
 
 
 # ---------------------------------------------------------------------------
@@ -163,68 +365,123 @@ def _handle_ingest(message: dict, stream_cache: dict) -> dict:
     return {"ok": True, "ensemble": ensemble}
 
 
-def serve_worker(host: str = "127.0.0.1", port: int = 0) -> None:
+def serve_worker(host: str = "127.0.0.1", port: int = 0, *,
+                 secret=_UNSET, codecs: Optional[Sequence[str]] = None) -> None:
     """Run a worker: accept coordinator connections until told to stop.
 
     Announces the bound port on stdout as ``REPRO-WORKER LISTENING <port>``
     (how :func:`spawn_local_workers` learns auto-assigned ports) and then
-    serves one coordinator connection at a time.  Per-connection state is a
-    stream cache keyed by slot; per-message ingest failures are reported
-    back as ``{"ok": False}`` replies, transport failures drop the
-    connection and wait for the next coordinator.
+    serves one coordinator connection at a time.  Every connection starts
+    with the version/codec/auth handshake — ``secret`` defaults to
+    :func:`~repro.utils.transport.resolve_cluster_secret` (the
+    ``REPRO_CLUSTER_SECRET`` / ``REPRO_CLUSTER_SECRET_FILE`` environment),
+    and a failed or mismatched handshake refuses the connection (logged
+    to stderr) without reading any pickled payload and without killing
+    the worker.  Per-connection state is a stream cache keyed by slot;
+    per-message ingest failures are reported back as ``{"ok": False}``
+    replies, transport failures drop the connection and wait for the next
+    coordinator.
+
+    When running in the main thread the worker installs a SIGTERM handler
+    that raises :class:`SystemExit` — so :func:`stop_local_workers`'
+    ``terminate()`` closes the listener and exits with status 0 instead
+    of riding the wait-then-kill fallback.  Setting
+    :data:`IGNORE_TERM_ENV` makes the worker ignore SIGTERM instead (the
+    fault hook that pins the kill fallback in tests).
     """
+    if secret is _UNSET:
+        secret = resolve_cluster_secret()
     listener = socket.create_server((host, port))
+    if threading.current_thread() is threading.main_thread():
+        if os.environ.get(IGNORE_TERM_ENV, "") not in ("", "0"):
+            signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        else:
+            def _graceful_exit(signum, frame):
+                raise SystemExit(0)
+
+            signal.signal(signal.SIGTERM, _graceful_exit)
     try:
         print(f"{_READY_PREFIX}{listener.getsockname()[1]}", flush=True)
         while True:
             conn, _ = listener.accept()
             stream_cache: dict = {}
             with conn:
+                _nodelay(conn)
+                conn.settimeout(HANDSHAKE_TIMEOUT)
+                try:
+                    negotiated = server_handshake(conn, secret=secret,
+                                                  codecs=codecs)
+                except AuthenticationError as error:
+                    print(f"refused connection: {error}",
+                          file=sys.stderr, flush=True)
+                    continue
+                except TransportError:
+                    continue  # garbled hello / peer went away mid-handshake
+                conn.settimeout(None)
+                codec = negotiated.codec
                 while True:
+                    # Any transport failure here — a torn request, or a
+                    # reply send into a connection the coordinator already
+                    # abandoned (it declared us dead mid-ingest) — drops
+                    # the connection and awaits the next coordinator; it
+                    # must never kill the worker.
                     try:
                         message = recv_message(conn)
+                        if not isinstance(message, dict):
+                            send_message(conn, {"ok": False,
+                                                "error": "malformed message"},
+                                         compression=codec)
+                            continue
+                        op = message.get("op")
+                        if op == "ping":
+                            send_message(conn, {"op": "pong"},
+                                         compression=codec)
+                        elif op == "echo":
+                            send_message(
+                                conn, {"ok": True,
+                                       "payload": message.get("payload")},
+                                compression=codec)
+                        elif op == "shutdown":
+                            send_message(conn, {"ok": True}, compression=codec)
+                            return
+                        elif op == "ingest":
+                            try:
+                                reply = _handle_ingest(message, stream_cache)
+                            except Exception as error:  # ship, don't die
+                                reply = {"ok": False,
+                                         "error":
+                                         f"{type(error).__name__}: {error}"}
+                            send_message(conn, reply, compression=codec)
+                        else:
+                            send_message(conn, {"ok": False,
+                                                "error": f"unknown op {op!r}"},
+                                         compression=codec)
                     except TransportError:
                         break  # coordinator went away; await the next one
-                    if not isinstance(message, dict):
-                        send_message(conn, {"ok": False,
-                                            "error": "malformed message"})
-                        continue
-                    op = message.get("op")
-                    if op == "ping":
-                        send_message(conn, {"op": "pong"})
-                    elif op == "echo":
-                        send_message(conn, {"ok": True,
-                                            "payload": message.get("payload")})
-                    elif op == "shutdown":
-                        send_message(conn, {"ok": True})
-                        return
-                    elif op == "ingest":
-                        try:
-                            reply = _handle_ingest(message, stream_cache)
-                        except Exception as error:  # ship, don't kill the worker
-                            reply = {"ok": False,
-                                     "error": f"{type(error).__name__}: {error}"}
-                        send_message(conn, reply)
-                    else:
-                        send_message(conn, {"ok": False,
-                                            "error": f"unknown op {op!r}"})
     finally:
         listener.close()
 
 
 def spawn_local_workers(num_workers: int, *, env: Optional[dict] = None,
+                        ports: Optional[Sequence[int]] = None,
                         startup_timeout: float = 60.0,
                         ) -> tuple[list, list[tuple[str, int]]]:
     """Spawn ``num_workers`` localhost worker subprocesses.
 
-    Each worker binds an OS-assigned port and announces it on stdout;
-    returns ``(processes, addresses)`` once every worker is listening.
-    ``env`` entries overlay the inherited environment (the fault-injection
-    suite uses :data:`INGEST_DELAY_ENV` to hold a worker mid-ingest).
-    Callers own the processes — stop them with :func:`stop_local_workers`.
+    Each worker binds an OS-assigned port (or ``ports[i]`` when given —
+    how the rejoin tests restart a worker at its old address) and
+    announces it on stdout; returns ``(processes, addresses)`` once every
+    worker is listening.  ``env`` entries overlay the inherited
+    environment (the fault-injection suite uses :data:`INGEST_DELAY_ENV`
+    to hold a worker mid-ingest, and ``REPRO_CLUSTER_SECRET`` to spawn
+    authenticated workers).  Callers own the processes — stop them with
+    :func:`stop_local_workers`.
     """
     if num_workers < 1:
         raise InvalidParameterError("num_workers must be at least 1")
+    if ports is not None and len(ports) != num_workers:
+        raise InvalidParameterError(
+            f"got {len(ports)} ports for {num_workers} workers")
     src_dir = os.path.dirname(os.path.dirname(os.path.dirname(
         os.path.abspath(__file__))))
     merged_env = dict(os.environ)
@@ -236,10 +493,11 @@ def spawn_local_workers(num_workers: int, *, env: Optional[dict] = None,
     processes = []
     addresses = []
     try:
-        for _ in range(num_workers):
+        for index in range(num_workers):
+            port = 0 if ports is None else int(ports[index])
             process = subprocess.Popen(
                 [sys.executable, "-m", "repro.utils.coordinator",
-                 "--serve", "--host", "127.0.0.1", "--port", "0"],
+                 "--serve", "--host", "127.0.0.1", "--port", str(port)],
                 stdout=subprocess.PIPE, stderr=subprocess.PIPE,
                 text=True, env=merged_env)
             processes.append(process)
@@ -265,14 +523,20 @@ def spawn_local_workers(num_workers: int, *, env: Optional[dict] = None,
     return processes, addresses
 
 
-def stop_local_workers(processes: Sequence) -> None:
-    """Terminate (then kill) worker subprocesses from :func:`spawn_local_workers`."""
+def stop_local_workers(processes: Sequence, *, wait_timeout: float = 5.0) -> None:
+    """Terminate (then kill) worker subprocesses from :func:`spawn_local_workers`.
+
+    The SIGTERM handler installed by :func:`serve_worker` makes the
+    terminate path exit promptly; a worker that ignores SIGTERM (wedged,
+    or running with :data:`IGNORE_TERM_ENV`) is killed after
+    ``wait_timeout`` seconds.
+    """
     for process in processes:
         if process.poll() is None:
             process.terminate()
     for process in processes:
         try:
-            process.wait(timeout=5.0)
+            process.wait(timeout=wait_timeout)
         except subprocess.TimeoutExpired:
             process.kill()
             process.wait()
@@ -281,29 +545,76 @@ def stop_local_workers(processes: Sequence) -> None:
                 pipe.close()
 
 
-def shutdown_worker(address, *, timeout: float = DEFAULT_CONNECT_TIMEOUT) -> bool:
-    """Politely stop one worker; ``True`` when it acknowledged."""
+def shutdown_worker(address, *, timeout: float = DEFAULT_CONNECT_TIMEOUT,
+                    retry: Optional[RetryPolicy] = None,
+                    secret=_UNSET) -> bool:
+    """Politely stop one worker; ``True`` when it acknowledged.
+
+    Connect failures are retried under ``retry`` when given.  A worker
+    that cannot be reached (or refuses the handshake) yields ``False`` —
+    shutdown is best-effort by design.
+    """
     host, port = parse_address(address)
-    try:
+    if secret is _UNSET:
+        secret = resolve_cluster_secret()
+
+    def attempt() -> bool:
         with socket.create_connection((host, port), timeout=timeout) as sock:
+            _nodelay(sock)
             sock.settimeout(timeout)
-            send_message(sock, {"op": "shutdown"})
+            negotiated = client_handshake(sock, secret=secret, codecs=())
+            send_message(sock, {"op": "shutdown"},
+                         compression=negotiated.codec)
             reply = recv_message(sock)
             return bool(isinstance(reply, dict) and reply.get("ok"))
-    except (OSError, TransportError):
+
+    try:
+        if retry is not None:
+            return retry.call(attempt)
+        return attempt()
+    except (OSError, TransportError, AuthenticationError):
         return False
 
 
 def worker_echo(address, payload, *,
-                timeout: float = DEFAULT_HEARTBEAT_TIMEOUT) -> object:
-    """Round-trip ``payload`` through a worker (transport benchmarking)."""
+                timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+                retry: Optional[RetryPolicy] = None,
+                compression: Optional[str] = None,
+                secret=_UNSET) -> object:
+    """Round-trip ``payload`` through a worker (transport benchmarking).
+
+    Reachability failures are wrapped into :class:`WorkerError` carrying
+    the worker address — the same remedial-context contract as every
+    other coordinator path — after exhausting ``retry`` when one is
+    given.  ``compression`` is the link knob of
+    :class:`DistributedExecutor` (``None``/``"auto"``/codec name);
+    :class:`~repro.utils.transport.AuthenticationError` propagates
+    unwrapped, because retrying or blaming the link cannot fix a secret
+    mismatch.
+    """
     host, port = parse_address(address)
-    with socket.create_connection((host, port), timeout=timeout) as sock:
-        sock.settimeout(timeout)
-        send_message(sock, {"op": "echo", "payload": payload})
-        reply = recv_message(sock)
+    if secret is _UNSET:
+        secret = resolve_cluster_secret()
+
+    def attempt():
+        with socket.create_connection((host, port), timeout=timeout) as sock:
+            _nodelay(sock)
+            sock.settimeout(timeout)
+            negotiated = client_handshake(sock, secret=secret,
+                                          codecs=_codec_offer(compression))
+            send_message(sock, {"op": "echo", "payload": payload},
+                         compression=negotiated.codec)
+            return recv_message(sock)
+
+    try:
+        reply = retry.call(attempt) if retry is not None else attempt()
+    except AuthenticationError:
+        raise
+    except (OSError, TransportError) as error:
+        raise WorkerError(
+            f"echo to worker {host}:{port} failed: {error}") from error
     if not (isinstance(reply, dict) and reply.get("ok")):
-        raise WorkerError(f"echo to {host}:{port} failed: {reply!r}")
+        raise WorkerError(f"echo to worker {host}:{port} failed: {reply!r}")
     return reply["payload"]
 
 
@@ -323,7 +634,8 @@ class GatherStats:
     workers:
         Worker addresses configured.
     reachable_workers:
-        Workers that answered the connect-time heartbeat probe.
+        Workers that completed the handshake + heartbeat probe during the
+        initial connect wave.
     dead_workers:
         Workers declared dead *during* the run (timeout / transport error).
     redispatches:
@@ -334,9 +646,23 @@ class GatherStats:
     degraded_serial_shards:
         Shards ingested in-process because no worker could serve them.
     bytes_sent, bytes_received:
-        Wire payload traffic (frame bytes, excluding headers).
+        Payload traffic (uncompressed frame bytes, excluding headers).
     failure_rate_ewma:
         The coordinator's worker-failure EWMA after this run.
+    rejoined_workers:
+        Successful re-probes of a previously dead/unreachable address —
+        a worker restarted at the same endpoint that took load mid-run.
+    connect_retries:
+        Failed connect attempts that were retried or re-probed (initial
+        backoff retries + dead-address probes that did not connect).
+    backoff_seconds:
+        Total time slept in retry backoff and rejoin-probe waits.
+    wire_bytes_sent, wire_bytes_received:
+        Actual wire traffic including frame headers and the effect of
+        compression (compare with ``bytes_sent``/``bytes_received`` for
+        the compression ratio).
+    compression:
+        Codec negotiated for the run's links (``None`` = uncompressed).
     """
 
     shards: int
@@ -349,32 +675,68 @@ class GatherStats:
     bytes_sent: int = 0
     bytes_received: int = 0
     failure_rate_ewma: float = 0.0
+    rejoined_workers: int = 0
+    connect_retries: int = 0
+    backoff_seconds: float = 0.0
+    wire_bytes_sent: int = 0
+    wire_bytes_received: int = 0
+    compression: Optional[str] = None
 
 
 class _WorkerLink:
     """One live coordinator-to-worker connection with in-flight bookkeeping."""
 
     def __init__(self, address: tuple[str, int], *, connect_timeout: float,
-                 reply_timeout: float) -> None:
+                 reply_timeout: float, secret: Optional[bytes] = None,
+                 codecs=None,
+                 min_compress_bytes: int = DEFAULT_MIN_COMPRESS_BYTES) -> None:
         self.address = address
         self.sock = socket.create_connection(address, timeout=connect_timeout)
-        self.sock.settimeout(connect_timeout)
-        send_message(self.sock, {"op": "ping"})
-        reply = recv_message(self.sock)
-        if not (isinstance(reply, dict) and reply.get("op") == "pong"):
-            raise TransportError(f"worker {address} failed the heartbeat "
-                                 f"probe: {reply!r}")
+        try:
+            _nodelay(self.sock)
+            self.sock.settimeout(connect_timeout)
+            self.negotiated = client_handshake(self.sock, secret=secret,
+                                               codecs=codecs)
+            send_message(self.sock, {"op": "ping"})
+            reply = recv_message(self.sock)
+            if not (isinstance(reply, dict) and reply.get("op") == "pong"):
+                raise TransportError(f"worker {address} failed the heartbeat "
+                                     f"probe: {reply!r}")
+        except BaseException:
+            self.close()  # no half-open sockets on handshake/probe failure
+            raise
         self.sock.settimeout(reply_timeout)
+        self.codec = self.negotiated.codec
+        self.min_compress_bytes = min_compress_bytes
         self.installed_slots: set[int] = set()
         self.inflight: list[int] = []  # shard ids, in send order
         self.bytes_sent = 0
         self.bytes_received = 0
+
+    def send(self, frames) -> int:
+        """Send one framed message on the negotiated codec; wire bytes."""
+        sent = send_frames(self.sock, frames, compression=self.codec,
+                           min_compress_bytes=self.min_compress_bytes)
+        self.bytes_sent += sent
+        return sent
 
     def close(self) -> None:
         try:
             self.sock.close()
         except OSError:
             pass
+
+
+class _ProbeState:
+    """Backoff bookkeeping for one dead/unreachable worker address."""
+
+    __slots__ = ("delay", "next_time", "was_reachable")
+
+    def __init__(self, delay: float, next_time: float,
+                 was_reachable: bool) -> None:
+        self.delay = delay
+        self.next_time = next_time
+        self.was_reachable = was_reachable
 
 
 class DistributedExecutor:
@@ -390,25 +752,54 @@ class DistributedExecutor:
         Seconds to wait for any single worker reply before declaring the
         worker dead and re-dispatching its outstanding shards.
     connect_timeout:
-        Seconds allowed for the connect + heartbeat probe per worker.
+        Seconds allowed for the connect + handshake + heartbeat probe per
+        worker (per attempt; ``retry_policy`` governs attempts).
     failure_rate_prior:
         Pre-seeds the worker-failure EWMA (same role as the retry
         engine's ``failure_rate_prior``): a coordinator that expects
         deaths holds back spare dispatch capacity from the first wave.
+    retry_policy:
+        :class:`RetryPolicy` for connects, dead-address re-probes
+        (worker rejoin), and the wait-for-rejoin budget once every link
+        is down.  Defaults to ``RetryPolicy()``.
+    compression:
+        Link compression offered in the handshake: ``None``/``"none"``
+        (default, uncompressed), ``"auto"`` (negotiate the best codec
+        both ends speak), or a codec name from
+        :func:`~repro.utils.transport.available_codecs`.
+    secret:
+        Cluster secret for the authenticated handshake; defaults to
+        :func:`~repro.utils.transport.resolve_cluster_secret` (the
+        environment).  Pass ``None`` to force unauthenticated mode.
+    min_compress_bytes:
+        Per-frame compression threshold (smaller frames go raw).
     """
 
     def __init__(self, addresses: Sequence, *,
                  heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
                  connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
-                 failure_rate_prior: float = 0.0) -> None:
+                 failure_rate_prior: float = 0.0,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 compression: Optional[str] = None,
+                 secret=_UNSET,
+                 min_compress_bytes: int = DEFAULT_MIN_COMPRESS_BYTES) -> None:
         if not (0.0 <= failure_rate_prior < 1.0):
             raise InvalidParameterError(
                 f"failure_rate_prior must lie in [0, 1), got {failure_rate_prior}")
+        if compression not in (None, "none", "auto") and \
+                compression not in available_codecs():
+            raise InvalidParameterError(
+                f"unknown compression {compression!r}; expected None, "
+                f"'none', 'auto', or one of {available_codecs()}")
         self._addresses = [parse_address(address) for address in addresses]
         self._heartbeat_timeout = float(heartbeat_timeout)
         self._connect_timeout = float(connect_timeout)
         self._failure_ewma = float(failure_rate_prior)
         self._observed = failure_rate_prior > 0.0
+        self._retry_policy = RetryPolicy() if retry_policy is None else retry_policy
+        self._compression = compression
+        self._secret = resolve_cluster_secret() if secret is _UNSET else secret
+        self._min_compress_bytes = int(min_compress_bytes)
         self.last_stats: Optional[GatherStats] = None
 
     @property
@@ -430,16 +821,12 @@ class DistributedExecutor:
         return min(num_shards - 1, int(math.ceil(
             self._failure_ewma * num_shards * RETRY_SPARE_MARGIN)))
 
-    def _connect(self) -> list[_WorkerLink]:
-        links = []
-        for address in self._addresses:
-            try:
-                links.append(_WorkerLink(
-                    address, connect_timeout=self._connect_timeout,
-                    reply_timeout=self._heartbeat_timeout))
-            except (OSError, TransportError):
-                continue  # unreachable: simply not part of this run
-        return links
+    def _open_link(self, address: tuple[str, int]) -> _WorkerLink:
+        return _WorkerLink(
+            address, connect_timeout=self._connect_timeout,
+            reply_timeout=self._heartbeat_timeout, secret=self._secret,
+            codecs=_codec_offer(self._compression),
+            min_compress_bytes=self._min_compress_bytes)
 
     def ingest(self, ensembles: Sequence, streams: Sequence, *,
                batch_size: Optional[int] = None) -> list:
@@ -449,8 +836,12 @@ class DistributedExecutor:
         to the serial back-end (same kernels, same batch boundaries —
         exactly the multiprocessing contract, carried over a socket).
         Shards lost to worker deaths re-dispatch to survivors from their
-        retained payload frames; with no survivors the remainder ingests
-        in-process.  Diagnostics land in :attr:`last_stats`.
+        retained payload frames; dead addresses are re-probed with
+        backoff between rounds, so a worker restarted at the same
+        endpoint rejoins the run and takes load again.  With no link left
+        the coordinator waits out the probe schedule (bounded by the
+        retry policy's deadline) before degrading the remainder to
+        in-process serial ingest.  Diagnostics land in :attr:`last_stats`.
         """
         ensembles = list(ensembles)
         streams = list(streams)
@@ -477,15 +868,26 @@ class DistributedExecutor:
                                      np.asarray(indices), np.asarray(deltas)))
             shard_slot.append(slot_of[key])
 
-        links = self._connect()
-        opened = list(links)  # for cleanup: `links` drops dead entries
-        reachable = len(links)
-        dead = redispatches = degraded = 0
+        policy = self._retry_policy
+        rng = random.Random()
+        links: list[_WorkerLink] = []
+        opened: list[_WorkerLink] = []  # every link ever created, for cleanup
+        probe_states: dict[tuple[str, int], _ProbeState] = {}
+        dead = redispatches = degraded = rejoined = 0
+        connect_retries = 0
+        backoff_seconds = 0.0
         bytes_sent = bytes_received = 0
+        wire_sent = wire_received = 0
+        recovery_deadline: Optional[float] = None
         sends_of_shard = [0] * num_shards
         # Retained wire frames per shard, pickled once; a re-dispatch
         # resends these bytes instead of re-pickling the payload.
         shard_frames: dict[int, list[bytes]] = {}
+
+        def on_backoff(attempt: int, delay: float, error: Exception) -> None:
+            nonlocal connect_retries, backoff_seconds
+            connect_retries += 1
+            backoff_seconds += delay
 
         def frames_for(shard: int) -> list[bytes]:
             if shard not in shard_frames:
@@ -499,7 +901,7 @@ class DistributedExecutor:
             return shard_frames[shard]
 
         def _send(link: _WorkerLink, shard: int) -> None:
-            nonlocal bytes_sent, redispatches
+            nonlocal bytes_sent, wire_sent, redispatches
             slot = shard_slot[shard]
             if slot not in link.installed_slots:
                 # First shard of this slot on this worker: ship the stream
@@ -512,69 +914,114 @@ class DistributedExecutor:
                 frames_for(shard)  # retain the stream-less copy for re-dispatch
             else:
                 frames = frames_for(shard)
-            sent = send_frames(link.sock, frames)
+            wire_sent += link.send(frames)
             link.installed_slots.add(slot)
-            link.bytes_sent += sent
             bytes_sent += frames_nbytes(frames)
             sends_of_shard[shard] += 1
             if sends_of_shard[shard] > 1:
                 redispatches += 1
             link.inflight.append(shard)
 
-        spares = self.spare_slots(num_shards) if links else 0
-        pending: list[int] = list(range(num_shards))
-        reserve: list[int] = pending[num_shards - spares:] if spares else []
-        first_wave: list[int] = pending[:num_shards - spares] if spares else pending
+        def mark_dead(link: _WorkerLink) -> None:
+            nonlocal dead, recovery_deadline
+            self._kill(link, links)
+            dead += 1
+            if recovery_deadline is None:
+                recovery_deadline = time.monotonic() + policy.deadline
+            probe_states[link.address] = _ProbeState(
+                delay=policy.base_delay,
+                next_time=time.monotonic() + policy.base_delay,
+                was_reachable=True)
 
-        def dispatch(shards: Sequence[int]) -> list[int]:
-            """Round-robin ``shards`` over live links; returns undispatched."""
-            nonlocal dead
-            unsent = []
-            for position, shard in enumerate(shards):
-                if not links:
-                    unsent.extend(shards[position:])
-                    break
-                link = links[position % len(links)]
+        def probe_dead(now: float) -> None:
+            """Re-probe dead addresses whose backoff expired (rejoin path)."""
+            nonlocal rejoined, connect_retries
+            for address, state in list(probe_states.items()):
+                if state.next_time > now:
+                    continue
                 try:
-                    _send(link, shard)
-                except TransportError:
-                    # The send itself failed: this worker is dead too, and
-                    # everything already in flight on it is lost with it.
-                    unsent.extend(link.inflight)
-                    link.inflight.clear()
-                    self._kill(link, links)
-                    dead += 1
-                    unsent.append(shard)
-            return unsent
-
-        def gather() -> list[int]:
-            """Collect every in-flight reply; returns shards needing re-send."""
-            nonlocal bytes_received, dead
-            lost: list[int] = []
-            for link in list(links):
-                while link.inflight:
-                    shard = link.inflight[0]
-                    try:
-                        frames = recv_frames(link.sock)
-                        reply = loads_frames(frames)
-                    except (TransportError, OSError):
-                        # Dead or stalled worker: every outstanding shard
-                        # on this link re-routes to a survivor.
-                        lost.extend(link.inflight)
-                        link.inflight.clear()
-                        self._kill(link, links)
-                        dead += 1
-                        break
-                    link.inflight.pop(0)
-                    if not (isinstance(reply, dict) and reply.get("ok")):
-                        raise WorkerError(
-                            f"worker {link.address} failed shard {shard}: "
-                            f"{reply.get('error') if isinstance(reply, dict) else reply!r}")
-                    bytes_received += frames_nbytes(frames)
-                    results[shard] = reply["ensemble"]
-            return lost
+                    link = self._open_link(address)
+                except (OSError, TransportError):
+                    connect_retries += 1
+                    state.delay = policy.next_delay(state.delay, rng)
+                    state.next_time = now + state.delay
+                else:
+                    opened.append(link)
+                    links.append(link)
+                    del probe_states[address]
+                    rejoined += 1
 
         try:
+            for address in self._addresses:
+                try:
+                    link = policy.call(
+                        lambda addr=address: self._open_link(addr),
+                        rng=rng, on_backoff=on_backoff)
+                except (OSError, TransportError):
+                    # Unreachable at scatter time: not part of the first
+                    # wave, but re-probed between rounds like any dead
+                    # address (a late-starting worker still joins the run).
+                    probe_states[address] = _ProbeState(
+                        delay=policy.base_delay,
+                        next_time=time.monotonic() + policy.base_delay,
+                        was_reachable=False)
+                    continue
+                opened.append(link)
+                links.append(link)
+            reachable = len(links)
+
+            def dispatch(shards: Sequence[int]) -> list[int]:
+                """Round-robin ``shards`` over live links; returns undispatched."""
+                unsent = []
+                for position, shard in enumerate(shards):
+                    if not links:
+                        unsent.extend(shards[position:])
+                        break
+                    link = links[position % len(links)]
+                    try:
+                        _send(link, shard)
+                    except TransportError:
+                        # The send itself failed: this worker is dead too, and
+                        # everything already in flight on it is lost with it.
+                        unsent.extend(link.inflight)
+                        link.inflight.clear()
+                        mark_dead(link)
+                        unsent.append(shard)
+                return unsent
+
+            def gather() -> list[int]:
+                """Collect every in-flight reply; returns shards needing re-send."""
+                nonlocal bytes_received, wire_received
+                lost: list[int] = []
+                for link in list(links):
+                    while link.inflight:
+                        shard = link.inflight[0]
+                        try:
+                            frames, wire = recv_frames_counted(link.sock)
+                            reply = loads_frames(frames)
+                        except (TransportError, OSError):
+                            # Dead or stalled worker: every outstanding shard
+                            # on this link re-routes to a survivor.
+                            lost.extend(link.inflight)
+                            link.inflight.clear()
+                            mark_dead(link)
+                            break
+                        link.inflight.pop(0)
+                        if not (isinstance(reply, dict) and reply.get("ok")):
+                            raise WorkerError(
+                                f"worker {link.address} failed shard {shard}: "
+                                f"{reply.get('error') if isinstance(reply, dict) else reply!r}")
+                        wire_received += wire
+                        link.bytes_received += wire
+                        bytes_received += frames_nbytes(frames)
+                        results[shard] = reply["ensemble"]
+                return lost
+
+            spares = self.spare_slots(num_shards) if links else 0
+            pending: list[int] = list(range(num_shards))
+            reserve = pending[num_shards - spares:] if spares else []
+            first_wave = pending[:num_shards - spares] if spares else pending
+
             if links:
                 todo = dispatch(first_wave)
                 todo.extend(reserve)
@@ -582,8 +1029,26 @@ class DistributedExecutor:
                     todo.extend(gather())
                     if not todo:
                         break
+                    now = time.monotonic()
+                    if recovery_deadline is not None and now > recovery_deadline:
+                        break  # recovery budget spent; remainder goes serial
+                    probe_dead(now)
                     if not links:
-                        break
+                        # Every link is down.  Wait out the probe backoff
+                        # for addresses that were reachable at some point
+                        # this run — a restarted worker rejoins here — but
+                        # never for addresses that were *always* dark.
+                        waitable = [state for state in probe_states.values()
+                                    if state.was_reachable]
+                        if not waitable or recovery_deadline is None:
+                            break
+                        wake = min(state.next_time for state in waitable)
+                        pause = min(max(wake - now, 0.0),
+                                    max(recovery_deadline - now, 0.0))
+                        if pause > 0.0:
+                            time.sleep(pause)
+                            backoff_seconds += pause
+                        continue
                     batch, todo = todo, []
                     todo.extend(dispatch(batch))
             else:
@@ -592,6 +1057,8 @@ class DistributedExecutor:
             # Last resort: no (remaining) workers — ingest in-process, which
             # is the serial back-end itself, so the contract still holds.
             for shard in todo:
+                if results[shard] is not None:
+                    continue
                 ensembles[shard].update_stream(streams[shard],
                                                batch_size=batch_size)
                 results[shard] = ensembles[shard]
@@ -604,12 +1071,13 @@ class DistributedExecutor:
                 link.close()
 
         if reachable:
-            rate = dead / reachable
+            rate = dead / max(reachable, 1)
             self._failure_ewma = rate if not self._observed else (
                 RETRY_EWMA_ALPHA * rate
                 + (1.0 - RETRY_EWMA_ALPHA) * self._failure_ewma)
             self._observed = True
 
+        negotiated = sorted({link.codec for link in opened if link.codec})
         self.last_stats = GatherStats(
             shards=num_shards,
             workers=len(self._addresses),
@@ -621,6 +1089,12 @@ class DistributedExecutor:
             bytes_sent=bytes_sent,
             bytes_received=bytes_received,
             failure_rate_ewma=self._failure_ewma,
+            rejoined_workers=rejoined,
+            connect_retries=connect_retries,
+            backoff_seconds=backoff_seconds,
+            wire_bytes_sent=wire_sent,
+            wire_bytes_received=wire_received,
+            compression=";".join(negotiated) if negotiated else None,
         )
         return results
 
@@ -668,7 +1142,10 @@ def worker_pool(addresses: Sequence, **executor_kwargs):
 
     Every distributed ingest inside the block routes through one shared
     :class:`DistributedExecutor` (so its failure EWMA accumulates across
-    calls); yields the executor for stats inspection.
+    calls); yields the executor for stats inspection.  ``executor_kwargs``
+    pass straight through — ``retry_policy``, ``compression``, ``secret``,
+    the timeouts — so this is also the per-scope configuration surface of
+    the hardened transport.
     """
     global _ACTIVE_EXECUTOR
     executor = DistributedExecutor(addresses, **executor_kwargs)

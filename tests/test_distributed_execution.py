@@ -27,6 +27,7 @@ import socket
 import struct
 import threading
 import time
+import zlib
 
 import numpy as np
 import pytest
@@ -50,8 +51,11 @@ from repro.streams.generators import (
 )
 from repro.utils import transport
 from repro.utils.coordinator import (
+    IGNORE_TERM_ENV,
     DistributedExecutor,
     GatherStats,
+    RetryPolicy,
+    WorkerError,
     default_workers,
     distributed_ingest,
     last_gather_stats,
@@ -169,15 +173,62 @@ class TestTransport:
                 recv_frames(replay_right)
 
     def test_bad_magic_raises_transport_error(self) -> None:
+        # A well-formed v2 header (valid header CRC) with the wrong magic:
+        # the parser must blame the magic, not the checksum.
+        prefix = struct.pack(">2sBI", b"XX", transport.PROTOCOL_VERSION, 0)
         left, right = socket.socketpair()
         with left, right:
-            left.sendall(struct.pack(">2sBI", b"XX", 1, 0))
+            left.sendall(prefix + struct.pack(">I", zlib.crc32(prefix)))
             with pytest.raises(TransportError, match="magic"):
                 recv_frames(right)
+
+    def test_corrupted_header_raises_transport_error(self) -> None:
+        # Any bit flip inside the message header itself trips the header CRC.
+        message = bytearray(transport.encode_frames([b"payload"]))
+        message[2] ^= 0x40  # the version byte
+        with pytest.raises(TransportError, match="checksum|version"):
+            transport.decode_frames(bytes(message))
+
+    def test_wrong_version_raises_transport_error(self) -> None:
+        prefix = struct.pack(">2sBI", b"RS", transport.PROTOCOL_VERSION + 9, 0)
+        left, right = socket.socketpair()
+        with left, right:
+            left.sendall(prefix + struct.pack(">I", zlib.crc32(prefix)))
+            with pytest.raises(TransportError, match="version"):
+                recv_frames(right)
+
+    def test_compressed_roundtrip_is_bit_identical(self) -> None:
+        payload = {"arrays": [np.zeros(4096), np.arange(2048)],
+                   "text": "x" * 10000}
+        plain = frames_as_bytes(dumps_frames(payload))
+        wire = transport.encode_frames(plain, compression="zlib")
+        assert len(wire) < sum(len(frame) for frame in plain)
+        assert transport.decode_frames(wire) == plain
+
+    def test_small_frames_bypass_compression(self) -> None:
+        frames = [b"tiny"]
+        compressed = transport.encode_frames(frames, compression="zlib")
+        raw = transport.encode_frames(frames)
+        assert compressed == raw  # below min_compress_bytes: identical wire
 
     def test_empty_frame_list_refused(self) -> None:
         with pytest.raises(TransportError, match="empty"):
             loads_frames([])
+
+    def test_str_secret_handshakes_with_bytes_secret(self) -> None:
+        # A str secret is encoded UTF-8, exactly like the environment
+        # variable, so mixed str/bytes configuration must authenticate.
+        left, right = socket.socketpair()
+        with left, right:
+            server = threading.Thread(
+                target=transport.server_handshake, args=(right,),
+                kwargs={"secret": b"s3cret"})
+            server.start()
+            negotiated = transport.client_handshake(left, secret="s3cret")
+            server.join(timeout=5.0)
+            assert negotiated.authenticated
+        with pytest.raises(InvalidParameterError, match="secret"):
+            transport.client_handshake(left, secret=123)
 
     def test_parse_address(self) -> None:
         assert parse_address("127.0.0.1:9000") == ("127.0.0.1", 9000)
@@ -209,9 +260,9 @@ def stream():
 def _fake_worker(script):
     """A scripted in-test worker: answers the heartbeat, then misbehaves.
 
-    ``script(conn)`` runs after the ping/pong handshake with the accepted
-    coordinator connection; the listener closes when it returns.  Returns
-    the ``(host, port)`` address.
+    ``script(conn)`` runs after the version/auth handshake and the
+    ping/pong probe on the accepted coordinator connection; the listener
+    closes when it returns.  Returns the ``(host, port)`` address.
     """
     listener = socket.create_server(("127.0.0.1", 0))
     address = listener.getsockname()
@@ -220,6 +271,7 @@ def _fake_worker(script):
         with listener:
             conn, _ = listener.accept()
             with conn:
+                transport.server_handshake(conn)
                 message = recv_message(conn)
                 assert message == {"op": "ping"}
                 send_message(conn, {"op": "pong"})
@@ -415,8 +467,11 @@ def test_connection_dropped_mid_frame_redispatches(stream) -> None:
         recv_frames(conn)  # consume the first ingest payload in full
         # Reply with a torn message: valid header announcing one frame,
         # a frame header promising 4096 bytes, then half of them and EOF.
-        conn.sendall(struct.pack(">2sBI", b"RS", 1, 1))
-        conn.sendall(struct.pack(">QI", 4096, 0))
+        prefix = struct.pack(">2sBI", b"RS", transport.PROTOCOL_VERSION, 1)
+        conn.sendall(prefix + struct.pack(">I", zlib.crc32(prefix)))
+        frame_header = struct.pack(">QBQ", 4096, 0, 4096)
+        conn.sendall(frame_header)
+        conn.sendall(struct.pack(">I", zlib.crc32(frame_header)))
         conn.sendall(b"\x00" * 2048)
 
     faulty = _fake_worker(drop_mid_frame)
@@ -520,6 +575,130 @@ def test_spare_slots_observed_in_stats(stream, workers) -> None:
     # A clean run decays the failure EWMA below the prior.
     assert stats.failure_rate_ewma < 0.5
     np.testing.assert_array_equal(serial._table, distributed._table)
+
+
+# ---------------------------------------------------------------------------
+# Retry policy, remedial errors, and worker lifecycle
+# ---------------------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_validation(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(base_delay=0.0)
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(base_delay=2.0, max_delay=1.0)
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(deadline=0.0)
+
+    def test_next_delay_is_bounded_decorrelated_jitter(self) -> None:
+        import random
+
+        policy = RetryPolicy(base_delay=0.1, max_delay=2.0)
+        rng = random.Random(7)
+        delay = policy.base_delay
+        for _ in range(200):
+            delay = policy.next_delay(delay, rng)
+            assert policy.base_delay <= delay <= policy.max_delay
+
+    def test_call_retries_then_succeeds(self) -> None:
+        attempts = []
+        backoffs = []
+
+        def flaky() -> str:
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise OSError("transient")
+            return "done"
+
+        policy = RetryPolicy(max_attempts=5, base_delay=0.01, max_delay=0.02)
+        result = policy.call(flaky, sleep=lambda _: None,
+                             on_backoff=lambda *a: backoffs.append(a))
+        assert result == "done"
+        assert len(attempts) == 3
+        assert len(backoffs) == 2  # one backoff per failed attempt
+
+    def test_call_exhausts_attempts(self) -> None:
+        policy = RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.02)
+        calls = []
+
+        def always_fails() -> None:
+            calls.append(1)
+            raise TransportError("still down")
+
+        with pytest.raises(TransportError, match="still down"):
+            policy.call(always_fails, sleep=lambda _: None)
+        assert len(calls) == 3
+
+    def test_deadline_aborts_before_sleeping_past_it(self) -> None:
+        policy = RetryPolicy(max_attempts=100, base_delay=0.5, max_delay=1.0,
+                             deadline=1.0)
+        clock = {"now": 0.0}
+
+        def tick_sleep(seconds: float) -> None:
+            clock["now"] += seconds
+
+        calls = []
+
+        def always_fails() -> None:
+            calls.append(1)
+            raise OSError("down")
+
+        with pytest.raises(OSError):
+            policy.call(always_fails, sleep=tick_sleep,
+                        clock=lambda: clock["now"])
+        # Far fewer than 100 attempts: the deadline cut the schedule short.
+        assert len(calls) <= 4
+
+    def test_authentication_error_is_not_retried(self) -> None:
+        calls = []
+
+        def wrong_secret() -> None:
+            calls.append(1)
+            raise transport.AuthenticationError("mismatch")
+
+        policy = RetryPolicy(max_attempts=5, base_delay=0.01, max_delay=0.02)
+        with pytest.raises(transport.AuthenticationError):
+            policy.call(wrong_secret, sleep=lambda _: None)
+        assert len(calls) == 1
+
+
+def test_worker_echo_unreachable_raises_worker_error() -> None:
+    """A connect failure surfaces as WorkerError naming the address."""
+    probe = socket.create_server(("127.0.0.1", 0))
+    host, port = probe.getsockname()
+    probe.close()
+    with pytest.raises(WorkerError, match=f"{host}:{port}"):
+        worker_echo((host, port), b"payload",
+                    retry=RetryPolicy(max_attempts=2, base_delay=0.01,
+                                      max_delay=0.02))
+
+
+def test_worker_echo_compressed_roundtrip(workers) -> None:
+    payload = {"blob": np.zeros(100_000)}
+    echoed = worker_echo(workers[0], payload, compression="auto")
+    np.testing.assert_array_equal(echoed["blob"], payload["blob"])
+
+
+def test_sigterm_exits_gracefully() -> None:
+    """The SIGTERM handler closes the listener and exits with status 0."""
+    processes, _ = spawn_local_workers(1)
+    stop_local_workers(processes)
+    assert processes[0].returncode == 0
+
+
+def test_sigterm_ignored_pins_kill_fallback() -> None:
+    """A worker that ignores SIGTERM rides the wait-then-kill fallback."""
+    processes, _ = spawn_local_workers(1, env={IGNORE_TERM_ENV: "1"})
+    stop_local_workers(processes, wait_timeout=1.0)
+    assert processes[0].returncode == -9  # SIGKILL, not a clean exit
+
+
+def test_spawn_rejects_mismatched_ports() -> None:
+    with pytest.raises(InvalidParameterError, match="ports"):
+        spawn_local_workers(2, ports=[5000])
 
 
 def test_direct_distributed_ingest_and_shutdown(stream) -> None:

@@ -1,0 +1,154 @@
+"""Property-based suite for the transport wire format.
+
+Hypothesis drives :func:`~repro.utils.transport.encode_frames` /
+:func:`~repro.utils.transport.decode_frames` (the in-memory twins of the
+socket sender/receiver — same parser, same integrity semantics) and the
+pickle layer :func:`~repro.utils.transport.dumps_frames` /
+:func:`~repro.utils.transport.loads_frames` over random payload shapes:
+
+* round trips are bit-identical, with and without negotiated
+  compression, at every compression threshold;
+* **every** single-byte corruption of a wire message — header, frame
+  header, checksum, payload, anywhere — raises
+  :class:`~repro.utils.transport.TransportError` (the hand-picked
+  offsets of the socket suite are a subset of this);
+* **every** strict-prefix truncation raises, as do trailing bytes.
+
+The corruption/truncation properties are exhaustive *within* each
+example (every offset of the drawn message), with hypothesis supplying
+the message diversity: frame counts, sizes, compressibility, and
+threshold interactions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy")
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.utils.transport import (  # noqa: E402
+    DEFAULT_MIN_COMPRESS_BYTES,
+    TransportError,
+    available_codecs,
+    decode_frames,
+    dumps_frames,
+    encode_frames,
+    frames_as_bytes,
+    loads_frames,
+)
+
+#: Codecs to sweep: raw plus whatever this build actually speaks.
+CODECS = (None,) + available_codecs()
+
+# Frame lists mixing incompressible (random-ish) and compressible
+# (repetitive) payloads, so both sides of the only-if-smaller rule and
+# the size threshold get exercised.
+_frame = st.one_of(
+    st.binary(min_size=0, max_size=1024),
+    st.builds(lambda byte, count: bytes([byte]) * count,
+              st.integers(0, 255), st.integers(1, 4096)),
+)
+_frames = st.lists(_frame, min_size=1, max_size=5)
+
+# Picklable payload objects of varied shape for the object layer.
+_scalars = st.one_of(
+    st.none(), st.booleans(), st.integers(),
+    st.floats(allow_nan=False), st.text(max_size=40),
+    st.binary(max_size=200),
+)
+_payloads = st.recursive(
+    _scalars,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=4),
+        st.tuples(inner, inner),
+        st.dictionaries(st.text(max_size=8), inner, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+class TestRoundTrip:
+    @given(frames=_frames, codec=st.sampled_from(CODECS))
+    @settings(max_examples=60, deadline=None)
+    def test_encode_decode_is_identity(self, frames, codec) -> None:
+        wire = encode_frames(frames, compression=codec)
+        assert decode_frames(wire) == frames
+
+    @given(frames=_frames, codec=st.sampled_from(CODECS),
+           threshold=st.sampled_from([0, 1, 64, DEFAULT_MIN_COMPRESS_BYTES,
+                                      1 << 20]))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_at_every_compression_threshold(self, frames, codec,
+                                                      threshold) -> None:
+        wire = encode_frames(frames, compression=codec,
+                             min_compress_bytes=threshold)
+        assert decode_frames(wire) == frames
+
+    @given(payload=_payloads, codec=st.sampled_from(CODECS))
+    @settings(max_examples=60, deadline=None)
+    def test_object_roundtrip_through_wire(self, payload, codec) -> None:
+        frames = frames_as_bytes(dumps_frames(payload))
+        rebuilt = loads_frames(decode_frames(
+            encode_frames(frames, compression=codec)))
+        assert rebuilt == payload
+        assert type(rebuilt) is type(payload)
+
+    @given(arrays=st.lists(
+        st.builds(lambda n, scale: np.arange(n) * scale,
+                  st.integers(1, 512), st.floats(-5, 5, allow_nan=False)),
+        min_size=1, max_size=3),
+        codec=st.sampled_from(CODECS))
+    @settings(max_examples=30, deadline=None)
+    def test_array_payloads_are_bit_identical(self, arrays, codec) -> None:
+        frames = frames_as_bytes(dumps_frames(arrays))
+        rebuilt = loads_frames(decode_frames(
+            encode_frames(frames, compression=codec)))
+        assert len(rebuilt) == len(arrays)
+        for got, want in zip(rebuilt, arrays):
+            np.testing.assert_array_equal(got, want)
+            assert got.dtype == want.dtype
+
+
+class TestIntegrity:
+    @given(frames=st.lists(_frame, min_size=1, max_size=3),
+           codec=st.sampled_from(CODECS))
+    @settings(max_examples=20, deadline=None)
+    def test_every_single_byte_corruption_raises(self, frames, codec) -> None:
+        """No byte of the message is outside a checksum's protection."""
+        # Cap total size so the exhaustive inner sweep stays fast.
+        frames = [frame[:256] for frame in frames]
+        wire = bytearray(encode_frames(frames, compression=codec))
+        for offset in range(len(wire)):
+            wire[offset] ^= 0x01
+            with pytest.raises(TransportError):
+                decode_frames(bytes(wire))
+            wire[offset] ^= 0x01  # restore for the next offset
+
+    @given(frames=st.lists(_frame, min_size=1, max_size=3),
+           codec=st.sampled_from(CODECS))
+    @settings(max_examples=20, deadline=None)
+    def test_every_truncation_raises(self, frames, codec) -> None:
+        frames = [frame[:256] for frame in frames]
+        wire = encode_frames(frames, compression=codec)
+        for length in range(len(wire)):
+            with pytest.raises(TransportError):
+                decode_frames(wire[:length])
+
+    @given(frames=_frames, codec=st.sampled_from(CODECS),
+           trailer=st.binary(min_size=1, max_size=16))
+    @settings(max_examples=30, deadline=None)
+    def test_trailing_bytes_refused(self, frames, codec, trailer) -> None:
+        wire = encode_frames(frames, compression=codec)
+        with pytest.raises(TransportError, match="trailing"):
+            decode_frames(wire + trailer)
+
+    @given(frames=_frames)
+    @settings(max_examples=30, deadline=None)
+    def test_compression_only_shrinks(self, frames) -> None:
+        """Compressed wire is never larger than raw (only-if-smaller rule)."""
+        raw = encode_frames(frames)
+        for codec in available_codecs():
+            assert len(encode_frames(frames, compression=codec)) <= len(raw)
