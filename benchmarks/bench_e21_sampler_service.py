@@ -1,0 +1,156 @@
+"""E21 — sampler-service throughput under mixed ingest/query load.
+
+The long-lived service (:mod:`repro.service.sampler_service`) puts a
+socket, pickling, and an asyncio loop between the stream and the sketch;
+this benchmark measures what that wrapper costs.  A daemon subprocess
+serves a CountSketch over the same ``n = 10^5`` universe the E9
+throughput rows use; the driver pushes large update batches (the
+production ingest shape — socket overhead amortises across a batch) and
+interleaves ``estimate_all`` / ``heavy_hitters`` queries, recording:
+
+* sustained *service* updates/sec over the mixed load,
+* the same batches pushed into a plain in-process sketch (the direct
+  baseline), and the ratio ``overhead_vs_direct_ingest`` — median
+  per-batch service ingest over median per-batch direct ingest.  Machine
+  speed cancels in the quotient and medians are steady-state in both
+  quick and full mode, so the regression gate tracks this row across
+  modes and builders (``BENCH_e21.json``),
+* query latency percentiles (p50/p95/max) while ingest is in flight,
+* checkpoint cost (seconds, snapshot bytes) at the final state.
+
+``REPRO_BENCH_QUICK=1`` shrinks the batch count for CI smoke runs; the
+universe, batch size, and query cadence stay fixed so the tracked ratio
+remains comparable.  The JSON lands in ``BENCH_e21.json`` (override via
+``REPRO_BENCH_JSON_E21``) — a separate file from ``BENCH_e9.json`` so
+the two benchmarks' writers never clobber each other's sections.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from _harness import EXPERIMENT_SEED, print_rows
+from repro.evaluation.throughput import write_bench_json
+from repro.service import ServiceClient, spawn_service, stop_service
+from repro.sketch.countsketch import CountSketch
+
+QUICK_MODE = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0", "false", "False")
+BENCH_JSON_PATH = os.environ.get("REPRO_BENCH_JSON_E21", "BENCH_e21.json")
+
+N = 100_000
+BATCH_SIZE = 4096
+SPEC = "repro.sketch.countsketch:CountSketch"
+KWARGS = {"n": N, "buckets": 256, "rows": 5, "seed": EXPERIMENT_SEED}
+QUERY_EVERY = 4  # one estimate_all + one heavy_hitters per this many batches
+
+_BENCH_PAYLOAD: dict = {
+    "benchmark": "E21",
+    "quick_mode": QUICK_MODE,
+    "universe_n": N,
+    "batch_size": BATCH_SIZE,
+}
+
+
+def _batches(count: int, seed_offset: int = 21):
+    rng = np.random.default_rng(EXPERIMENT_SEED + seed_offset)
+    return [(rng.integers(0, N, size=BATCH_SIZE),
+             rng.normal(size=BATCH_SIZE)) for _ in range(count)]
+
+
+def _percentile_ms(samples: list[float], q: float) -> float:
+    return float(np.percentile(np.asarray(samples), q) * 1e3)
+
+
+def test_e21_service_mixed_load(tmp_path) -> None:
+    batch_count = 12 if QUICK_MODE else 96
+    batches = _batches(batch_count)
+    # Untimed warm-up batches so both sides measure the steady-state hot
+    # path — lazy table construction would otherwise weigh on the short
+    # quick-mode run but amortise away in full mode, making the tracked
+    # ratio mode-dependent.
+    warmup = _batches(2, seed_offset=91)
+    snapshot = str(tmp_path / "bench.rsnp")
+
+    # Direct in-process baseline: the same batches, no service between.
+    # Per-batch medians feed the tracked ratio — a median per-batch cost
+    # is steady-state in both quick and full mode, where totals would
+    # fold mode-dependent amortisation into the quotient.
+    direct = CountSketch(**KWARGS)
+    for indices, deltas in warmup:
+        direct.update_batch(indices, deltas)
+    direct_batch_seconds = []
+    for indices, deltas in batches:
+        begin = time.perf_counter()
+        direct.update_batch(indices, deltas)
+        direct_batch_seconds.append(time.perf_counter() - begin)
+
+    process, address = spawn_service(SPEC, KWARGS, snapshot_path=snapshot)
+    try:
+        with ServiceClient(address) as client:
+            for indices, deltas in warmup:
+                client.ingest(indices, deltas)
+            query_seconds: list[float] = []
+            ingest_seconds: list[float] = []
+            start = time.perf_counter()
+            for position, (indices, deltas) in enumerate(batches):
+                begin = time.perf_counter()
+                client.ingest(indices, deltas)
+                ingest_seconds.append(time.perf_counter() - begin)
+                if position % QUERY_EVERY == QUERY_EVERY - 1:
+                    for method, args in (("estimate_all", ()),
+                                         ("heavy_hitters", (0.0,))):
+                        begin = time.perf_counter()
+                        client.query(method, *args)
+                        query_seconds.append(time.perf_counter() - begin)
+            service_seconds = time.perf_counter() - start
+
+            begin = time.perf_counter()
+            checkpoint = client.checkpoint()
+            checkpoint_seconds = time.perf_counter() - begin
+
+            final = client.query("estimate_all")
+    finally:
+        stop_service(process, address)
+
+    # The wrapper must never change answers, only cost time.
+    np.testing.assert_array_equal(final, direct.estimate_all())
+
+    total_updates = batch_count * BATCH_SIZE
+    service_rate = total_updates / service_seconds
+    direct_batch = float(np.median(direct_batch_seconds))
+    ingest_batch = float(np.median(ingest_seconds))
+    direct_rate = BATCH_SIZE / direct_batch
+    overhead = ingest_batch / direct_batch
+    row = {
+        "case": "countsketch_mixed_load",
+        "batches": batch_count,
+        "updates": total_updates,
+        "updates_per_sec_service": service_rate,
+        "updates_per_sec_direct": direct_rate,
+        "overhead_vs_direct_ingest": overhead,
+        "queries": len(query_seconds),
+        "query_p50_ms": _percentile_ms(query_seconds, 50),
+        "query_p95_ms": _percentile_ms(query_seconds, 95),
+        "query_max_ms": _percentile_ms(query_seconds, 100),
+        "checkpoint_seconds": checkpoint_seconds,
+        "snapshot_nbytes": checkpoint["nbytes"],
+    }
+    _BENCH_PAYLOAD["service_load"] = [row]
+    write_bench_json(BENCH_JSON_PATH, _BENCH_PAYLOAD)
+
+    print_rows(
+        "E21: sampler service under mixed load",
+        ["case", "updates/s (service)", "updates/s (direct)",
+         "overhead", "query p50 ms", "query p95 ms"],
+        [[row["case"], service_rate, direct_rate, overhead,
+          row["query_p50_ms"], row["query_p95_ms"]]])
+
+    # Sanity bars only — the committed-baseline regression gate does the
+    # real tracking.  Mixed load on a 1-CPU builder: the service must
+    # stay within an order of magnitude of direct ingest and never
+    # wedge a query behind the whole run.
+    assert overhead < 25.0, f"service overhead blew up: {overhead:.1f}x"
+    assert row["query_max_ms"] < 30_000.0

@@ -1,9 +1,13 @@
 #!/usr/bin/env python
-"""CI benchmark-regression gate for the E9 perf-tracking JSON.
+"""CI benchmark-regression gate for the perf-tracking JSONs.
 
-Compares a freshly produced ``BENCH_e9.json`` (CI runs the quick-mode E9
-smoke) against the committed baseline and **fails on a > 1.5x slowdown**
-of any tracked metric.
+Compares a freshly produced benchmark JSON (CI runs the quick-mode E9
+smoke against ``BENCH_e9.json``, and the service-smoke job runs the
+quick-mode E21 service benchmark against ``BENCH_e21.json``) with the
+committed baseline and **fails on a > 1.5x slowdown** of any tracked
+metric.  Sections absent from either file are skipped, so one gate
+script serves both JSONs: each invocation checks exactly the rows its
+baseline/fresh pair share.
 
 Tracked metrics are deliberately restricted to quantities stable across
 quick/full workload sizes: the *batched per-unit costs* (microseconds per
@@ -55,6 +59,13 @@ TRACKED_METRICS = [
     # change that makes compression expensive fails the gate even on a
     # slow shared runner.
     ("distributed_execution", "case", "overhead_vs_uncompressed"),
+    # E21 (BENCH_e21.json): median per-batch ingest cost through the
+    # long-lived sampler service *relative to* the same batch pushed
+    # into an in-process sketch — a ratio of medians, so builder speed
+    # cancels and the quick-mode smoke stays comparable to the
+    # committed full-mode baseline.  Guards the socket/pickle/asyncio
+    # wrapper against protocol or serialization regressions.
+    ("service_load", "case", "overhead_vs_direct_ingest"),
 ]
 
 DEFAULT_FACTOR = 1.5

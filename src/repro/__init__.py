@@ -62,6 +62,27 @@ to the private per-instance path:
 >>> big.estimate(9_999_999)
 2.0
 
+Snapshots and the long-lived service
+------------------------------------
+Any sketch, sampler, or ensemble round-trips through a versioned,
+CRC-checked on-disk snapshot — and because ``merge`` composes snapshots,
+a saved base merged with a delta sketch is exactly an incremental
+checkpoint:
+
+>>> import tempfile, os
+>>> from repro import load_snapshot, save_snapshot
+>>> path = os.path.join(tempfile.mkdtemp(), "sketch.rsnp")
+>>> _ = save_snapshot(sketch, path)
+>>> restored = load_snapshot(path, expected_type=CountSketch)
+>>> restored.estimate(3)
+3.0
+
+``repro.service`` wraps that in a daemon: ``spawn_service`` starts a
+subprocess serving one object over loopback TCP — concurrent ingest and
+allowlisted queries, periodic checkpoints, restore-on-start after a
+crash (see ``repro/service/sampler_service.py`` for the consistency
+model and deployment posture).
+
 See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
 experiment suite indexed in DESIGN.md and EXPERIMENTS.md.
 """
@@ -151,6 +172,22 @@ from repro.utils.coordinator import (
     worker_pool,
 )
 from repro.utils.transport import AuthenticationError, TransportError
+from repro.utils.snapshot import (
+    SnapshotError,
+    load_snapshot,
+    object_from_snapshot,
+    read_snapshot,
+    save_snapshot,
+    snapshot_bytes,
+    snapshot_metadata,
+)
+from repro.service import (
+    SamplerService,
+    ServiceClient,
+    ServiceError,
+    spawn_service,
+    stop_service,
+)
 from repro.utils.table_cache import (
     CacheStats,
     cache_budget,
@@ -277,6 +314,19 @@ __all__ = [
     "spawn_local_workers",
     "stop_local_workers",
     "worker_pool",
+    # snapshots + the long-lived sampler service
+    "SnapshotError",
+    "save_snapshot",
+    "load_snapshot",
+    "read_snapshot",
+    "snapshot_bytes",
+    "snapshot_metadata",
+    "object_from_snapshot",
+    "SamplerService",
+    "ServiceClient",
+    "ServiceError",
+    "spawn_service",
+    "stop_service",
     "CacheStats",
     "cache_budget",
     "cache_clear",

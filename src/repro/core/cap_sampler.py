@@ -46,25 +46,27 @@ class CapSampler(RejectionGSampler):
         self._threshold = float(threshold)
         self._p = float(p)
 
-        def cap_g(z: float) -> float:
-            magnitude = abs(z)
-            if magnitude == 0:
-                return 0.0
-            return min(self._threshold, magnitude**self._p)
-
         # On integer-valued supports G(x_i) >= min(T, 1); repetitions O(T).
         lower = min(self._threshold, 1.0)
         if num_repetitions is None:
             num_repetitions = max(8, int(math.ceil(4.0 * self._threshold / lower)))
         super().__init__(
             n,
-            cap_g,
+            # A bound method, not a closure, so the sampler (and any
+            # snapshot of it) stays picklable.
+            self._cap_g,
             upper_bound=self._threshold,
             lower_bound=lower,
             seed=seed,
             num_repetitions=num_repetitions,
             sparsity=sparsity,
         )
+
+    def _cap_g(self, z: float) -> float:
+        magnitude = abs(z)
+        if magnitude == 0:
+            return 0.0
+        return min(self._threshold, magnitude**self._p)
 
     @property
     def threshold(self) -> float:

@@ -365,6 +365,11 @@ class JW18LpSamplerEnsemble(ReplicaEnsemble):
         if self._exact:
             self._scaled_vectors += other._scaled_vectors
         else:
+            # Validate all three substrates before touching any, so a
+            # mismatched peer cannot leave a partially merged replica.
+            self._main.check_mergeable(other._main)
+            self._value.check_mergeable(other._value)
+            self._ams.check_mergeable(other._ams)
             self._main.merge(other._main)
             self._value.merge(other._value)
             self._ams.merge(other._ams)

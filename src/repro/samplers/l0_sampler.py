@@ -37,7 +37,11 @@ from repro.sketch.sparse_recovery import KSparseRecovery
 from repro.utils.batching import deepest_levels, route_subsampled_batch
 from repro.utils.ensemble import LevelStackEnsemble, register_ensemble
 from repro.utils.rng import SeedLike, ensure_rng
-from repro.utils.validation import require_positive_int
+from repro.utils.validation import (
+    require_merge_compatible,
+    require_merge_peer,
+    require_positive_int,
+)
 
 
 class PerfectL0Sampler(BatchUpdateMixin):
@@ -129,18 +133,29 @@ class PerfectL0Sampler(BatchUpdateMixin):
         monolithic ingest.  Exact for integer-delta streams.  In place;
         returns ``self``.
         """
-        if not isinstance(other, PerfectL0Sampler):
-            raise InvalidParameterError(
-                "can only merge PerfectL0Sampler with its own kind")
-        if (other._n, other._sparsity, other._num_levels) != \
-                (self._n, self._sparsity, self._num_levels) or \
-                not np.array_equal(self._level_variates, other._level_variates):
-            raise InvalidParameterError(
-                "can only merge identically configured same-seed samplers")
+        self.check_mergeable(other)
         for level, other_level in zip(self._levels, other._levels):
             level.merge(other_level)
         self._num_updates += other._num_updates
         return self
+
+    def check_mergeable(self, other: "PerfectL0Sampler") -> None:
+        """Raise unless ``other`` can merge into ``self``; mutate nothing.
+
+        Recurses into every level so a mismatched peer is refused before
+        any level is touched — never a half-merged stack.
+        """
+        require_merge_peer(self, other)
+        require_merge_compatible(
+            "L0 samplers",
+            {"n": self._n, "sparsity": self._sparsity,
+             "num_levels": self._num_levels,
+             "level variates": self._level_variates},
+            {"n": other._n, "sparsity": other._sparsity,
+             "num_levels": other._num_levels,
+             "level variates": other._level_variates})
+        for level, other_level in zip(self._levels, other._levels):
+            level.check_mergeable(other_level)
 
     def sample(self) -> Optional[Sample]:
         """Return a uniform support element with its exact value, or ``None``.

@@ -202,6 +202,10 @@ class PrecisionLpSamplerEnsemble(ReplicaEnsemble):
                 or not np.array_equal(self._inverse_scale, other._inverse_scale)):
             raise InvalidParameterError(
                 "can only merge identically seeded, identically configured ensembles")
+        # Validate both substrates before touching either, so a mismatched
+        # peer cannot leave the CountSketch bank merged but the AMS bank not.
+        self._sketch.check_mergeable(other._sketch)
+        self._ams.check_mergeable(other._ams)
         self._sketch.merge(other._sketch)
         self._ams.merge(other._ams)
         self._num_updates += other._num_updates

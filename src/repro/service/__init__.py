@@ -1,0 +1,25 @@
+"""Long-lived serving layer: daemons that keep a sketch hot.
+
+The library's sketches are in-memory objects; :mod:`repro.service` wraps
+one in a small network daemon so a stream can be ingested and queried
+continuously, with periodic :mod:`repro.utils.snapshot` checkpoints and
+restore-on-start.  See :mod:`repro.service.sampler_service`.
+"""
+
+from repro.service.sampler_service import (
+    QUERY_ALLOWLIST,
+    SamplerService,
+    ServiceClient,
+    ServiceError,
+    spawn_service,
+    stop_service,
+)
+
+__all__ = [
+    "QUERY_ALLOWLIST",
+    "SamplerService",
+    "ServiceClient",
+    "ServiceError",
+    "spawn_service",
+    "stop_service",
+]

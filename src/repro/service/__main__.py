@@ -1,0 +1,12 @@
+"""``python -m repro.service`` — run the sampler-service daemon.
+
+A separate ``__main__`` shim (rather than running
+``repro.service.sampler_service`` directly under ``-m``) because the
+package ``__init__`` imports that module: runpy would then execute a
+second copy of it and warn about the double import.
+"""
+
+from repro.service.sampler_service import _main
+
+if __name__ == "__main__":
+    _main()

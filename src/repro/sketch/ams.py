@@ -19,7 +19,11 @@ from repro.utils.batching import BatchUpdateMixin, check_batch_bounds, coerce_ba
 from repro.utils.ensemble import ReplicaEnsemble, register_ensemble
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.table_cache import resolve_table_block, resolve_table_mode
-from repro.utils.validation import require_positive_int
+from repro.utils.validation import (
+    require_merge_compatible,
+    require_merge_peer,
+    require_positive_int,
+)
 
 
 class AMSSketch(BatchUpdateMixin):
@@ -91,6 +95,17 @@ class AMSSketch(BatchUpdateMixin):
         state["_signs"] = None
         return state
 
+    def __setstate__(self, state):
+        """Restore, forcing the sign matrix to re-derive in this process.
+
+        Defensive against snapshots written by builds whose
+        ``__getstate__`` kept the matrix: nulling here guarantees an
+        unpickled sketch always rebuilds from its hash family (and the
+        process-local cache), bit-identically to a freshly built one.
+        """
+        state["_signs"] = None
+        self.__dict__.update(state)
+
     @property
     def table_mode(self) -> str:
         """The table-materialisation mode latched at construction."""
@@ -151,14 +166,20 @@ class AMSSketch(BatchUpdateMixin):
         into the sketch of the concatenated stream.  In place; returns
         ``self``.
         """
-        if other.shape != self.shape or other._n != self._n:
-            raise InvalidParameterError("can only merge identically configured sketches")
-        if not np.array_equal(self._sign_family.coefficients,
-                              other._sign_family.coefficients):
-            raise InvalidParameterError("can only merge sketches sharing sign functions")
+        self.check_mergeable(other)
         self._counters += other._counters
         self._num_updates += other._num_updates
         return self
+
+    def check_mergeable(self, other: "AMSSketch") -> None:
+        """Raise unless ``other`` can merge into ``self``; mutate nothing."""
+        require_merge_peer(self, other)
+        require_merge_compatible(
+            "AMS sketches",
+            {"n": self._n, "shape": self.shape,
+             "sign hash coefficients": self._sign_family.coefficients},
+            {"n": other._n, "shape": other.shape,
+             "sign hash coefficients": other._sign_family.coefficients})
 
     def estimate_f2(self) -> float:
         """Median-of-means estimate of ``F_2``."""
@@ -243,6 +264,12 @@ class AMSEnsemble(ReplicaEnsemble):
         state["_signs"] = None
         return state
 
+    def __setstate__(self, state):
+        """Restore, forcing the stacked matrix to re-derive (see
+        :meth:`AMSSketch.__setstate__`)."""
+        state["_signs"] = None
+        self.__dict__.update(state)
+
     @property
     def table_mode(self) -> str:
         """The table-materialisation mode shared by every member."""
@@ -292,20 +319,22 @@ class AMSEnsemble(ReplicaEnsemble):
         and the coordinator adds the stacked counters.  In place; returns
         ``self``.
         """
-        if not isinstance(other, AMSEnsemble):
-            raise InvalidParameterError("can only merge AMSEnsemble with its own kind")
-        if ((other._n, other._depth, other._width)
-                != (self._n, self._depth, self._width)
-                or other.num_members != self.num_members
-                or not all(np.array_equal(mine._sign_family.coefficients,
-                                          theirs._sign_family.coefficients)
-                           for mine, theirs in zip(self._instances,
-                                                   other._instances))):
-            raise InvalidParameterError(
-                "can only merge identically configured ensembles sharing sign functions")
+        self.check_mergeable(other)
         self._counters += other._counters
         self._num_updates += other._num_updates
         return self
+
+    def check_mergeable(self, other: "AMSEnsemble") -> None:
+        """Raise unless ``other`` can merge into ``self``; mutate nothing."""
+        require_merge_peer(self, other)
+        require_merge_compatible(
+            "AMS ensembles",
+            {"n": self._n, "depth": self._depth, "width": self._width,
+             "num_members": self.num_members,
+             "sign hash coefficients": self._sign_family.coefficients},
+            {"n": other._n, "depth": other._depth, "width": other._width,
+             "num_members": other.num_members,
+             "sign hash coefficients": other._sign_family.coefficients})
 
     @property
     def num_members(self) -> int:

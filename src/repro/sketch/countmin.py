@@ -23,7 +23,11 @@ from repro.sketch.hashing import KWiseHashFamily
 from repro.utils.batching import BatchUpdateMixin, check_batch_bounds, coerce_batch
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.table_cache import resolve_table_block, resolve_table_mode
-from repro.utils.validation import require_positive_int
+from repro.utils.validation import (
+    require_merge_compatible,
+    require_merge_peer,
+    require_positive_int,
+)
 
 
 class CountMin(BatchUpdateMixin):
@@ -92,6 +96,17 @@ class CountMin(BatchUpdateMixin):
         state["_bucket_of"] = None
         return state
 
+    def __setstate__(self, state):
+        """Restore, forcing the bucket table to re-derive in this process.
+
+        Defensive against snapshots written by builds whose
+        ``__getstate__`` kept the table: nulling here guarantees an
+        unpickled sketch always rebuilds from its hash family (and the
+        process-local cache), bit-identically to a freshly built one.
+        """
+        state["_bucket_of"] = None
+        self.__dict__.update(state)
+
     @property
     def table_mode(self) -> str:
         """The table-materialisation mode latched at construction."""
@@ -158,3 +173,28 @@ class CountMin(BatchUpdateMixin):
     def heavy_hitters(self, threshold: float) -> np.ndarray:
         """Indices whose estimate is at least ``threshold``."""
         return np.flatnonzero(self.estimate_all() >= threshold)
+
+    def check_mergeable(self, other: "CountMin") -> None:
+        """Raise unless ``other`` can merge into ``self``; mutate nothing."""
+        require_merge_peer(self, other)
+        require_merge_compatible(
+            "CountMin sketches",
+            {"n": self._n, "shape": self.shape,
+             "conservative": self._conservative,
+             "bucket hash coefficients": self._bucket_family.coefficients},
+            {"n": other._n, "shape": other.shape,
+             "conservative": other._conservative,
+             "bucket hash coefficients": other._bucket_family.coefficients})
+
+    def merge(self, other: "CountMin") -> "CountMin":
+        """Merge a same-seed sketch fed a disjoint sub-stream (linearity).
+
+        The table is a linear function of the stream, so two sketches
+        sharing hash functions add entrywise into the sketch of the
+        concatenated stream — which also makes saved CountMin snapshots
+        composable with delta sketches for incremental checkpointing.
+        In place; returns ``self``.
+        """
+        self.check_mergeable(other)
+        self._table += other._table
+        return self

@@ -45,7 +45,11 @@ from repro.utils.batching import (
 from repro.utils.ensemble import ReplicaEnsemble, member_chunks, register_ensemble
 from repro.utils.rng import SeedLike, ensure_rng, random_seed_array
 from repro.utils.table_cache import resolve_table_block, resolve_table_mode
-from repro.utils.validation import require_positive_int
+from repro.utils.validation import (
+    require_merge_compatible,
+    require_merge_peer,
+    require_positive_int,
+)
 
 
 class CountSketch(BatchUpdateMixin):
@@ -142,6 +146,18 @@ class CountSketch(BatchUpdateMixin):
         state["_bucket_of"] = None
         state["_sign_of"] = None
         return state
+
+    def __setstate__(self, state):
+        """Restore, forcing the tables to re-derive in this process.
+
+        Defensive against snapshots written by builds whose
+        ``__getstate__`` kept the tables: nulling here guarantees an
+        unpickled sketch always rebuilds from its hash families (and the
+        process-local cache), bit-identically to a freshly built one.
+        """
+        state["_bucket_of"] = None
+        state["_sign_of"] = None
+        self.__dict__.update(state)
 
     @property
     def table_mode(self) -> str:
@@ -257,15 +273,21 @@ class CountSketch(BatchUpdateMixin):
         estimates = self.estimate_all()
         return np.flatnonzero(np.abs(estimates) >= threshold)
 
+    def check_mergeable(self, other: "CountSketch") -> None:
+        """Raise unless ``other`` can merge into ``self``; mutate nothing."""
+        require_merge_peer(self, other)
+        require_merge_compatible(
+            "CountSketch",
+            {"n": self._n, "shape": self.shape,
+             "bucket hash coefficients": self._bucket_family.coefficients,
+             "sign hash coefficients": self._sign_family.coefficients},
+            {"n": other._n, "shape": other.shape,
+             "bucket hash coefficients": other._bucket_family.coefficients,
+             "sign hash coefficients": other._sign_family.coefficients})
+
     def merge(self, other: "CountSketch") -> None:
         """Merge another sketch built with the same seed/shape (linearity)."""
-        if self.shape != other.shape or self._n != other._n:
-            raise InvalidParameterError("can only merge identically configured sketches")
-        if not (np.array_equal(self._bucket_family.coefficients,
-                               other._bucket_family.coefficients)
-                and np.array_equal(self._sign_family.coefficients,
-                                   other._sign_family.coefficients)):
-            raise InvalidParameterError("can only merge sketches sharing hash functions")
+        self.check_mergeable(other)
         self._table += other._table
 
     def l2_error_bound(self, l2_norm: float, confidence_factor: float = 3.0) -> float:
@@ -360,6 +382,13 @@ class CountSketchEnsemble(ReplicaEnsemble):
         state["_sign_of"] = None
         return state
 
+    def __setstate__(self, state):
+        """Restore, forcing the stacked tables to re-derive (see
+        :meth:`CountSketch.__setstate__`)."""
+        state["_bucket_of"] = None
+        state["_sign_of"] = None
+        self.__dict__.update(state)
+
     @property
     def table_mode(self) -> str:
         """The table-materialisation mode shared by every member."""
@@ -423,21 +452,23 @@ class CountSketchEnsemble(ReplicaEnsemble):
         its own sub-stream; the coordinator adds the stacked tables.  In
         place; returns ``self``.
         """
-        if not isinstance(other, CountSketchEnsemble):
-            raise InvalidParameterError(
-                "can only merge CountSketchEnsemble with its own kind")
-        if other.shape != self.shape or other._n != self._n \
-                or other.num_members != self.num_members:
-            raise InvalidParameterError(
-                "can only merge identically configured ensembles")
-        if not (np.array_equal(self._bucket_family.coefficients,
-                               other._bucket_family.coefficients)
-                and np.array_equal(self._sign_family.coefficients,
-                                   other._sign_family.coefficients)):
-            raise InvalidParameterError(
-                "can only merge ensembles sharing hash functions")
+        self.check_mergeable(other)
         self._table += other._table
         return self
+
+    def check_mergeable(self, other: "CountSketchEnsemble") -> None:
+        """Raise unless ``other`` can merge into ``self``; mutate nothing."""
+        require_merge_peer(self, other)
+        require_merge_compatible(
+            "CountSketch ensembles",
+            {"n": self._n, "shape": self.shape,
+             "num_members": self.num_members,
+             "bucket hash coefficients": self._bucket_family.coefficients,
+             "sign hash coefficients": self._sign_family.coefficients},
+            {"n": other._n, "shape": other.shape,
+             "num_members": other.num_members,
+             "bucket hash coefficients": other._bucket_family.coefficients,
+             "sign hash coefficients": other._sign_family.coefficients})
 
     @property
     def num_members(self) -> int:

@@ -31,7 +31,11 @@ from repro.utils.batching import (
 )
 from repro.utils.ensemble import LevelStackEnsemble, register_ensemble
 from repro.utils.rng import SeedLike, derive_seed, ensure_rng
-from repro.utils.validation import require_positive_int
+from repro.utils.validation import (
+    require_merge_compatible,
+    require_merge_peer,
+    require_positive_int,
+)
 
 
 class KMinimumValues(BatchUpdateMixin):
@@ -208,18 +212,29 @@ class RoughL0Estimator(BatchUpdateMixin):
         of the union stream.  Exact for integer-delta streams.  In place;
         returns ``self``.
         """
-        if not isinstance(other, RoughL0Estimator):
-            raise InvalidParameterError(
-                "can only merge RoughL0Estimator with its own kind")
-        if (other._n, other._sparsity, other._num_levels) != \
-                (self._n, self._sparsity, self._num_levels) or \
-                not np.array_equal(self._level_variates, other._level_variates):
-            raise InvalidParameterError(
-                "can only merge identically configured same-seed estimators")
+        self.check_mergeable(other)
         for level, other_level in zip(self._levels, other._levels):
             level.merge(other_level)
         self._num_updates += other._num_updates
         return self
+
+    def check_mergeable(self, other: "RoughL0Estimator") -> None:
+        """Raise unless ``other`` can merge into ``self``; mutate nothing.
+
+        Recurses into every level so a mismatched peer is refused before
+        any level is touched — never a half-merged stack.
+        """
+        require_merge_peer(self, other)
+        require_merge_compatible(
+            "L0 estimators",
+            {"n": self._n, "sparsity": self._sparsity,
+             "num_levels": self._num_levels,
+             "level variates": self._level_variates},
+            {"n": other._n, "sparsity": other._sparsity,
+             "num_levels": other._num_levels,
+             "level variates": other._level_variates})
+        for level, other_level in zip(self._levels, other._levels):
+            level.check_mergeable(other_level)
 
     def estimate(self) -> Optional[float]:
         """Constant-factor estimate of ``||x||_0``, or ``None`` if no level decodes."""

@@ -33,7 +33,12 @@ from repro.sketch.countsketch import CountSketch, CountSketchEnsemble
 from repro.utils.batching import BatchUpdateMixin, check_batch_bounds, coerce_batch
 from repro.utils.ensemble import ReplicaEnsemble, register_ensemble
 from repro.utils.rng import SeedLike, ensure_rng, random_seed_array
-from repro.utils.validation import require_moment_order, require_positive_int
+from repro.utils.validation import (
+    require_merge_compatible,
+    require_merge_peer,
+    require_moment_order,
+    require_positive_int,
+)
 
 
 class MaxStabilityFpEstimator(BatchUpdateMixin):
@@ -228,28 +233,45 @@ class FpEstimatorEnsemble(ReplicaEnsemble):
         copies add into the estimator of the concatenated stream.  In
         place; returns ``self``.
         """
-        if not isinstance(other, FpEstimatorEnsemble):
-            raise InvalidParameterError(
-                "can only merge FpEstimatorEnsemble with its own kind")
-        if ((other._n, other._exact, other._repetitions)
-                != (self._n, self._exact, self._repetitions)
-                or other.num_replicas != self.num_replicas):
-            raise InvalidParameterError(
-                "ensembles must share (n, repetitions, replicas, recovery mode)")
+        self.check_mergeable(other)
         if self._exact:
-            if not np.array_equal(self._inverse_scales, other._inverse_scales):
-                raise InvalidParameterError(
-                    "can only merge ensembles sharing exponential scale factors")
             self._scaled_vectors += other._scaled_vectors
             self._num_updates += other._num_updates
             return self
         for mine, theirs in zip(self._instances, other._instances):
-            if not np.array_equal(mine._inverse_scales, theirs._inverse_scales):
-                raise InvalidParameterError(
-                    "can only merge ensembles sharing exponential scale factors")
             mine._sketch_ensemble.merge(theirs._sketch_ensemble)
             mine._num_updates += theirs._num_updates
         return self
+
+    def check_mergeable(self, other: "FpEstimatorEnsemble") -> None:
+        """Raise unless ``other`` can merge into ``self``; mutate nothing.
+
+        In sketch mode this validates every replica's scale factors *and*
+        its inner CountSketch ensemble before the first replica is merged
+        — a mid-loop mismatch previously left earlier replicas already
+        folded (silent partial corruption).
+        """
+        require_merge_peer(self, other)
+        require_merge_compatible(
+            "Fp-estimator ensembles",
+            {"n": self._n, "recovery mode": self._exact,
+             "repetitions": self._repetitions,
+             "num_replicas": self.num_replicas},
+            {"n": other._n, "recovery mode": other._exact,
+             "repetitions": other._repetitions,
+             "num_replicas": other.num_replicas})
+        if self._exact:
+            require_merge_compatible(
+                "Fp-estimator ensembles",
+                {"exponential scale factors": self._inverse_scales},
+                {"exponential scale factors": other._inverse_scales})
+            return
+        for mine, theirs in zip(self._instances, other._instances):
+            require_merge_compatible(
+                "Fp-estimator replicas",
+                {"exponential scale factors": mine._inverse_scales},
+                {"exponential scale factors": theirs._inverse_scales})
+            mine._sketch_ensemble.check_mergeable(theirs._sketch_ensemble)
 
     def update_batch(self, indices, deltas) -> None:
         """Apply one validated batch to every replica."""

@@ -31,7 +31,12 @@ from repro.utils.batching import (
 )
 from repro.utils.ensemble import ReplicaEnsemble, register_ensemble
 from repro.utils.rng import SeedLike, ensure_rng, splitmix64
-from repro.utils.validation import require_moment_order, require_positive_int
+from repro.utils.validation import (
+    require_merge_compatible,
+    require_merge_peer,
+    require_moment_order,
+    require_positive_int,
+)
 
 
 def chambers_mallows_stuck(p: float, rng: np.random.Generator, size: int) -> np.ndarray:
@@ -240,11 +245,19 @@ class PStableSketch(BatchUpdateMixin):
         """Estimate of ``F_p = ||x||_p^p``."""
         return self.estimate_norm() ** self._p
 
+    def check_mergeable(self, other: "PStableSketch") -> None:
+        """Raise unless ``other`` can merge with ``self``; mutate nothing."""
+        require_merge_peer(self, other)
+        require_merge_compatible(
+            "p-stable sketches",
+            {"n": self._n, "p": self._p, "num_rows": self._num_rows,
+             "root seed": self._root_seed},
+            {"n": other._n, "p": other._p, "num_rows": other._num_rows,
+             "root seed": other._root_seed})
+
     def merge(self, other: "PStableSketch") -> "PStableSketch":
         """Merge two sketches built with the same seed over disjoint sub-streams."""
-        if (other._n, other._p, other._num_rows, other._root_seed) != (
-                self._n, self._p, self._num_rows, self._root_seed):
-            raise InvalidParameterError("sketches must share n, p, num_rows, and seed to merge")
+        self.check_mergeable(other)
         merged = PStableSketch.__new__(PStableSketch)
         merged._n = self._n
         merged._p = self._p
@@ -319,16 +332,20 @@ class PStableEnsemble(ReplicaEnsemble):
         seeds, disjoint stream shards) obtains the global state by adding
         the stacked projection states.  In place; returns ``self``.
         """
-        if not isinstance(other, PStableEnsemble):
-            raise InvalidParameterError("can only merge PStableEnsemble with its own kind")
-        if ((other._n, other._p, other._num_rows)
-                != (self._n, self._p, self._num_rows)
-                or not np.array_equal(self._roots, other._roots)):
-            raise InvalidParameterError(
-                "ensembles must share (n, p, num_rows) and replica seeds to merge")
+        self.check_mergeable(other)
         self._state += other._state
         self._num_updates += other._num_updates
         return self
+
+    def check_mergeable(self, other: "PStableEnsemble") -> None:
+        """Raise unless ``other`` can merge into ``self``; mutate nothing."""
+        require_merge_peer(self, other)
+        require_merge_compatible(
+            "p-stable ensembles",
+            {"n": self._n, "p": self._p, "num_rows": self._num_rows,
+             "replica seeds": self._roots},
+            {"n": other._n, "p": other._p, "num_rows": other._num_rows,
+             "replica seeds": other._roots})
 
     def space_counters(self) -> int:
         """Total stored counters across all replicas."""

@@ -42,7 +42,11 @@ from repro.utils.batching import (
     mersenne_powmod as _mersenne_powmod,
 )
 from repro.utils.rng import SeedLike, ensure_rng, random_seed_array
-from repro.utils.validation import require_positive_int
+from repro.utils.validation import (
+    require_merge_compatible,
+    require_merge_peer,
+    require_positive_int,
+)
 
 _FINGERPRINT_PRIME = MERSENNE_PRIME_61
 
@@ -122,6 +126,14 @@ class _Fingerprint:
         total = int(terms.astype(object).sum()) % _FINGERPRINT_PRIME
         self._value = (self._value + total) % _FINGERPRINT_PRIME
 
+    def check_mergeable(self, other: "_Fingerprint") -> None:
+        """Raise unless ``other`` can merge into ``self``; mutate nothing."""
+        require_merge_peer(self, other)
+        require_merge_compatible(
+            "fingerprints",
+            {"evaluation point r": self._r, "scale": self._scale},
+            {"evaluation point r": other._r, "scale": other._scale})
+
     def merge(self, other: "_Fingerprint") -> "_Fingerprint":
         """Add a same-key fingerprint built over a disjoint sub-stream.
 
@@ -131,10 +143,7 @@ class _Fingerprint:
         arithmetic has no rounding, making the fold bit-identical in every
         merge order.  In place; returns ``self``.
         """
-        if self._r != other._r or self._scale != other._scale:
-            raise InvalidParameterError(
-                "can only merge fingerprints sharing the evaluation point "
-                "and scale (build the shard copies from the same seed)")
+        self.check_mergeable(other)
         self._value = (self._value + other._value) % _FINGERPRINT_PRIME
         return self
 
@@ -186,14 +195,23 @@ class OneSparseRecovery(BatchUpdateMixin):
         self._fingerprint.update_many(indices, deltas)
         self._num_updates += int(indices.size)
 
+    def check_mergeable(self, other: "OneSparseRecovery") -> None:
+        """Raise unless ``other`` can merge into ``self``; mutate nothing."""
+        require_merge_peer(self, other)
+        self._fingerprint.check_mergeable(other._fingerprint)
+
     def merge(self, other: "OneSparseRecovery") -> "OneSparseRecovery":
         """Merge a same-seed cell fed a disjoint sub-stream (linearity).
 
         All three aggregates are linear in the stream: the weight and the
         index-weighted sum add as floats (exact for the integer-delta
         streams of every ``L_0`` workload) and the fingerprint adds in the
-        Mersenne-prime field (always exact).  In place; returns ``self``.
+        Mersenne-prime field (always exact).  Validation runs *before* the
+        first aggregate is touched, so a mismatched peer (e.g. a snapshot
+        from a different build) leaves this cell untouched.  In place;
+        returns ``self``.
         """
+        self.check_mergeable(other)
         self._weight += other._weight
         self._weighted_index += other._weighted_index
         self._fingerprint.merge(other._fingerprint)
@@ -321,22 +339,30 @@ class KSparseRecovery(BatchUpdateMixin):
         integer-delta streams (fingerprints are always exact; the float
         weights add without rounding below ``2^53``).  In place; returns
         ``self``.
+        Validation covers every cell fingerprint *before* any cell is
+        mutated, so a peer from a different build cannot leave the grid
+        half-merged.
         """
-        if not isinstance(other, KSparseRecovery):
-            raise InvalidParameterError(
-                "can only merge KSparseRecovery with its own kind")
-        if (other._n, other._k, other._rows) != (self._n, self._k, self._rows):
-            raise InvalidParameterError(
-                "can only merge identically configured recovery structures")
-        if not np.array_equal(self._bucket_of, other._bucket_of):
-            raise InvalidParameterError(
-                "can only merge recovery structures sharing hash functions "
-                "(build the shard copies from the same seed)")
+        self.check_mergeable(other)
         for mine, theirs in zip(self._cells, other._cells):
             for cell, other_cell in zip(mine, theirs):
                 cell.merge(other_cell)
         self._global_fingerprint.merge(other._global_fingerprint)
         return self
+
+    def check_mergeable(self, other: "KSparseRecovery") -> None:
+        """Raise unless ``other`` can merge into ``self``; mutate nothing."""
+        require_merge_peer(self, other)
+        require_merge_compatible(
+            "recovery structures",
+            {"n": self._n, "k": self._k, "rows": self._rows,
+             "bucket hash tables": self._bucket_of},
+            {"n": other._n, "k": other._k, "rows": other._rows,
+             "bucket hash tables": other._bucket_of})
+        for mine, theirs in zip(self._cells, other._cells):
+            for cell, other_cell in zip(mine, theirs):
+                cell.check_mergeable(other_cell)
+        self._global_fingerprint.check_mergeable(other._global_fingerprint)
 
     def recover(self) -> list[RecoveredItem] | None:
         """Recover the exact non-zero coordinates, or ``None`` on failure.

@@ -147,6 +147,7 @@ class _Link:
         self.fault = fault
         self._lock = threading.Lock()
         self._dropped = 0  # bytes seen by the drop counter, both pumps
+        self._running_pumps = 2
         self.threads = [
             threading.Thread(target=self._pump, args=(client, upstream, "up"),
                              daemon=True),
@@ -155,6 +156,20 @@ class _Link:
         ]
         for thread in self.threads:
             thread.start()
+
+    def join(self, timeout: float) -> None:
+        """Join both pump threads, spending at most ``timeout`` seconds.
+
+        Called by :meth:`ChaosProxy.close` after the sockets are shut
+        down, so the recv each pump may be blocked in returns promptly;
+        the bound is a backstop, not an expected wait.
+        """
+        deadline = time.monotonic() + timeout
+        for thread in self.threads:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return
+            thread.join(timeout=remaining)
 
     def close(self) -> None:
         # shutdown() before close(): the peer of each socket must see the
@@ -177,6 +192,20 @@ class _Link:
 
     def _pump(self, src: socket.socket, dst: socket.socket,
               direction: str) -> None:
+        try:
+            self._pump_inner(src, dst, direction)
+        finally:
+            # Last pump out closes both sockets: a link whose two flows
+            # ended naturally (clean EOF each way) must not hold open file
+            # descriptors until the proxy itself is torn down.
+            with self._lock:
+                self._running_pumps -= 1
+                last_out = self._running_pumps == 0
+            if last_out:
+                self.close()
+
+    def _pump_inner(self, src: socket.socket, dst: socket.socket,
+                    direction: str) -> None:
         fault = self.fault
         shaped = (fault.delay > 0.0 or fault.bytes_per_sec is not None
                   or fault.drop_after is not None
@@ -313,6 +342,16 @@ class ChaosProxy:
         for link in links:
             link.close()
         self._accept_thread.join(timeout=5.0)
+        # Closing the sockets unblocks any pump stuck in recv(); join the
+        # pump threads so close() returns with no proxy threads running
+        # and no leaked file descriptors.  The budget is shared across
+        # links — a single wedged thread cannot stall teardown unboundedly.
+        deadline = time.monotonic() + 5.0
+        for link in links:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            link.join(remaining)
 
     def __enter__(self) -> "ChaosProxy":
         return self

@@ -259,6 +259,19 @@ class LevelStackEnsemble(ReplicaEnsemble):
         for the integer-delta streams of every ``L_0`` workload.  In
         place; returns ``self``.
         """
+        self.check_mergeable(other)
+        for mine, theirs in zip(self._instances, other._instances):
+            mine.merge(theirs)
+        return self
+
+    def check_mergeable(self, other: "LevelStackEnsemble") -> None:
+        """Raise unless ``other`` can merge into ``self``; mutate nothing.
+
+        Recurses into every replica's own ``check_mergeable`` so a
+        mismatched peer (e.g. a snapshot from a different build) is
+        refused before the first replica is touched — a mid-loop failure
+        could otherwise leave earlier replicas already merged.
+        """
         if not isinstance(other, LevelStackEnsemble):
             raise InvalidParameterError(
                 "can only merge LevelStackEnsemble with its own kind")
@@ -268,8 +281,7 @@ class LevelStackEnsemble(ReplicaEnsemble):
                 "can only merge same-seed ensembles (identical replica "
                 "counts, universe, and level assignments)")
         for mine, theirs in zip(self._instances, other._instances):
-            mine.merge(theirs)
-        return self
+            mine.check_mergeable(theirs)
 
     def sample_replica(self, replica: int):
         """Delegate to the replica instance (state lives there)."""

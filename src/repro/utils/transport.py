@@ -118,6 +118,7 @@ __all__ = [
     "decode_frames",
     "dumps_frames",
     "encode_frames",
+    "frame_reader",
     "frames_as_bytes",
     "frames_nbytes",
     "loads_frames",
@@ -389,17 +390,19 @@ def _recv_exact(sock: socket.socket, size: int) -> bytes:
     return bytes(received)
 
 
-def _read_frames(read_exact: Callable[[int], bytes], *,
-                 max_frame_bytes: int = _MAX_FRAME_BYTES,
-                 ) -> tuple[list[bytes], int]:
-    """Parse one message via ``read_exact``; ``(frames, wire_bytes)``.
+def frame_reader(*, max_frame_bytes: int = _MAX_FRAME_BYTES):
+    """Sans-IO parser for one wire message, usable from sync or async IO.
 
-    Shared by the socket receiver and the in-memory decoder so both have
-    identical integrity semantics — the property suite corrupts and
-    truncates messages offline and trusts that a socket peer would have
-    failed the same way.
+    A generator that *yields* the number of bytes it needs next and is
+    resumed with exactly those bytes via ``gen.send(data)``; when the
+    message is complete it returns (``StopIteration.value``) the tuple
+    ``(frames, wire_bytes)``.  The driver owns the IO — blocking sockets
+    (:func:`recv_frames`), in-memory buffers (:func:`decode_frames`), and
+    ``asyncio`` streams (the sampler service) all run this exact state
+    machine, so every integrity guarantee the property suite proves
+    offline holds for every transport.
     """
-    header = read_exact(_HEADER.size)
+    header = yield _HEADER.size
     magic, version, num_frames, header_crc = _HEADER.unpack(header)
     if zlib.crc32(header[:7]) != header_crc:
         raise TransportError("message header failed its checksum "
@@ -415,14 +418,14 @@ def _read_frames(read_exact: Callable[[int], bytes], *,
     wire_bytes = _HEADER.size
     frames = []
     for position in range(num_frames):
-        frame_header = read_exact(_FRAME_HEADER.size)
-        (checksum,) = _FRAME_CRC.unpack(read_exact(_FRAME_CRC.size))
+        frame_header = yield _FRAME_HEADER.size
+        (checksum,) = _FRAME_CRC.unpack((yield _FRAME_CRC.size))
         wire_length, flags, raw_length = _FRAME_HEADER.unpack(frame_header)
         if wire_length > max_frame_bytes or raw_length > max_frame_bytes:
             raise TransportError(
                 f"implausible frame length {max(wire_length, raw_length)} "
                 f"(frame {position}, cap {max_frame_bytes})")
-        data = read_exact(wire_length)
+        data = yield wire_length
         if zlib.crc32(data, zlib.crc32(frame_header)) != checksum:
             raise TransportError(
                 f"checksum mismatch on frame {position} "
@@ -445,6 +448,25 @@ def _read_frames(read_exact: Callable[[int], bytes], *,
                     f"expected {raw_length}")
         frames.append(data)
     return frames, wire_bytes
+
+
+def _read_frames(read_exact: Callable[[int], bytes], *,
+                 max_frame_bytes: int = _MAX_FRAME_BYTES,
+                 ) -> tuple[list[bytes], int]:
+    """Parse one message via ``read_exact``; ``(frames, wire_bytes)``.
+
+    The synchronous driver for :func:`frame_reader`, shared by the socket
+    receiver and the in-memory decoder so both have identical integrity
+    semantics — the property suite corrupts and truncates messages
+    offline and trusts that a socket peer would have failed the same way.
+    """
+    parser = frame_reader(max_frame_bytes=max_frame_bytes)
+    size = next(parser)
+    while True:
+        try:
+            size = parser.send(read_exact(size))
+        except StopIteration as done:
+            return done.value
 
 
 def recv_frames_counted(sock: socket.socket, *,

@@ -8,7 +8,9 @@ preconditions.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Mapping, Optional
+
+import numpy as np
 
 from repro.exceptions import InvalidParameterError
 
@@ -73,6 +75,50 @@ def require_moment_order(p: float, name: str = "p", minimum: float = 0.0,
     if maximum is not None and p > maximum:
         raise InvalidParameterError(f"{name} must be <= {maximum}, got {p}")
     return p
+
+
+def require_merge_peer(ours, theirs) -> None:
+    """Raise unless ``theirs`` is mergeable-by-type into ``ours``.
+
+    The type half of the merge ``check_mergeable`` protocol: every
+    ``merge()`` in the library validates its peer *completely* before
+    mutating any state, so merging mismatched snapshots (different
+    builds, different structures) raises here instead of corrupting a
+    half-merged object.
+    """
+    if not isinstance(theirs, type(ours)):
+        raise InvalidParameterError(
+            f"can only merge {type(ours).__name__} with its own kind, "
+            f"got {type(theirs).__name__}")
+
+
+def require_merge_compatible(kind: str, ours: Mapping, theirs: Mapping) -> None:
+    """Raise unless every named merge parameter matches between peers.
+
+    The parameter half of the merge ``check_mergeable`` protocol: ``ours``
+    and ``theirs`` map parameter names to values (arrays compare
+    element-wise, everything else with ``==``).  The error names the first
+    mismatched parameter, so merging snapshots from differently seeded or
+    differently configured builds fails with a diagnosis — never by
+    silently folding incompatible state.
+    """
+    for name, mine in ours.items():
+        other = theirs.get(name, _MISSING)
+        if other is _MISSING:
+            raise InvalidParameterError(
+                f"cannot merge {kind}: peer is missing parameter {name!r}")
+        if isinstance(mine, np.ndarray) or isinstance(other, np.ndarray):
+            matches = np.array_equal(mine, other)
+        else:
+            matches = bool(mine == other)
+        if not matches:
+            raise InvalidParameterError(
+                f"cannot merge {kind}: parameter {name!r} differs between "
+                "the two structures (merge peers must be built from the "
+                "same seed and configuration)")
+
+
+_MISSING = object()
 
 
 def require_index_in_range(index: int, n: int, name: str = "index") -> int:

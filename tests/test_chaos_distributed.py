@@ -351,3 +351,81 @@ def test_raw_pickle_never_unpickled_before_auth(secure_worker, tmp_path) -> None
     # And the worker is still alive for authenticated peers.
     assert worker_echo(secure_worker, b"alive",
                        secret=b"chaos-suite-secret", timeout=10.0) == b"alive"
+
+
+# ---------------------------------------------------------------------------
+# Proxy teardown hygiene (threads joined, sockets closed)
+# ---------------------------------------------------------------------------
+
+
+def _echo_server():
+    """A minimal upstream echoing one connection at a time."""
+    listener = socket.create_server(("127.0.0.1", 0))
+
+    def serve():
+        while True:
+            try:
+                conn, _ = listener.accept()
+            except OSError:
+                return
+            with conn:
+                try:
+                    while True:
+                        data = conn.recv(1 << 16)
+                        if not data:
+                            break
+                        conn.sendall(data)
+                except OSError:
+                    pass
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    return listener
+
+
+def _assert_link_dead(link) -> None:
+    for pump in link.threads:
+        assert not pump.is_alive(), "pump thread leaked"
+    for sock in (link.client, link.upstream):
+        assert sock.fileno() == -1, "link socket leaked"
+
+
+def test_proxy_close_joins_pumps_and_closes_sockets() -> None:
+    """``ChaosProxy.close()`` leaves no pump threads or open link sockets."""
+    upstream = _echo_server()
+    try:
+        with ChaosProxy(upstream.getsockname()[:2]) as proxy:
+            with socket.create_connection(proxy.address, timeout=10.0) as sock:
+                sock.sendall(b"ping")
+                assert sock.recv(4) == b"ping"
+                # Leave the connection open: close() must tear it down.
+                assert proxy.connections == 1
+        for link in proxy._links:
+            _assert_link_dead(link)
+    finally:
+        upstream.close()
+
+
+def test_finished_connection_releases_sockets_before_proxy_close() -> None:
+    """A naturally finished link closes its sockets without waiting for
+    proxy teardown — long-lived proxies must not accumulate descriptors."""
+    upstream = _echo_server()
+    try:
+        with ChaosProxy(upstream.getsockname()[:2]) as proxy:
+            with socket.create_connection(proxy.address, timeout=10.0) as sock:
+                sock.sendall(b"ping")
+                assert sock.recv(4) == b"ping"
+            # Client closed: both pumps should wind down and the last one
+            # out closes the link's sockets while the proxy stays up.
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                links = list(proxy._links)
+                if links and all(not t.is_alive()
+                                 for link in links for t in link.threads):
+                    break
+                time.sleep(0.01)
+            assert proxy._links, "link was never registered"
+            for link in proxy._links:
+                _assert_link_dead(link)
+    finally:
+        upstream.close()

@@ -1,0 +1,207 @@
+"""The long-lived sampler service: serve, checkpoint, die, restore, agree.
+
+The acceptance contract of :mod:`repro.service.sampler_service` is
+*exactness under crashes*: a service that checkpoints at sequence ``k``,
+is SIGKILLed, restores from the snapshot, and replays the batches after
+``k`` must answer every query bit-identically to an uninterrupted run —
+and to a plain in-process sketch fed the same batches.  The suite drives
+the real daemon subprocess through that lifecycle (this is also the CI
+``service-smoke`` job), plus the protocol edges: allowlisted queries,
+refused unknown ops, merge-snapshot deltas, and concurrent clients.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.service import ServiceClient, spawn_service, stop_service
+from repro.service.sampler_service import QUERY_ALLOWLIST, ServiceError
+from repro.sketch.countsketch import CountSketch
+from repro.utils.snapshot import snapshot_bytes, snapshot_metadata
+
+SPEC = "repro.sketch.countsketch:CountSketch"
+KWARGS = {"n": 256, "buckets": 16, "rows": 5, "seed": 7}
+
+
+def _reference(batches) -> CountSketch:
+    sketch = CountSketch(**KWARGS)
+    for indices, deltas in batches:
+        sketch.update_batch(indices, deltas)
+    return sketch
+
+
+def _batches(count: int, size: int = 200, seed: int = 1):
+    rng = np.random.default_rng(seed)
+    return [(rng.integers(0, KWARGS["n"], size=size),
+             rng.normal(size=size)) for _ in range(count)]
+
+
+def test_kill_and_restore_round_trip_is_exact(tmp_path) -> None:
+    """checkpoint @ k → SIGKILL → restore → replay > k ⇒ bit-identical."""
+    snapshot = str(tmp_path / "service.rsnp")
+    batches = _batches(5)
+    reference = _reference(batches)
+
+    process, address = spawn_service(SPEC, KWARGS, snapshot_path=snapshot)
+    try:
+        with ServiceClient(address) as client:
+            assert client.ping()
+            for indices, deltas in batches[:3]:
+                client.ingest(indices, deltas)
+            checkpoint = client.checkpoint()
+            assert checkpoint["sequence"] == 3
+            for indices, deltas in batches[3:]:
+                client.ingest(indices, deltas)
+            live = client.query("estimate_all")
+        np.testing.assert_array_equal(live, reference.estimate_all())
+    finally:
+        process.kill()  # the crash the restore path exists for
+        process.wait(timeout=30)
+
+    with open(snapshot, "rb") as handle:
+        meta = snapshot_metadata(handle.read())
+    assert meta["extra"]["sequence"] == 3
+
+    process, address = spawn_service(SPEC, KWARGS, snapshot_path=snapshot)
+    try:
+        with ServiceClient(address) as client:
+            stats = client.stats()
+            assert stats["restored_sequence"] == 3
+            assert stats["sequence"] == 3
+            for indices, deltas in batches[stats["restored_sequence"]:]:
+                client.ingest(indices, deltas)
+            restored = client.query("estimate_all")
+            heavy = client.query("heavy_hitters", 0.0)
+        np.testing.assert_array_equal(restored, reference.estimate_all())
+        np.testing.assert_array_equal(heavy, reference.heavy_hitters(0.0))
+    finally:
+        stop_service(process, address)
+
+
+def test_clean_shutdown_writes_a_final_checkpoint(tmp_path) -> None:
+    """``shutdown`` (and SIGTERM) drain through one last snapshot."""
+    snapshot = str(tmp_path / "final.rsnp")
+    batches = _batches(2, seed=3)
+    process, address = spawn_service(SPEC, KWARGS, snapshot_path=snapshot)
+    try:
+        with ServiceClient(address) as client:
+            for indices, deltas in batches:
+                client.ingest(indices, deltas)
+    finally:
+        stop_service(process, address)
+    assert process.wait(timeout=30) == 0
+    with open(snapshot, "rb") as handle:
+        meta = snapshot_metadata(handle.read())
+    assert meta["extra"]["sequence"] == 2  # nothing replayed, nothing lost
+
+
+@pytest.fixture(scope="module")
+def service():
+    """One shared daemon (no snapshot path) for the protocol-edge tests."""
+    process, address = spawn_service(SPEC, KWARGS)
+    yield address
+    stop_service(process, address)
+
+
+def test_query_allowlist_refuses_everything_else(service) -> None:
+    with ServiceClient(service) as client:
+        assert "update_batch" not in QUERY_ALLOWLIST
+        with pytest.raises(ServiceError, match="not an allowed query"):
+            client.query("update_batch", [0], [1.0])
+        with pytest.raises(ServiceError, match="not an allowed query"):
+            client.query("__getattribute__", "_table")
+
+
+def test_unknown_and_malformed_ops_keep_the_connection_alive(service) -> None:
+    with ServiceClient(service) as client:
+        reply = client.request({"op": "no-such-op"})
+        assert reply["ok"] is False and "unknown op" in reply["error"]
+        reply = client.request(["not", "a", "dict"])
+        assert reply["ok"] is False
+        assert client.ping()  # same connection still serves
+
+
+def test_checkpoint_without_snapshot_path_is_refused(service) -> None:
+    with ServiceClient(service) as client:
+        with pytest.raises(ServiceError, match="no snapshot path"):
+            client.checkpoint()
+
+
+def test_merge_snapshot_applies_deltas_and_refuses_mismatches() -> None:
+    process, address = spawn_service(SPEC, KWARGS)
+    try:
+        batches = _batches(2, seed=9)
+        reference = _reference(batches)
+        with ServiceClient(address) as client:
+            client.ingest(*batches[0])
+            delta = CountSketch(**KWARGS)
+            delta.update_batch(*batches[1])
+            reply = client.request({"op": "merge_snapshot",
+                                    "data": snapshot_bytes(delta)})
+            assert reply["ok"] is True
+            np.testing.assert_array_equal(client.query("estimate_all"),
+                                          reference.estimate_all())
+
+            alien = CountSketch(**{**KWARGS, "seed": 8})
+            reply = client.request({"op": "merge_snapshot",
+                                    "data": snapshot_bytes(alien)})
+            assert reply["ok"] is False
+            # The refused merge mutated nothing (check_mergeable contract).
+            np.testing.assert_array_equal(client.query("estimate_all"),
+                                          reference.estimate_all())
+    finally:
+        stop_service(process, address)
+
+
+def test_concurrent_clients_linearize_between_batches(service) -> None:
+    """Two clients interleaving ingests and queries stay consistent."""
+    import threading
+
+    batches = _batches(6, size=400, seed=17)
+    results: list = []
+
+    def ingest_half(half: int) -> None:
+        with ServiceClient(service) as client:
+            for indices, deltas in batches[half::2]:
+                client.ingest(indices, deltas)
+                results.append(client.query("estimate_all"))
+
+    threads = [threading.Thread(target=ingest_half, args=(half,))
+               for half in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert len(results) == len(batches)
+    # Ingest is commutative up to float summation order: the two clients
+    # interleave batches nondeterministically, and float addition is not
+    # associative, so the final state matches the fixed-order reference
+    # only to rounding (the interleaved-order sharding tests use the
+    # same convention) — bitwise identity is asserted on same-order
+    # replay, in the kill-and-restore test above.
+    with ServiceClient(service) as client:
+        final = client.query("estimate_all")
+        stats = client.stats()
+    assert stats["sequence"] >= len(batches)
+    expected = _reference(batches)
+    # The shared module fixture may have served other tests' batches; so
+    # only compare values when this test's batches are the whole history.
+    if stats["sequence"] == len(batches):
+        np.testing.assert_allclose(final, expected.estimate_all(),
+                                   rtol=1e-9, atol=1e-9)
+
+
+def test_restore_refuses_wrong_class_snapshot(tmp_path) -> None:
+    """A service configured for one class refuses another class's state."""
+    from repro.sketch.ams import AMSSketch
+    from repro.utils.snapshot import save_snapshot
+    from repro.utils.transport import TransportError
+
+    snapshot = str(tmp_path / "wrong.rsnp")
+    save_snapshot(AMSSketch(64, width=4, depth=2, seed=0), snapshot)
+    with pytest.raises(TransportError, match="failed to announce"):
+        spawn_service(SPEC, KWARGS, snapshot_path=snapshot,
+                      startup_timeout=30)

@@ -304,12 +304,17 @@ class TestExecutionValidation:
                                     range(2), stream, assignment=mixed)
 
     def test_unpicklable_ensembles_fail_loudly_under_multiprocessing(self, stream):
-        # CapSampler carries a closure; the engine must name the remedy
-        # instead of surfacing a raw pickling error from the pool.
+        # The engine must name the remedy instead of surfacing a raw
+        # pickling error from the pool.  (CapSampler used to be the
+        # specimen here, until its closure became a bound method and the
+        # whole G-sampler family turned picklable — so plant a closure.)
+        samplers = [CapSampler(N, 9.0, 2.0, seed=s, num_repetitions=3)
+                    for s in range(4)]
+        for sampler in samplers:
+            sampler._unpicklable_probe = lambda: None
         with pytest.raises(InvalidParameterError, match="picklable"):
             replica_sharded_ensemble(
-                [CapSampler(N, 9.0, 2.0, seed=s, num_repetitions=3)
-                 for s in range(4)],
+                samplers,
                 stream, num_shards=2, execution="multiprocessing", processes=2)
 
 
