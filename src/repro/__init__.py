@@ -83,6 +83,27 @@ allowlisted queries, periodic checkpoints, restore-on-start after a
 crash (see ``repro/service/sampler_service.py`` for the consistency
 model and deployment posture).
 
+Execution config and pluggable array backends
+---------------------------------------------
+Every execution knob — array backend and device, hash-table mode,
+execution mode, shard/worker counts — rides on one frozen
+:class:`~repro.utils.execution_config.ExecutionConfig`, threaded through
+``build_ensemble``, ``ingest_sharded``, ``evaluate_sampler_distribution``
+and the service (the old per-call kwargs remain as deprecated aliases).
+The ensemble kernels allocate, scatter, and reduce through an
+:class:`~repro.utils.backend.ArrayBackend`: the default ``numpy`` backend
+is bit-identical to the historical code, and the optional ``torch``
+backend (CPU or GPU, never imported unless requested) is held to
+statistical equivalence (``tests/test_backend_equivalence.py``).
+
+>>> from repro import ExecutionConfig, available_backends, get_backend
+>>> get_backend("numpy").name
+'numpy'
+>>> "numpy" in available_backends()
+True
+>>> ExecutionConfig().backend            # numpy is always the default
+'numpy'
+
 See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
 experiment suite indexed in DESIGN.md and EXPERIMENTS.md.
 """
@@ -114,6 +135,7 @@ from repro.sketch import (
     AMSEnsemble,
     AveragedCountSketch,
     CountMin,
+    CountMinEnsemble,
     CountSketch,
     CountSketchEnsemble,
     ExponentialScaler,
@@ -145,6 +167,15 @@ from repro.functions import (
     SoftConcaveSublinearFunction,
     SupportFunction,
 )
+from repro.utils.backend import (
+    ArrayBackend,
+    BackendUnavailableError,
+    NumpyBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.utils.execution_config import ExecutionConfig
 from repro.utils.ensemble import (
     ReplicaEnsemble,
     SamplerEnsemble,
@@ -166,7 +197,6 @@ from repro.utils.coordinator import (
     WorkerError,
     distributed_ingest,
     last_gather_stats,
-    set_default_workers,
     spawn_local_workers,
     stop_local_workers,
     worker_pool,
@@ -193,9 +223,7 @@ from repro.utils.table_cache import (
     cache_budget,
     cache_clear,
     cache_stats,
-    default_table_mode,
     set_cache_budget,
-    set_default_table_mode,
     table_mode,
 )
 from repro.samplers import (
@@ -257,6 +285,42 @@ from repro.evaluation import (
 
 __version__ = "1.0.0"
 
+#: Top-level names kept importable for compatibility but deprecated in
+#: favour of :class:`ExecutionConfig`: ``name -> (home module, replacement)``.
+#: They still resolve (module ``__getattr__``, PEP 562) and still live in
+#: ``__all__`` — the public surface is stable — but touching them through
+#: ``repro.<name>`` emits a :class:`DeprecationWarning` pointing at the
+#: config-first spelling.
+_DEPRECATED_TOP_LEVEL = {
+    "set_default_workers": (
+        "repro.utils.coordinator",
+        "ExecutionConfig(workers=...).apply_defaults() or "
+        "repro.utils.coordinator.set_default_workers"),
+    "set_default_table_mode": (
+        "repro.utils.table_cache",
+        "ExecutionConfig(table_mode=...).apply_defaults() or "
+        "repro.utils.table_cache.set_default_table_mode"),
+    "default_table_mode": (
+        "repro.utils.table_cache",
+        "repro.utils.table_cache.default_table_mode"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, replacement = _DEPRECATED_TOP_LEVEL[name]
+    except KeyError:
+        raise AttributeError(
+            f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+    import warnings
+
+    warnings.warn(
+        f"repro.{name} is deprecated; use {replacement} instead",
+        DeprecationWarning, stacklevel=2)
+    return getattr(importlib.import_module(module_name), name)
+
+
 __all__ = [
     # exceptions
     "ReproError",
@@ -290,10 +354,19 @@ __all__ = [
     "FpEstimatorEnsemble",
     "JW18LpSamplerEnsemble",
     "PrecisionLpSamplerEnsemble",
+    "CountMinEnsemble",
     "ReplicaEnsemble",
     "SamplerEnsemble",
     "build_ensemble",
     "ensemble_samples",
+    # execution config + pluggable array backends
+    "ExecutionConfig",
+    "ArrayBackend",
+    "NumpyBackend",
+    "BackendUnavailableError",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     "concat_ensembles",
     "merge_ensembles",
     "replica_sharded_ensemble",

@@ -30,6 +30,8 @@ from repro.exceptions import InvalidParameterError
 from repro.samplers.base import Sample
 from repro.streams.stream import TurnstileStream
 from repro.utils.ensemble import ensemble_samples
+from repro.utils.execution_config import (ExecutionConfig, _MISSING,
+                                          resolve_legacy_kwarg)
 from repro.utils.sharding import sharded_ensemble_samples
 from repro.utils.stats import (
     chi_square_statistic,
@@ -230,9 +232,10 @@ def evaluate_sampler_distribution(
     *,
     max_attempts_per_draw: int = 4,
     reuse_sampler: bool = False,
-    execution: str = "serial",
-    num_shards: Optional[int] = None,
-    processes: Optional[int] = None,
+    config: Optional[ExecutionConfig] = None,
+    execution=_MISSING,
+    num_shards=_MISSING,
+    processes=_MISSING,
     failure_rate_prior: float = 0.0,
 ) -> DistributionReport:
     """Measure a sampler family's empirical distribution against a target.
@@ -257,6 +260,12 @@ def evaluate_sampler_distribution(
         independent across queries, such as the exact oracles); the default
         builds an independent instance per draw, matching the one-shot
         nature of the paper's samplers.
+    config:
+        An :class:`~repro.utils.execution_config.ExecutionConfig`
+        bundling the execution knobs (backend/device, table mode,
+        execution mode, shard/worker counts).  The per-call
+        ``execution``/``num_shards``/``processes`` kwargs below remain
+        as deprecated aliases and win when passed explicitly.
     execution:
         ``"serial"`` (the default) runs the monolithic replica-ensemble
         engine; ``"sharded"`` splits each round's replicas across
@@ -280,6 +289,13 @@ def evaluate_sampler_distribution(
         round count changes.
     """
     require_positive_int(num_draws, "num_draws")
+    cfg = ExecutionConfig() if config is None else config
+    execution = resolve_legacy_kwarg(
+        execution, "execution", "execution=...", cfg.execution)
+    num_shards = resolve_legacy_kwarg(
+        num_shards, "num_shards", "num_shards=...", cfg.num_shards)
+    processes = resolve_legacy_kwarg(
+        processes, "processes", "processes=...", cfg.processes)
     if execution not in ("serial", "sharded", "threaded", "multiprocessing",
                          "distributed"):
         raise InvalidParameterError(
@@ -288,11 +304,13 @@ def evaluate_sampler_distribution(
 
     def draw_samples(seeds: Sequence[int]) -> list:
         if execution == "serial":
-            return ensemble_samples(sampler_factory, seeds, stream)
+            return ensemble_samples(sampler_factory, seeds, stream,
+                                    config=config)
         shard_execution = "serial" if execution == "sharded" else execution
         return sharded_ensemble_samples(
-            sampler_factory, seeds, stream, num_shards=num_shards,
-            execution=shard_execution, processes=processes)
+            sampler_factory, seeds, stream,
+            config=cfg.replace(execution=shard_execution,
+                               num_shards=num_shards, processes=processes))
 
     target = normalize_weights(target_weights)
     n = stream.n
@@ -302,7 +320,8 @@ def evaluate_sampler_distribution(
     counts = np.zeros(n, dtype=float)
     failures = 0
     if reuse_sampler:
-        shared_sampler = sampler_factory(0)
+        with cfg.table_mode_scope():
+            shared_sampler = sampler_factory(0)
         shared_sampler.update_stream(stream)
         for draw in range(num_draws):
             result: Optional[Sample] = shared_sampler.sample()

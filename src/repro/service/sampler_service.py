@@ -75,6 +75,7 @@ import socket
 import subprocess
 import sys
 import time
+from contextlib import nullcontext
 from typing import Optional, Sequence
 
 from repro.exceptions import InvalidParameterError, ReproError
@@ -133,17 +134,24 @@ class SamplerService:
         timer; the ``checkpoint`` op always works).
     host, port:
         Listen address; port 0 asks the OS.
+    config:
+        An optional :class:`~repro.utils.execution_config.ExecutionConfig`.
+        The service is a long-lived process, so the config is installed
+        process-wide via :meth:`ExecutionConfig.apply_defaults` at start,
+        and the served object is built under its table-mode scope.
     """
 
     def __init__(self, factory, *, snapshot_path: Optional[str] = None,
                  checkpoint_interval: Optional[float] = None,
                  host: str = "127.0.0.1", port: int = 0,
                  compression: Optional[str] = None,
-                 expected_type: Optional[type] = None) -> None:
+                 expected_type: Optional[type] = None,
+                 config=None) -> None:
         if checkpoint_interval is not None and checkpoint_interval <= 0:
             raise InvalidParameterError(
                 f"checkpoint_interval must be positive, "
                 f"got {checkpoint_interval}")
+        self._config = config
         self._factory = factory
         self._snapshot_path = snapshot_path
         self._checkpoint_interval = checkpoint_interval
@@ -165,6 +173,11 @@ class SamplerService:
     # -- lifecycle ---------------------------------------------------------
 
     def _restore_or_build(self) -> None:
+        if self._config is not None:
+            # Long-lived daemon: the config's registry-backed fields
+            # (default table mode, distributed worker list) become the
+            # process defaults once, at startup.
+            self._config.apply_defaults()
         if self._snapshot_path and os.path.exists(self._snapshot_path):
             # A service configured for one class must refuse another
             # class's checkpoint instead of serving garbage answers.
@@ -173,7 +186,10 @@ class SamplerService:
             self.sequence = int(meta.get("extra", {}).get("sequence", 0))
             self.restored_sequence = self.sequence
         else:
-            self._obj = self._factory()
+            scope = (self._config.table_mode_scope()
+                     if self._config is not None else nullcontext())
+            with scope:
+                self._obj = self._factory()
 
     @property
     def address(self) -> tuple[str, int]:
@@ -480,7 +496,8 @@ def serve(factory, *, snapshot_path: Optional[str] = None,
           checkpoint_interval: Optional[float] = None,
           host: str = "127.0.0.1", port: int = 0,
           compression: Optional[str] = None,
-          expected_type: Optional[type] = None) -> None:
+          expected_type: Optional[type] = None,
+          config=None) -> None:
     """Run a service in the foreground until a ``shutdown`` op arrives.
 
     Announces ``REPRO-SERVICE LISTENING <port>`` on stdout once bound.
@@ -494,7 +511,7 @@ def serve(factory, *, snapshot_path: Optional[str] = None,
             factory, snapshot_path=snapshot_path,
             checkpoint_interval=checkpoint_interval,
             host=host, port=port, compression=compression,
-            expected_type=expected_type)
+            expected_type=expected_type, config=config)
         _, bound_port = await service.start()
         loop = asyncio.get_event_loop()
         try:
@@ -511,6 +528,7 @@ def spawn_service(spec: str, kwargs: Optional[dict] = None, *,
                   snapshot_path: Optional[str] = None,
                   checkpoint_interval: Optional[float] = None,
                   port: int = 0, startup_timeout: float = 60.0,
+                  config=None,
                   ) -> tuple[subprocess.Popen, tuple[str, int]]:
     """Spawn a localhost service subprocess; returns ``(process, address)``.
 
@@ -518,6 +536,12 @@ def spawn_service(spec: str, kwargs: Optional[dict] = None, *,
     child announces its bound port on stdout and the caller owns the
     process (stop it with :func:`stop_service`, or SIGKILL it to
     exercise the restore path).
+
+    ``config`` (an :class:`~repro.utils.execution_config.ExecutionConfig`)
+    is forwarded to the child as ``--execution-config`` JSON.  The
+    ``cluster_secret`` field is deliberately *not* serialised — command
+    lines are world-readable on most systems; secrets reach the child
+    through the environment (``REPRO_CLUSTER_SECRET``) instead.
     """
     src_dir = os.path.dirname(os.path.dirname(os.path.dirname(
         os.path.abspath(__file__))))
@@ -533,6 +557,12 @@ def spawn_service(spec: str, kwargs: Optional[dict] = None, *,
         command += ["--snapshot", snapshot_path]
     if checkpoint_interval is not None:
         command += ["--checkpoint-interval", str(checkpoint_interval)]
+    if config is not None:
+        import dataclasses as _dataclasses
+        fields = {name: value for name, value
+                  in _dataclasses.asdict(config).items()
+                  if value is not None and name != "cluster_secret"}
+        command += ["--execution-config", json.dumps(fields)]
     process = subprocess.Popen(command, stdout=subprocess.PIPE,
                                stderr=subprocess.PIPE, text=True, env=env)
     deadline = time.monotonic() + startup_timeout
@@ -586,15 +616,27 @@ def _main(argv: Optional[Sequence[str]] = None) -> None:
     parser.add_argument("--port", type=int, default=0)
     parser.add_argument("--compression", default=None,
                         help="reply compression codec (e.g. zlib)")
+    parser.add_argument("--execution-config", default=None,
+                        help="JSON ExecutionConfig fields (backend, device, "
+                             "table_mode, workers, ...); secrets travel via "
+                             "the environment, never this flag")
     options = parser.parse_args(argv)
     target = _resolve_spec(options.spec)
     kwargs = json.loads(options.kwargs) if options.kwargs else {}
+    config = None
+    if options.execution_config:
+        from repro.utils.execution_config import ExecutionConfig
+        fields = json.loads(options.execution_config)
+        if "workers" in fields and fields["workers"] is not None:
+            fields["workers"] = tuple(fields["workers"])
+        config = ExecutionConfig(**fields)
     serve(functools.partial(target, **kwargs),
           snapshot_path=options.snapshot,
           checkpoint_interval=options.checkpoint_interval,
           host=options.host, port=options.port,
           compression=options.compression,
-          expected_type=target if isinstance(target, type) else None)
+          expected_type=target if isinstance(target, type) else None,
+          config=config)
 
 
 if __name__ == "__main__":

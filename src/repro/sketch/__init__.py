@@ -28,7 +28,7 @@ from repro.sketch.hashing import (KWiseHash, KWiseHashFamily, PairwiseHash,
                                   SignHash, SignHashFamily)
 from repro.sketch.countsketch import (AveragedCountSketch, CountSketch,
                                       CountSketchEnsemble, RandomBucketCountSketch)
-from repro.sketch.countmin import CountMin
+from repro.sketch.countmin import CountMin, CountMinEnsemble
 from repro.sketch.ams import AMSEnsemble, AMSSketch
 from repro.sketch.fp_estimator import FpEstimator, FpEstimatorEnsemble, MaxStabilityFpEstimator
 from repro.sketch.exponential import ExponentialScaler, anti_rank_vector, scale_vector
@@ -49,6 +49,7 @@ __all__ = [
     "AveragedCountSketch",
     "RandomBucketCountSketch",
     "CountMin",
+    "CountMinEnsemble",
     "AMSSketch",
     "AMSEnsemble",
     "FpEstimator",

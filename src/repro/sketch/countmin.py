@@ -21,6 +21,7 @@ import numpy as np
 from repro.exceptions import InvalidParameterError
 from repro.sketch.hashing import KWiseHashFamily
 from repro.utils.batching import BatchUpdateMixin, check_batch_bounds, coerce_batch
+from repro.utils.ensemble import ReplicaEnsemble, member_chunks, register_ensemble
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.table_cache import resolve_table_block, resolve_table_mode
 from repro.utils.validation import (
@@ -198,3 +199,230 @@ class CountMin(BatchUpdateMixin):
         self.check_mergeable(other)
         self._table += other._table
         return self
+
+
+class CountMinEnsemble(ReplicaEnsemble):
+    """``M`` independent CountMin sketches with stacked tables.
+
+    The members' bucket tables come from one concatenated
+    :class:`~repro.sketch.hashing.KWiseHashFamily` evaluation and all
+    member tables live in one ``(M, rows, buckets)`` array.  Every batch
+    lands in all members with one chunked scatter-add whose element
+    order is member-major, row-major, batch-minor — exactly the order of
+    the standalone sketch's per-row ``np.add.at`` loop — so member state
+    is bit-identical to driving each sketch separately (on the numpy
+    reference backend; non-numpy backends owe statistical equivalence).
+    """
+
+    def __init__(self, instances, *, config=None) -> None:
+        super().__init__(instances, config=config)
+        first = instances[0]
+        if any(inst.shape != first.shape or inst._n != first._n
+               for inst in instances):
+            raise InvalidParameterError(
+                "ensemble members must share (n, buckets, rows)")
+        if any(inst._table_mode != first._table_mode for inst in instances):
+            raise InvalidParameterError("ensemble members must share table_mode")
+        if any(inst._conservative != first._conservative for inst in instances):
+            raise InvalidParameterError(
+                "ensemble members must share the conservative flag")
+        self._n = first._n
+        self._rows, self._buckets = first.shape
+        self._conservative = first._conservative
+        self._table_mode = first._table_mode
+        self._table_block = first._table_block
+        self._bucket_family = KWiseHashFamily.concatenate(
+            [inst._bucket_family for inst in instances])
+        self._bucket_of = None
+        self._table = self._xp.zeros(
+            (len(instances), self._rows, self._buckets), dtype=float)
+
+    def _ensure_tables(self) -> None:
+        """Build the stacked bucket table on first use (host hashing)."""
+        if self._bucket_of is None:
+            members = self.num_members
+            if self._table_mode == "cached":
+                self._bucket_of = self._bucket_family.hash_table_tensor(
+                    self._n, self._xp).reshape(members, self._rows, self._n)
+            else:
+                all_indices = np.arange(self._n, dtype=np.int64)
+                bucket_of = self._bucket_family.hash_all(all_indices).reshape(
+                    members, self._rows, self._n)
+                self._bucket_of = self._xp.from_numpy(bucket_of)
+
+    def _member_columns(self, start: int, stop: int, indices: np.ndarray):
+        """``(stop - start, rows, B)`` bucket columns of a member chunk."""
+        if self._table_mode == "blocked":
+            chunk = stop - start
+            lo, hi = start * self._rows, stop * self._rows
+            buckets = self._bucket_family.hash_slice(lo, hi, indices).reshape(
+                chunk, self._rows, indices.size)
+            return self._xp.from_numpy(buckets)
+        self._ensure_tables()
+        return self._bucket_of[start:stop, :, self._xp.from_numpy(indices)]
+
+    def _host_table(self) -> np.ndarray:
+        return self._xp.to_numpy(self._table)
+
+    def __getstate__(self):
+        """Pickle without the stacked bucket table (re-derived lazily)."""
+        state = self.__dict__.copy()
+        state["_bucket_of"] = None
+        return state
+
+    def __setstate__(self, state):
+        state["_bucket_of"] = None
+        self.__dict__.update(state)
+
+    @property
+    def table_mode(self) -> str:
+        """The table-materialisation mode shared by every member."""
+        return self._table_mode
+
+    @property
+    def num_members(self) -> int:
+        """Total number of member sketches ``M``."""
+        return self._table.shape[0]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(rows, buckets)`` of every member table."""
+        return (self._rows, self._buckets)
+
+    def space_counters(self) -> int:
+        """Total stored counters across all members."""
+        return int(np.prod(self._table.shape))
+
+    @classmethod
+    def concat(cls, ensembles: "list[CountMinEnsemble]") -> "CountMinEnsemble":
+        """Stack replica-shard ensembles along the member axis (no recompute)."""
+        if not ensembles:
+            raise InvalidParameterError("need at least one ensemble")
+        first = ensembles[0]
+        if any(e.shape != first.shape or e._n != first._n for e in ensembles):
+            raise InvalidParameterError("ensembles must share (n, buckets, rows)")
+        if any(e._table_mode != first._table_mode
+               or e._conservative != first._conservative for e in ensembles):
+            raise InvalidParameterError(
+                "ensembles must share table_mode and the conservative flag")
+        if any(e._xp != first._xp for e in ensembles):
+            raise InvalidParameterError("ensembles must share the array backend")
+        merged = cls.__new__(cls)
+        ReplicaEnsemble.__init__(
+            merged, [inst for e in ensembles for inst in e._instances],
+            config=first._config)
+        merged._n = first._n
+        merged._rows = first._rows
+        merged._buckets = first._buckets
+        merged._conservative = first._conservative
+        merged._table_mode = first._table_mode
+        merged._table_block = first._table_block
+        merged._bucket_family = KWiseHashFamily.concatenate(
+            [e._bucket_family for e in ensembles])
+        if all(e._bucket_of is None for e in ensembles):
+            merged._bucket_of = None
+        else:
+            for ensemble in ensembles:
+                ensemble._ensure_tables()
+            merged._bucket_of = first._xp.concatenate(
+                [e._bucket_of for e in ensembles])
+        members = sum(e._table.shape[0] for e in ensembles)
+        if all(not e._table.any() for e in ensembles):
+            merged._table = first._xp.zeros(
+                (members, first._rows, first._buckets), dtype=float)
+        else:
+            merged._table = first._xp.concatenate(
+                [e._table for e in ensembles])
+        return merged
+
+    def merge(self, other: "CountMinEnsemble") -> "CountMinEnsemble":
+        """Entrywise-add a same-hash ensemble fed a disjoint sub-stream."""
+        self.check_mergeable(other)
+        self._xp.add_(self._table, other._table)
+        return self
+
+    def check_mergeable(self, other: "CountMinEnsemble") -> None:
+        """Raise unless ``other`` can merge into ``self``; mutate nothing."""
+        require_merge_peer(self, other)
+        require_merge_compatible(
+            "CountMin ensembles",
+            {"n": self._n, "shape": self.shape,
+             "num_members": self.num_members,
+             "conservative": self._conservative,
+             "array backend": self._xp,
+             "bucket hash coefficients": self._bucket_family.coefficients},
+            {"n": other._n, "shape": other.shape,
+             "num_members": other.num_members,
+             "conservative": other._conservative,
+             "array backend": other._xp,
+             "bucket hash coefficients": other._bucket_family.coefficients})
+
+    def update_batch(self, indices, deltas) -> None:
+        """Apply one batch to every member with chunked scatter-adds.
+
+        The scatter tuple broadcasts to ``(chunk, rows, B)`` and
+        ``np.add.at`` visits cells member-major, row-major, batch-minor —
+        the accumulation order of the standalone per-row loop — so the
+        numpy backend is bitwise equal to per-instance ingest.
+        """
+        indices, deltas = coerce_batch(indices, deltas)
+        if indices.size == 0:
+            return
+        check_batch_bounds(indices, self._n)
+        xp = self._xp
+        values = xp.from_numpy(deltas)
+        row_index = xp.arange(self._rows)[None, :, None]
+        for start, stop in member_chunks(self.num_members,
+                                         self._rows * indices.size):
+            buckets = self._member_columns(start, stop, indices)
+            member_index = xp.arange(start, stop)[:, None, None]
+            xp.scatter_add(self._table,
+                           (member_index, row_index, buckets),
+                           values)
+
+    def estimate_member(self, member: int, index: int) -> float:
+        """Point query of one member (matches ``CountMin.estimate``)."""
+        if not (0 <= index < self._n):
+            raise InvalidParameterError(
+                f"index {index} outside universe [0, {self._n})")
+        buckets = self._xp.to_numpy(self._member_columns(
+            member, member + 1, np.asarray([index], dtype=np.int64)))
+        table = self._host_table()
+        rows = np.arange(self._rows)
+        values = table[member, rows, buckets[0, :, 0]]
+        if self._conservative:
+            return float(values.min())
+        return float(np.median(values))
+
+    def estimate_all_member(self, member: int) -> np.ndarray:
+        """``estimate_all`` of one member (bit-identical to standalone)."""
+        table = self._host_table()
+        rows = np.arange(self._rows)[:, None]
+        if self._table_mode == "blocked":
+            out = np.empty(self._n, dtype=float)
+            for kstart in range(0, self._n, self._table_block):
+                kstop = min(self._n, kstart + self._table_block)
+                keys = np.arange(kstart, kstop, dtype=np.int64)
+                buckets = self._xp.to_numpy(
+                    self._member_columns(member, member + 1, keys))
+                values = table[member, rows, buckets[0]]
+                out[kstart:kstop] = (values.min(axis=0) if self._conservative
+                                     else np.median(values, axis=0))
+            return out
+        self._ensure_tables()
+        buckets = self._xp.to_numpy(self._bucket_of[member])
+        values = table[member, rows, buckets]
+        if self._conservative:
+            return values.min(axis=0)
+        return np.median(values, axis=0)
+
+    def heavy_hitters_member(self, member: int, threshold: float) -> np.ndarray:
+        """Indices whose estimate is at least ``threshold`` for one member."""
+        return np.flatnonzero(self.estimate_all_member(member) >= threshold)
+
+    def sample_replica(self, replica: int):
+        """CountMin has no ``sample``; ensembles of it are query-only."""
+        raise NotImplementedError("CountMinEnsemble is query-only")
+
+
+register_ensemble(CountMin, CountMinEnsemble)

@@ -41,6 +41,7 @@ from repro.utils.batching import (
     aggregate_scatter,
     check_batch_bounds,
     coerce_batch,
+    fused_bincount_add,
 )
 from repro.utils.ensemble import ReplicaEnsemble, member_chunks, register_ensemble
 from repro.utils.rng import SeedLike, ensure_rng, random_seed_array
@@ -311,8 +312,8 @@ class CountSketchEnsemble(ReplicaEnsemble):
     members each, e.g. the value-estimation banks of the JW18 sampler).
     """
 
-    def __init__(self, instances) -> None:
-        super().__init__(instances)
+    def __init__(self, instances, *, config=None) -> None:
+        super().__init__(instances, config=config)
         first = instances[0]
         if any(inst.shape != first.shape or inst._n != first._n
                for inst in instances):
@@ -332,35 +333,44 @@ class CountSketchEnsemble(ReplicaEnsemble):
         # evaluation: composite ensembles that concat() several member
         # ensembles therefore evaluate the hashes of *all* replicas in a
         # single pass on first touch.
-        self._bucket_of: np.ndarray | None = None
-        self._sign_of: np.ndarray | None = None
-        self._table = np.zeros((members, self._rows, self._buckets), dtype=float)
+        self._bucket_of = None
+        self._sign_of = None
+        self._table = self._xp.zeros(
+            (members, self._rows, self._buckets), dtype=float)
 
     def _ensure_tables(self) -> None:
-        """Build the stacked per-coordinate hash tables on first use."""
-        if self._bucket_of is None:
-            members = self._table.shape[0]
-            if self._table_mode == "cached":
-                self._bucket_of = self._bucket_family.hash_table(
-                    self._n).reshape(members, self._rows, self._n)
-                self._sign_of = self._sign_family.sign_table(
-                    self._n).reshape(members, self._rows, self._n)
-                return
-            all_indices = np.arange(self._n, dtype=np.int64)
-            self._bucket_of = self._bucket_family.hash_all(all_indices).reshape(
-                members, self._rows, self._n)
-            self._sign_of = self._sign_family.sign_all(all_indices).reshape(
-                members, self._rows, self._n)
+        """Build the stacked per-coordinate hash tables on first use.
 
-    def _member_columns(self, start: int, stop: int, indices: np.ndarray,
-                        ) -> tuple[np.ndarray, np.ndarray]:
+        Hash evaluation always happens on host numpy (exact uint64
+        Mersenne arithmetic, see :mod:`repro.utils.backend`); the
+        resulting integer tables are transferred to the array backend
+        once — an identity no-op on the numpy reference backend.
+        """
+        if self._bucket_of is None:
+            members = self.num_members
+            if self._table_mode == "cached":
+                self._bucket_of = self._bucket_family.hash_table_tensor(
+                    self._n, self._xp).reshape(members, self._rows, self._n)
+                self._sign_of = self._sign_family.sign_table_tensor(
+                    self._n, self._xp).reshape(members, self._rows, self._n)
+            else:
+                all_indices = np.arange(self._n, dtype=np.int64)
+                bucket_of = self._bucket_family.hash_all(all_indices).reshape(
+                    members, self._rows, self._n)
+                sign_of = self._sign_family.sign_all(all_indices).reshape(
+                    members, self._rows, self._n)
+                self._bucket_of = self._xp.from_numpy(bucket_of)
+                self._sign_of = self._xp.from_numpy(sign_of)
+
+    def _member_columns(self, start: int, stop: int, indices: np.ndarray):
         """``(stop - start, rows, B)`` bucket/sign values of a member chunk.
 
         In ``blocked`` mode the member slice of the concatenated families is
         evaluated directly, with the same values as the fancy-index gather
         from the materialised table.  The downstream bincount/scatter
         kernels read operands element-wise in C order regardless of memory
-        layout, so the accumulation is bitwise-equal either way.
+        layout, so the accumulation is bitwise-equal either way.  Returned
+        arrays live on the ensemble's array backend.
         """
         if self._table_mode == "blocked":
             chunk = stop - start
@@ -369,10 +379,21 @@ class CountSketchEnsemble(ReplicaEnsemble):
                 chunk, self._rows, indices.size)
             signs = self._sign_family.sign_slice(lo, hi, indices).reshape(
                 chunk, self._rows, indices.size)
-            return buckets, signs
+            return self._xp.from_numpy(buckets), self._xp.from_numpy(signs)
         self._ensure_tables()
-        return (self._bucket_of[start:stop, :, indices],
-                self._sign_of[start:stop, :, indices])
+        index_dev = self._xp.from_numpy(indices)
+        return (self._bucket_of[start:stop, :, index_dev],
+                self._sign_of[start:stop, :, index_dev])
+
+    def _host_columns(self, start: int, stop: int, indices: np.ndarray,
+                      ) -> tuple[np.ndarray, np.ndarray]:
+        """Host-numpy view of :meth:`_member_columns` (query paths)."""
+        buckets, signs = self._member_columns(start, stop, indices)
+        return self._xp.to_numpy(buckets), self._xp.to_numpy(signs)
+
+    def _host_table(self) -> np.ndarray:
+        """Host-numpy view of the stacked tables (identity on numpy)."""
+        return self._xp.to_numpy(self._table)
 
     def __getstate__(self):
         """Pickle without the stacked tables (re-derived lazily from the
@@ -412,9 +433,12 @@ class CountSketchEnsemble(ReplicaEnsemble):
             raise InvalidParameterError("ensembles must share (n, buckets, rows)")
         if any(e._table_mode != first._table_mode for e in ensembles):
             raise InvalidParameterError("ensembles must share table_mode")
+        if any(e._xp != first._xp for e in ensembles):
+            raise InvalidParameterError("ensembles must share the array backend")
         merged = cls.__new__(cls)
         ReplicaEnsemble.__init__(
-            merged, [inst for e in ensembles for inst in e._instances])
+            merged, [inst for e in ensembles for inst in e._instances],
+            config=first._config)
         merged._n = first._n
         merged._rows = first._rows
         merged._buckets = first._buckets
@@ -430,16 +454,19 @@ class CountSketchEnsemble(ReplicaEnsemble):
         else:
             for ensemble in ensembles:
                 ensemble._ensure_tables()
-            merged._bucket_of = np.concatenate([e._bucket_of for e in ensembles])
-            merged._sign_of = np.concatenate([e._sign_of for e in ensembles])
+            merged._bucket_of = first._xp.concatenate(
+                [e._bucket_of for e in ensembles])
+            merged._sign_of = first._xp.concatenate(
+                [e._sign_of for e in ensembles])
         members = sum(e._table.shape[0] for e in ensembles)
         if all(not e._table.any() for e in ensembles):
             # Fresh ensembles: allocate the merged zero table directly
             # instead of concatenating hundreds of small zero arrays.
-            merged._table = np.zeros((members, first._rows, first._buckets),
-                                     dtype=float)
+            merged._table = first._xp.zeros(
+                (members, first._rows, first._buckets), dtype=float)
         else:
-            merged._table = np.concatenate([e._table for e in ensembles])
+            merged._table = first._xp.concatenate(
+                [e._table for e in ensembles])
         return merged
 
     def merge(self, other: "CountSketchEnsemble") -> "CountSketchEnsemble":
@@ -453,7 +480,7 @@ class CountSketchEnsemble(ReplicaEnsemble):
         place; returns ``self``.
         """
         self.check_mergeable(other)
-        self._table += other._table
+        self._xp.add_(self._table, other._table)
         return self
 
     def check_mergeable(self, other: "CountSketchEnsemble") -> None:
@@ -463,10 +490,12 @@ class CountSketchEnsemble(ReplicaEnsemble):
             "CountSketch ensembles",
             {"n": self._n, "shape": self.shape,
              "num_members": self.num_members,
+             "array backend": self._xp,
              "bucket hash coefficients": self._bucket_family.coefficients,
              "sign hash coefficients": self._sign_family.coefficients},
             {"n": other._n, "shape": other.shape,
              "num_members": other.num_members,
+             "array backend": other._xp,
              "bucket hash coefficients": other._bucket_family.coefficients,
              "sign hash coefficients": other._sign_family.coefficients})
 
@@ -482,7 +511,7 @@ class CountSketchEnsemble(ReplicaEnsemble):
 
     def space_counters(self) -> int:
         """Total stored counters across all members."""
-        return int(self._table.size)
+        return int(np.prod(self._table.shape))
 
     def _coerce_deltas(self, deltas, batch: int) -> np.ndarray:
         """Normalise deltas to ``(G, B)`` with ``M`` divisible by ``G``."""
@@ -510,10 +539,12 @@ class CountSketchEnsemble(ReplicaEnsemble):
             return
         check_batch_bounds(indices, self._n)
         deltas = self._coerce_deltas(raw_deltas, indices.size)
+        xp = self._xp
+        deltas = xp.from_numpy(deltas)
         groups = deltas.shape[0]
         per_group = self.num_members // groups
         batch = indices.size
-        row_index = np.arange(self._rows)[None, :, None]
+        row_index = xp.arange(self._rows)[None, :, None]
         # Same large-batch rule as the standalone sketch so per-cell
         # accumulation matches it bit-for-bit.
         use_bincount = batch >= self._buckets
@@ -536,24 +567,22 @@ class CountSketchEnsemble(ReplicaEnsemble):
                                                              batch)
             if use_bincount:
                 # The fused scatter: one flat weighted bincount per member
-                # chunk, accumulated into the table slice in place.  Both
-                # the bincount and the in-place add release the GIL on
-                # these array sizes, which is what lets the `threaded`
-                # sharding back-end overlap shard ingests in one process
-                # (the small-batch ``np.add.at`` fallback below holds it —
+                # chunk, accumulated into the table slice in place (see
+                # ``fused_bincount_add`` — on the numpy backend both the
+                # bincount and the in-place add release the GIL on these
+                # array sizes, which is what lets the `threaded` sharding
+                # back-end overlap shard ingests in one process; the
+                # small-batch scatter fallback below holds it —
                 # large-batch ingest is the path worth parallelising).
                 flat = buckets + (row_index * self._buckets
-                                  + np.arange(chunk, dtype=np.int64)[:, None, None]
+                                  + xp.arange(chunk, dtype=np.int64)[:, None, None]
                                   * cells_per_member)
-                counts = np.bincount(flat.ravel(), weights=values.ravel(),
-                                     minlength=chunk * cells_per_member)
-                target = self._table[start:stop]
-                np.add(target,
-                       counts.reshape(chunk, self._rows, self._buckets),
-                       out=target)
+                fused_bincount_add(xp, self._table[start:stop], flat, values,
+                                   chunk * cells_per_member)
             else:
-                member_index = np.arange(start, stop)[:, None, None]
-                np.add.at(self._table, (member_index, row_index, buckets), values)
+                member_index = xp.arange(start, stop)[:, None, None]
+                xp.scatter_add(self._table, (member_index, row_index, buckets),
+                               values)
 
     def update(self, index: int, delta: float) -> None:
         """Apply one scalar update to every member."""
@@ -565,7 +594,9 @@ class CountSketchEnsemble(ReplicaEnsemble):
         vector = np.asarray(vector, dtype=float)
         if vector.shape != (self._n,):
             raise InvalidParameterError("vector shape must match the universe size")
-        row_index = np.arange(self._rows)[None, :, None]
+        xp = self._xp
+        vector = xp.from_numpy(vector)
+        row_index = xp.arange(self._rows)[None, :, None]
         if self._table_mode == "blocked":
             # Key-block outer, member-chunk inner: every (member, row,
             # bucket) cell still accumulates its keys in ascending order,
@@ -576,60 +607,64 @@ class CountSketchEnsemble(ReplicaEnsemble):
                 segment = vector[kstart:kstop]
                 for start, stop in member_chunks(self.num_members,
                                                  self._rows * keys.size):
-                    member_index = np.arange(start, stop)[:, None, None]
+                    member_index = xp.arange(start, stop)[:, None, None]
                     buckets, signs = self._member_columns(start, stop, keys)
-                    np.add.at(self._table,
-                              (member_index, row_index, buckets),
-                              signs * segment)
+                    xp.scatter_add(self._table,
+                                   (member_index, row_index, buckets),
+                                   signs * segment)
             return
         self._ensure_tables()
         for start, stop in member_chunks(self.num_members, self._rows * self._n):
-            member_index = np.arange(start, stop)[:, None, None]
+            member_index = xp.arange(start, stop)[:, None, None]
             values = self._sign_of[start:stop] * vector
-            np.add.at(self._table,
-                      (member_index, row_index, self._bucket_of[start:stop]),
-                      values)
+            xp.scatter_add(self._table,
+                           (member_index, row_index, self._bucket_of[start:stop]),
+                           values)
 
     def estimate_member(self, member: int, index: int) -> float:
         """Point query of one member (matches ``CountSketch.estimate``)."""
-        buckets, signs = self._member_columns(
+        buckets, signs = self._host_columns(
             member, member + 1, np.asarray([index], dtype=np.int64))
+        table = self._host_table()
         rows = np.arange(self._rows)
-        values = signs[0, :, 0] * self._table[member, rows, buckets[0, :, 0]]
+        values = signs[0, :, 0] * table[member, rows, buckets[0, :, 0]]
         return float(np.median(values))
 
     def estimate_members_at(self, members: slice | np.ndarray,
                             index: int) -> np.ndarray:
         """Per-member point queries at one coordinate for a member range."""
-        buckets, signs = self._member_columns(
+        buckets, signs = self._host_columns(
             0, self.num_members, np.asarray([index], dtype=np.int64))
+        table = self._host_table()
         signs = signs[:, :, 0][members]
         buckets = buckets[:, :, 0][members]
         rows = np.arange(self._rows)[None, :]
         member_index = np.arange(self.num_members)[members, None]
-        values = signs * self._table[member_index, rows, buckets]
+        values = signs * table[member_index, rows, buckets]
         return np.median(values, axis=1)
 
     def estimate_all_member(self, member: int) -> np.ndarray:
         """``estimate_all`` of one member (bit-identical to standalone)."""
+        table = self._host_table()
         if self._table_mode == "blocked":
             out = np.empty(self._n, dtype=float)
             rows = np.arange(self._rows)[:, None]
             for kstart in range(0, self._n, self._table_block):
                 kstop = min(self._n, kstart + self._table_block)
                 keys = np.arange(kstart, kstop, dtype=np.int64)
-                buckets, signs = self._member_columns(member, member + 1, keys)
-                values = signs[0] * self._table[member, rows, buckets[0]]
+                buckets, signs = self._host_columns(member, member + 1, keys)
+                values = signs[0] * table[member, rows, buckets[0]]
                 out[kstart:kstop] = np.median(values, axis=0)
             return out
         self._ensure_tables()
         rows = np.arange(self._rows)[:, None]
-        values = (self._sign_of[member]
-                  * self._table[member, rows, self._bucket_of[member]])
+        values = (self._xp.to_numpy(self._sign_of[member])
+                  * table[member, rows, self._xp.to_numpy(self._bucket_of[member])])
         return np.median(values, axis=0)
 
     def estimate_all_members(self) -> np.ndarray:
         """``(M, n)`` matrix of every member's point-query estimates."""
+        table = self._host_table()
         rows = np.arange(self._rows)[None, :, None]
         member_index = np.arange(self.num_members)[:, None, None]
         if self._table_mode == "blocked":
@@ -637,18 +672,19 @@ class CountSketchEnsemble(ReplicaEnsemble):
             for kstart in range(0, self._n, self._table_block):
                 kstop = min(self._n, kstart + self._table_block)
                 keys = np.arange(kstart, kstop, dtype=np.int64)
-                buckets, signs = self._member_columns(
+                buckets, signs = self._host_columns(
                     0, self.num_members, keys)
-                values = signs * self._table[member_index, rows, buckets]
+                values = signs * table[member_index, rows, buckets]
                 out[:, kstart:kstop] = np.median(values, axis=1)
             return out
         self._ensure_tables()
-        values = self._sign_of * self._table[member_index, rows, self._bucket_of]
+        values = (self._xp.to_numpy(self._sign_of)
+                  * table[member_index, rows, self._xp.to_numpy(self._bucket_of)])
         return np.median(values, axis=1)
 
     def member_tables(self) -> np.ndarray:
-        """The stacked ``(M, rows, buckets)`` tables (read-only view)."""
-        return self._table
+        """The stacked ``(M, rows, buckets)`` tables (host-numpy view)."""
+        return self._host_table()
 
     def sample_replica(self, replica: int):
         """CountSketch has no ``sample``; ensembles of it are query-only."""

@@ -174,8 +174,8 @@ class FpEstimatorEnsemble(ReplicaEnsemble):
     inside the replica instances exactly as in the standalone path.
     """
 
-    def __init__(self, instances) -> None:
-        super().__init__(instances)
+    def __init__(self, instances, *, config=None) -> None:
+        super().__init__(instances, config=config)
         first = instances[0]
         if any((inst._n, inst._p, inst._repetitions, inst._exact_recovery)
                != (first._n, first._p, first._repetitions, first._exact_recovery)
@@ -188,7 +188,7 @@ class FpEstimatorEnsemble(ReplicaEnsemble):
         if self._exact:
             self._inverse_scales = np.stack(
                 [inst._inverse_scales for inst in instances])
-            self._scaled_vectors = np.zeros(
+            self._scaled_vectors = self._xp.zeros(
                 (len(instances), self._repetitions, self._n), dtype=float)
             self._num_updates = np.zeros(len(instances), dtype=np.int64)
 
@@ -210,16 +210,19 @@ class FpEstimatorEnsemble(ReplicaEnsemble):
                for e in ensembles):
             raise InvalidParameterError(
                 "ensembles must share (n, p, repetitions, recovery mode)")
+        if any(e._xp != first._xp for e in ensembles):
+            raise InvalidParameterError("ensembles must share the array backend")
         merged = cls.__new__(cls)
         ReplicaEnsemble.__init__(
-            merged, [inst for e in ensembles for inst in e._instances])
+            merged, [inst for e in ensembles for inst in e._instances],
+            config=first._config)
         merged._n = first._n
         merged._exact = first._exact
         merged._repetitions = first._repetitions
         if first._exact:
             merged._inverse_scales = np.concatenate(
                 [e._inverse_scales for e in ensembles])
-            merged._scaled_vectors = np.concatenate(
+            merged._scaled_vectors = first._xp.concatenate(
                 [e._scaled_vectors for e in ensembles])
             merged._num_updates = np.concatenate(
                 [e._num_updates for e in ensembles])
@@ -235,7 +238,7 @@ class FpEstimatorEnsemble(ReplicaEnsemble):
         """
         self.check_mergeable(other)
         if self._exact:
-            self._scaled_vectors += other._scaled_vectors
+            self._xp.add_(self._scaled_vectors, other._scaled_vectors)
             self._num_updates += other._num_updates
             return self
         for mine, theirs in zip(self._instances, other._instances):
@@ -280,12 +283,16 @@ class FpEstimatorEnsemble(ReplicaEnsemble):
             return
         check_batch_bounds(indices, self._n)
         if self._exact:
-            scaled = deltas * self._inverse_scales[:, :, indices]
-            replica_index = np.arange(self.num_replicas)[:, None, None]
-            repetition_index = np.arange(self._repetitions)[None, :, None]
-            np.add.at(self._scaled_vectors,
-                      (replica_index, repetition_index, indices[None, None, :]),
-                      scaled)
+            xp = self._xp
+            # The scale gather runs on host (the (R, reps, n) factor array
+            # stays numpy); only the scatter routes through the backend.
+            scaled = xp.from_numpy(deltas * self._inverse_scales[:, :, indices])
+            replica_index = xp.arange(self.num_replicas)[:, None, None]
+            repetition_index = xp.arange(self._repetitions)[None, :, None]
+            index_dev = xp.from_numpy(indices)[None, None, :]
+            xp.scatter_add(self._scaled_vectors,
+                           (replica_index, repetition_index, index_dev),
+                           scaled)
             self._num_updates += int(indices.size)
         else:
             for instance in self._instances:
@@ -299,7 +306,8 @@ class FpEstimatorEnsemble(ReplicaEnsemble):
             return self._instances[replica].estimate()
         if self._num_updates[replica] == 0:
             raise SamplerStateError("Fp estimator queried before any update")
-        maxima = np.max(np.abs(self._scaled_vectors[replica]), axis=1)
+        scaled_vectors = self._xp.to_numpy(self._scaled_vectors)
+        maxima = np.max(np.abs(scaled_vectors[replica]), axis=1)
         if np.any(maxima <= 0):
             return 0.0
         inverse_moments = maxima ** (-self._instances[replica]._p)

@@ -17,6 +17,16 @@ them at every requested point in one pass; replica ensembles use them to
 build the hash tables of hundreds of sketch replicas in a single numpy call,
 and single sketches use them to build all of their rows at once.
 
+Array-backend contract
+----------------------
+Hash evaluation never runs on an accelerator backend: the Mersenne-prime
+limb arithmetic must agree bit-for-bit on every platform, so it always
+executes on the host in numpy.  Ensembles that keep their counter tables on
+a :class:`repro.utils.backend.ArrayBackend` obtain device-resident hash and
+sign tables through :meth:`KWiseHashFamily.hash_table_tensor` /
+:meth:`SignHashFamily.sign_table_tensor`, which evaluate on the host and
+then transfer — an identity operation for the numpy backend.
+
 Shared-table cache contract
 ---------------------------
 An evaluated table is a pure function of ``(coefficients, range_size,
@@ -276,6 +286,18 @@ class KWiseHashFamily:
             lambda: self.hash_all(np.arange(int(universe), dtype=np.int64)),
         )
 
+    def hash_table_tensor(self, universe: int, xp):
+        """The full-universe table transferred to array backend ``xp``.
+
+        Hash evaluation itself always happens on the host in exact
+        ``uint64``-limb arithmetic (see the module docstring); this is the
+        one sanctioned bridge to an accelerator backend: the cached host
+        table is handed to :meth:`~repro.utils.backend.ArrayBackend.from_numpy`,
+        which is the identity for the numpy backend — so routing through it
+        cannot change a bit.
+        """
+        return xp.from_numpy(self.hash_table(universe))
+
     def hash_slice(self, start: int, stop: int, keys: np.ndarray) -> np.ndarray:
         """``hash_all(keys)`` restricted to members ``[start, stop)``.
 
@@ -369,6 +391,18 @@ class SignHashFamily:
             lambda: self.sign_all(
                 np.arange(int(universe), dtype=np.int64)).astype(float),
         )
+
+    def sign_table_tensor(self, universe: int, xp):
+        """The int64 sign table transferred to array backend ``xp``.
+
+        See :meth:`KWiseHashFamily.hash_table_tensor` — evaluation is
+        host-exact, and the transfer is the identity for numpy.
+        """
+        return xp.from_numpy(self.sign_table(universe))
+
+    def sign_table_float_tensor(self, universe: int, xp):
+        """The float64 sign table transferred to array backend ``xp``."""
+        return xp.from_numpy(self.sign_table_float(universe))
 
     def sign_slice(self, start: int, stop: int, keys: np.ndarray) -> np.ndarray:
         """``sign_all(keys)`` restricted to members ``[start, stop)``."""

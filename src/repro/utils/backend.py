@@ -1,0 +1,393 @@
+"""Pluggable array backends for the ensemble kernels.
+
+The replica-ensemble engine evaluates R Monte-Carlo replicas as stacked
+arrays — ``(M, rows, buckets)`` CountSketch tables, ``(M, counters)``
+AMS grids, ``(R, num_rows)`` p-stable states — with one shared ingest
+pass.  Every hot operation in that pass (allocation, fused bincount
+scatter, ``np.add.at`` scatter-add, gemv, in-place reduction) routes
+through the small :class:`ArrayBackend` interface defined here, so the
+array library becomes a constructor knob instead of an import.
+
+Equivalence contract
+--------------------
+* ``numpy`` (:class:`NumpyBackend`) is the always-available **reference
+  implementation** and is **bit-identical** to the historical hard-coded
+  numpy code: each method body *is* the call the kernels used to make
+  inline (``np.bincount``, ``np.add.at``, ``np.dot(..., out=...)``,
+  ``np.add(..., out=...)``), and ``from_numpy``/``to_numpy`` are
+  identity functions, so routing through the backend cannot change a
+  single bit.  The tier-1 suite — in particular the scalar-vs-ensemble
+  bitwise equivalence cases — is the proof.
+* Non-numpy backends (``torch``, and eventually ``cupy``) are held to
+  **statistical equivalence**, not bitwise equality: floating-point
+  reduction order differs across libraries and devices, so the contract
+  is that estimates and sampling distributions match within the
+  distribution-test harness' tolerances
+  (``tests/test_backend_equivalence.py``).
+
+Division of labour
+------------------
+Hash evaluation stays on the host: the uint64-limb Mersenne arithmetic
+in :mod:`repro.utils.batching` is exact integer math that must agree
+bit-for-bit across every backend, so hash/sign tables are always
+computed with numpy and then *transferred* to the backend as integer
+tensors via :meth:`ArrayBackend.from_numpy` (a no-op for numpy).
+Ingest runs on the backend; queries run on a host-numpy view of the
+state obtained via :meth:`ArrayBackend.to_numpy` (again a no-op for
+numpy), which keeps estimator semantics — medians, argsorts, sign
+conventions — identical across backends.
+
+Selecting a backend
+-------------------
+Backends are picked by name through
+:class:`repro.utils.execution_config.ExecutionConfig` (the ``backend=``
+and ``device=`` fields) or directly via :func:`get_backend`::
+
+    xp = get_backend("numpy")           # always available
+    xp = get_backend("torch")           # CPU torch, if installed
+    xp = get_backend("torch", device="cuda")  # GPU torch
+
+``get_backend("torch")`` raises :class:`BackendUnavailableError` with a
+remedial message when torch is not importable; nothing in this module
+imports torch at module load time.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "ArrayBackend",
+    "NumpyBackend",
+    "TorchBackend",
+    "BackendUnavailableError",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+]
+
+
+class BackendUnavailableError(InvalidParameterError):
+    """Requested array backend exists but cannot be constructed here.
+
+    Raised e.g. for ``backend="torch"`` when torch is not installed.
+    Subclasses :class:`InvalidParameterError` so ensemble builders that
+    cannot serve a backend degrade through the same fallback path as
+    any other unsupported-parameter combination.
+    """
+
+
+class ArrayBackend:
+    """Interface the ensemble kernels program against.
+
+    The method set is deliberately tiny — exactly the operations the hot
+    ingest paths use.  Implementations must be picklable (they travel
+    inside ensembles through the sharding/service payloads) and
+    stateless apart from their identity, so ``__reduce__`` reconstructs
+    them by name through :func:`get_backend`.
+    """
+
+    #: registry name; subclasses set this.
+    name: str = ""
+
+    def __init__(self, device: Optional[str] = None) -> None:
+        self.device = device
+
+    # -- identity / pickling -------------------------------------------------
+    def __reduce__(self):
+        return (get_backend, (self.name, self.device))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        device = f", device={self.device!r}" if self.device else ""
+        return f"{type(self).__name__}({self.name!r}{device})"
+
+    def __eq__(self, other) -> bool:
+        return (type(other) is type(self)
+                and other.name == self.name
+                and other.device == self.device)
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.name, self.device))
+
+    @property
+    def is_numpy(self) -> bool:
+        return self.name == "numpy"
+
+    # -- transfers -----------------------------------------------------------
+    def from_numpy(self, array):
+        """Move a host numpy array onto the backend (identity for numpy)."""
+        raise NotImplementedError
+
+    def to_numpy(self, array):
+        """View backend state as a host numpy array (identity for numpy)."""
+        raise NotImplementedError
+
+    # -- allocation ----------------------------------------------------------
+    def zeros(self, shape, dtype=float):
+        raise NotImplementedError
+
+    def empty(self, shape, dtype=float):
+        raise NotImplementedError
+
+    def arange(self, start, stop=None, dtype=None):
+        raise NotImplementedError
+
+    def concatenate(self, arrays, axis=0):
+        raise NotImplementedError
+
+    # -- kernels -------------------------------------------------------------
+    def bincount(self, flat, weights, minlength):
+        """Weighted bincount of a flattened scatter index."""
+        raise NotImplementedError
+
+    def scatter_add(self, target, index, values):
+        """``np.add.at(target, index, values)`` — duplicate-safe scatter."""
+        raise NotImplementedError
+
+    def add_(self, target, values):
+        """In-place ``target += values`` without a temporary."""
+        raise NotImplementedError
+
+    def dot_into(self, matrix, vector, out):
+        """gemv: ``out[:] = matrix @ vector``."""
+        raise NotImplementedError
+
+    def ascontiguous(self, array, dtype=None):
+        """C-contiguous view/copy (BLAS gemv operand order)."""
+        raise NotImplementedError
+
+    def ravel(self, array):
+        raise NotImplementedError
+
+
+class NumpyBackend(ArrayBackend):
+    """Reference backend: each method *is* the historical inline call.
+
+    ``from_numpy``/``to_numpy`` are identity functions, so kernels that
+    route through this backend execute byte-for-byte the same numpy
+    operations the pre-backend code ran — the bitwise contract.
+    """
+
+    name = "numpy"
+
+    def __init__(self, device: Optional[str] = None) -> None:
+        if device not in (None, "cpu"):
+            raise BackendUnavailableError(
+                f"numpy backend only supports device=None/'cpu', "
+                f"got {device!r}")
+        super().__init__(None)
+
+    def from_numpy(self, array):
+        return array
+
+    def to_numpy(self, array):
+        return array
+
+    def zeros(self, shape, dtype=float):
+        return np.zeros(shape, dtype=dtype)
+
+    def empty(self, shape, dtype=float):
+        return np.empty(shape, dtype=dtype)
+
+    def arange(self, start, stop=None, dtype=None):
+        if stop is None:
+            return np.arange(start, dtype=dtype)
+        return np.arange(start, stop, dtype=dtype)
+
+    def concatenate(self, arrays, axis=0):
+        return np.concatenate(list(arrays), axis=axis)
+
+    def bincount(self, flat, weights, minlength):
+        return np.bincount(flat, weights=weights, minlength=minlength)
+
+    def scatter_add(self, target, index, values):
+        np.add.at(target, index, values)
+
+    def add_(self, target, values):
+        np.add(target, values, out=target)
+
+    def dot_into(self, matrix, vector, out):
+        np.dot(matrix, vector, out=out)
+
+    def ascontiguous(self, array, dtype=None):
+        return np.ascontiguousarray(array, dtype=dtype)
+
+    def ravel(self, array):
+        return array.ravel()
+
+
+def _import_torch():
+    try:
+        import torch
+    except ImportError as error:  # pragma: no cover - torch-less container
+        raise BackendUnavailableError(
+            "backend='torch' requested but torch is not installed; "
+            "install CPU wheels with "
+            "`pip install torch --index-url "
+            "https://download.pytorch.org/whl/cpu` "
+            "or select backend='numpy'") from error
+    return torch
+
+
+class TorchBackend(ArrayBackend):
+    """Torch implementation; ``device=`` selects CPU/GPU.
+
+    Held to *statistical* equivalence with the numpy reference (see the
+    module docstring): scatter order inside ``index_put_(accumulate=
+    True)`` / ``torch.bincount`` and BLAS reduction order may legally
+    reassociate floating-point sums.  Integer hash tables transfer
+    exactly, so bucket/sign structure is identical — only float
+    accumulation order differs.
+    """
+
+    name = "torch"
+
+    def __init__(self, device: Optional[str] = None) -> None:
+        torch = _import_torch()
+        device = device or "cpu"
+        try:
+            resolved = torch.device(device)
+            # Fail fast on an unusable device (e.g. cuda on a CPU box)
+            # instead of erroring mid-ingest.
+            torch.zeros(1, device=resolved)
+        except (RuntimeError, AssertionError) as error:
+            raise BackendUnavailableError(
+                f"torch device {device!r} is unavailable: {error}"
+            ) from error
+        super().__init__(device)
+        self._torch = torch
+        self._device = resolved
+
+    def __getstate__(self):  # pragma: no cover - __reduce__ bypasses this
+        return {"device": self.device}
+
+    def _dtype(self, dtype):
+        torch = self._torch
+        if dtype in (float, np.float64, None):
+            return torch.float64
+        if dtype in (int, np.int64):
+            return torch.int64
+        if dtype is np.float32:
+            return torch.float32
+        return dtype
+
+    def from_numpy(self, array):
+        array = np.ascontiguousarray(array)
+        return self._torch.as_tensor(array, device=self._device)
+
+    def to_numpy(self, array):
+        if isinstance(array, np.ndarray):
+            return array
+        return array.detach().cpu().numpy()
+
+    def zeros(self, shape, dtype=float):
+        return self._torch.zeros(shape, dtype=self._dtype(dtype),
+                                 device=self._device)
+
+    def empty(self, shape, dtype=float):
+        return self._torch.empty(shape, dtype=self._dtype(dtype),
+                                 device=self._device)
+
+    def arange(self, start, stop=None, dtype=None):
+        dtype = self._dtype(dtype) if dtype is not None else None
+        if stop is None:
+            return self._torch.arange(start, dtype=dtype, device=self._device)
+        return self._torch.arange(start, stop, dtype=dtype,
+                                  device=self._device)
+
+    def concatenate(self, arrays, axis=0):
+        return self._torch.cat(list(arrays), dim=axis)
+
+    def bincount(self, flat, weights, minlength):
+        return self._torch.bincount(flat, weights=weights,
+                                    minlength=minlength)
+
+    def scatter_add(self, target, index, values):
+        if not isinstance(index, tuple):
+            index = (index,)
+        broadcast = self._torch.broadcast_tensors(
+            *index, self._torch.as_tensor(values, device=self._device))
+        target.index_put_(tuple(broadcast[:-1]), broadcast[-1],
+                          accumulate=True)
+
+    def add_(self, target, values):
+        target.add_(values)
+
+    def dot_into(self, matrix, vector, out):
+        self._torch.mv(matrix, vector, out=out)
+
+    def ascontiguous(self, array, dtype=None):
+        torch = self._torch
+        if isinstance(array, np.ndarray):
+            return self.from_numpy(np.ascontiguousarray(array, dtype=dtype))
+        tensor = array.contiguous()
+        if dtype is not None:
+            tensor = tensor.to(self._dtype(dtype))
+        return tensor
+
+    def ravel(self, array):
+        return array.reshape(-1)
+
+
+_REGISTRY = {"numpy": NumpyBackend, "torch": TorchBackend}
+_CACHE: dict = {}
+_CACHE_LOCK = threading.Lock()
+
+
+def register_backend(name: str, factory) -> None:
+    """Register an :class:`ArrayBackend` subclass under ``name``.
+
+    ``factory(device=None)`` must return an :class:`ArrayBackend`.  The
+    hook exists for out-of-tree backends (cupy, jax) and for tests.
+    """
+    _REGISTRY[name] = factory
+    with _CACHE_LOCK:
+        for key in [k for k in _CACHE if k[0] == name]:
+            del _CACHE[key]
+
+
+def available_backends() -> tuple:
+    """Names of backends that can actually be constructed here.
+
+    ``numpy`` is always present; ``torch`` appears only when importable.
+    """
+    names = []
+    for name in _REGISTRY:
+        try:
+            get_backend(name)
+        except BackendUnavailableError:
+            continue
+        names.append(name)
+    return tuple(names)
+
+
+def get_backend(name="numpy", device: Optional[str] = None) -> ArrayBackend:
+    """Resolve a backend by name (and optional device), with caching.
+
+    Instances are cached per ``(name, device)`` so repeated resolution —
+    every ensemble construction, every unpickle — reuses one object.
+    """
+    if isinstance(name, ArrayBackend):
+        return name
+    if name is None:
+        name = "numpy"
+    key = (name, device)
+    with _CACHE_LOCK:
+        cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown array backend {name!r}; registered: "
+            f"{sorted(_REGISTRY)}") from None
+    backend = factory(device=device)
+    with _CACHE_LOCK:
+        _CACHE.setdefault(key, backend)
+    return backend

@@ -125,6 +125,8 @@ import numpy as np
 from repro.exceptions import InvalidParameterError
 from repro.utils.batching import stream_arrays
 from repro.utils.ensemble import ReplicaEnsemble, build_ensemble
+from repro.utils.execution_config import (ExecutionConfig, _MISSING,
+                                          resolve_legacy_kwarg)
 from repro.utils.transport import dumps_frames, frames_as_bytes, loads_frames
 
 __all__ = [
@@ -376,8 +378,9 @@ def _ingest_shard_frames(frames):
 
 
 def ingest_sharded(ensembles: Sequence[ReplicaEnsemble], streams: Sequence,
-                   *, execution: str = "serial",
-                   processes: Optional[int] = None,
+                   *, config: Optional[ExecutionConfig] = None,
+                   execution=_MISSING,
+                   processes=_MISSING,
                    batch_size: Optional[int] = None) -> list[ReplicaEnsemble]:
     """Ingest ``streams[i]`` into ``ensembles[i]``, serially or in parallel.
 
@@ -396,7 +399,22 @@ def ingest_sharded(ensembles: Sequence[ReplicaEnsemble], streams: Sequence,
     shares that contract — including when a worker dies mid-ingest and its
     shard re-dispatches, and when no worker is reachable at all (the run
     degrades to this function's serial loop).
+
+    ``config`` is the preferred way to select the back-end: its
+    ``execution``/``processes``/``batch_size`` fields replace the
+    per-call kwargs (``execution=`` and ``processes=`` remain as
+    deprecated aliases that win when passed explicitly), and its
+    ``workers``/``cluster_secret`` fields scope a
+    :func:`repro.utils.coordinator.worker_pool` around a distributed
+    ingest instead of relying on the process-wide registry.
     """
+    cfg = ExecutionConfig() if config is None else config
+    execution = resolve_legacy_kwarg(
+        execution, "execution", "execution=...", cfg.execution)
+    processes = resolve_legacy_kwarg(
+        processes, "processes", "processes=...", cfg.processes)
+    if batch_size is None:
+        batch_size = cfg.batch_size
     _require_execution(execution)
     ensembles = list(ensembles)
     streams = _materialise_streams(streams)
@@ -406,8 +424,16 @@ def ingest_sharded(ensembles: Sequence[ReplicaEnsemble], streams: Sequence,
     if execution == "distributed":
         # Imported lazily: the coordinator sits above this module (it
         # reuses the retry EWMA constants from the evaluation layer).
-        from repro.utils.coordinator import distributed_ingest
+        from repro.utils.coordinator import distributed_ingest, worker_pool
 
+        if cfg.workers:
+            pool_kwargs = {}
+            if cfg.cluster_secret is not None:
+                pool_kwargs["secret"] = cfg.cluster_secret.encode(
+                    "utf-8", "surrogateescape")
+            with worker_pool(cfg.workers, **pool_kwargs):
+                return distributed_ingest(ensembles, streams,
+                                          batch_size=batch_size)
         return distributed_ingest(ensembles, streams, batch_size=batch_size)
     if processes is None:
         processes = usable_cpu_count()
@@ -455,9 +481,10 @@ def ingest_sharded(ensembles: Sequence[ReplicaEnsemble], streams: Sequence,
 
 
 def replica_sharded_ensemble(instances: Sequence, stream=None, *,
-                             num_shards: int,
-                             execution: str = "serial",
-                             processes: Optional[int] = None,
+                             config: Optional[ExecutionConfig] = None,
+                             num_shards=_MISSING,
+                             execution=_MISSING,
+                             processes=_MISSING,
                              batch_size: Optional[int] = None) -> ReplicaEnsemble:
     """Mode (a): shard the replica axis, ingest one shared stream, concat.
 
@@ -467,26 +494,45 @@ def replica_sharded_ensemble(instances: Sequence, stream=None, *,
     concatenated back into one ensemble whose replica order — and every
     replica's state and one-shot sample — is bit-identical to building the
     monolithic ensemble directly.
+
+    The shard count and back-end come from ``config``
+    (``num_shards``/``execution``/``processes`` remain as deprecated
+    per-call aliases that win when passed explicitly).
     """
+    cfg = ExecutionConfig() if config is None else config
+    num_shards = resolve_legacy_kwarg(
+        num_shards, "num_shards", "num_shards=...", cfg.num_shards)
+    execution = resolve_legacy_kwarg(
+        execution, "execution", "execution=...", cfg.execution)
+    processes = resolve_legacy_kwarg(
+        processes, "processes", "processes=...", cfg.processes)
+    if batch_size is None:
+        batch_size = cfg.batch_size
+    if num_shards is None:
+        raise InvalidParameterError(
+            "replica sharding needs num_shards (pass config="
+            "ExecutionConfig(num_shards=...))")
     instances = list(instances)
     if not instances:
         raise InvalidParameterError("an ensemble needs at least one replica")
     groups = [group for group in shard_replicas(instances, num_shards) if group]
-    ensembles = [build_ensemble(group) for group in groups]
+    ensembles = [build_ensemble(group, config) for group in groups]
     if stream is not None:
         ensembles = ingest_sharded(
-            ensembles, [stream] * len(ensembles), execution=execution,
-            processes=processes, batch_size=batch_size)
+            ensembles, [stream] * len(ensembles),
+            config=cfg.replace(execution=execution, processes=processes,
+                               batch_size=batch_size))
     return concat_ensembles(ensembles)
 
 
 def stream_sharded_ensemble(factory: Callable[[int], object],
                             seeds: Iterable[int], stream, *,
-                            num_shards: Optional[int] = None,
+                            config: Optional[ExecutionConfig] = None,
+                            num_shards=_MISSING,
                             assignment: Optional[np.ndarray] = None,
                             assignment_seed: int = 0,
-                            execution: str = "serial",
-                            processes: Optional[int] = None,
+                            execution=_MISSING,
+                            processes=_MISSING,
                             batch_size: Optional[int] = None) -> ReplicaEnsemble:
     """Mode (b): shard the stream by coordinate, ingest copies, merge.
 
@@ -506,6 +552,15 @@ def stream_sharded_ensemble(factory: Callable[[int], object],
     """
     from repro.applications.distributed import shard_assignment, split_stream
 
+    cfg = ExecutionConfig() if config is None else config
+    num_shards = resolve_legacy_kwarg(
+        num_shards, "num_shards", "num_shards=...", cfg.num_shards)
+    execution = resolve_legacy_kwarg(
+        execution, "execution", "execution=...", cfg.execution)
+    processes = resolve_legacy_kwarg(
+        processes, "processes", "processes=...", cfg.processes)
+    if batch_size is None:
+        batch_size = cfg.batch_size
     seeds = list(seeds)
     if not seeds:
         raise InvalidParameterError("an ensemble needs at least one replica")
@@ -527,10 +582,13 @@ def stream_sharded_ensemble(factory: Callable[[int], object],
                 f"assignment owners must lie in [0, {num_shards}); got range "
                 f"[{int(assignment.min())}, {int(assignment.max())}]")
     substreams = split_stream(stream, assignment, num_shards)
-    ensembles = [build_ensemble([factory(seed) for seed in seeds])
-                 for _ in range(num_shards)]
-    ensembles = ingest_sharded(ensembles, substreams, execution=execution,
-                               processes=processes, batch_size=batch_size)
+    with cfg.table_mode_scope():
+        ensembles = [build_ensemble([factory(seed) for seed in seeds], config)
+                     for _ in range(num_shards)]
+    ensembles = ingest_sharded(
+        ensembles, substreams,
+        config=cfg.replace(execution=execution, processes=processes,
+                           batch_size=batch_size))
     # The distributed coordinator may retain shard ensembles (re-dispatch
     # bookkeeping, gather stats); merge into a clone so they stay pristine.
     return merge_ensembles(ensembles,
@@ -539,9 +597,10 @@ def stream_sharded_ensemble(factory: Callable[[int], object],
 
 def sharded_ensemble_samples(factory: Callable[[int], object],
                              seeds: Iterable[int], stream=None, *,
-                             num_shards: Optional[int] = None,
-                             execution: str = "serial",
-                             processes: Optional[int] = None,
+                             config: Optional[ExecutionConfig] = None,
+                             num_shards=_MISSING,
+                             execution=_MISSING,
+                             processes=_MISSING,
                              batch_size: Optional[int] = None) -> list:
     """Sharded drop-in for :func:`repro.utils.ensemble.ensemble_samples`.
 
@@ -549,16 +608,28 @@ def sharded_ensemble_samples(factory: Callable[[int], object],
     ``num_shards`` workers (default: the worker count, else the CPU count),
     and returns the per-replica one-shot samples in seed order —
     bit-identical to the monolithic engine and hence to the sequential
-    construct/replay/sample loop.
+    construct/replay/sample loop.  ``config`` carries the knobs; the
+    per-call kwargs remain as deprecated aliases.
     """
+    cfg = ExecutionConfig() if config is None else config
+    num_shards = resolve_legacy_kwarg(
+        num_shards, "num_shards", "num_shards=...", cfg.num_shards)
+    execution = resolve_legacy_kwarg(
+        execution, "execution", "execution=...", cfg.execution)
+    processes = resolve_legacy_kwarg(
+        processes, "processes", "processes=...", cfg.processes)
+    if batch_size is None:
+        batch_size = cfg.batch_size
     _require_execution(execution)
-    instances = [factory(seed) for seed in seeds]
+    with cfg.table_mode_scope():
+        instances = [factory(seed) for seed in seeds]
     if not instances:
         return []
     if num_shards is None:
         num_shards = processes if processes else usable_cpu_count()
     num_shards = max(1, min(int(num_shards), len(instances)))
     ensemble = replica_sharded_ensemble(
-        instances, stream, num_shards=num_shards, execution=execution,
-        processes=processes, batch_size=batch_size)
+        instances, stream,
+        config=cfg.replace(num_shards=num_shards, execution=execution,
+                           processes=processes, batch_size=batch_size))
     return ensemble.replica_samples()

@@ -1,0 +1,212 @@
+"""Backend equivalence contract of the pluggable array backends.
+
+Two claims are pinned down (see :mod:`repro.utils.backend`):
+
+* ``backend="numpy"`` is **bit-identical** to the historical hard-coded
+  numpy kernels: routing every registered ensemble case through an
+  explicit ``ExecutionConfig(backend="numpy")`` leaves state and
+  query/sample outputs unchanged down to the last bit.
+* ``backend="torch"`` (CPU) is **statistically equivalent**: integer
+  hash/sign structure transfers exactly, so per-member estimates agree
+  up to floating-point re-association — tight ``allclose`` tolerances,
+  never bitwise.  The torch tests skip gracefully when torch is not
+  installed (the default container does not ship it; CI's optional
+  backend job does).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+import test_ensemble_equivalence as eq
+
+from repro.sketch.ams import AMSSketch
+from repro.sketch.countmin import CountMin, CountMinEnsemble
+from repro.sketch.countsketch import CountSketch
+from repro.streams.generators import (
+    turnstile_stream_with_cancellations,
+    zipfian_frequency_vector,
+)
+from repro.utils.backend import (
+    BackendUnavailableError,
+    NumpyBackend,
+    available_backends,
+    get_backend,
+)
+from repro.utils.ensemble import build_ensemble
+from repro.utils.execution_config import ExecutionConfig
+
+TORCH_CPU = ExecutionConfig(backend="torch", device="cpu")
+
+
+@pytest.fixture(scope="module")
+def stream():
+    """Same cancellation-heavy turnstile workload as the equivalence suite."""
+    vector = zipfian_frequency_vector(eq.N, skew=1.2, scale=90.0, seed=5)
+    vector[3] = 0.0
+    return turnstile_stream_with_cancellations(vector, churn=1.5, seed=6)
+
+
+def _torch_backend():
+    pytest.importorskip("torch")
+    try:
+        return get_backend("torch", device="cpu")
+    except BackendUnavailableError as error:  # pragma: no cover - broken install
+        pytest.skip(f"torch backend unavailable: {error}")
+
+
+# ---------------------------------------------------------------------------
+# Bitwise regression: backend="numpy" changes nothing, for every case
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("case", eq.CASES, ids=[c.name for c in eq.CASES])
+def test_numpy_backend_is_bitwise_identical(case, stream) -> None:
+    """An explicit numpy ExecutionConfig reproduces the default bit-for-bit."""
+    seeds = [1000 + r for r in range(eq.REPLICAS)]
+    baseline = build_ensemble([case.factory(seed) for seed in seeds])
+    routed = build_ensemble([case.factory(seed) for seed in seeds],
+                            ExecutionConfig(backend="numpy"))
+    assert isinstance(routed, case.expected_ensemble)
+    baseline.update_stream(stream)
+    routed.update_stream(stream)
+    for replica in range(eq.REPLICAS):
+        left = case.ensemble_state(baseline, replica)
+        right = case.ensemble_state(routed, replica)
+        assert left.keys() == right.keys()
+        for key in left:
+            np.testing.assert_array_equal(
+                np.asarray(left[key]), np.asarray(right[key]),
+                err_msg=f"{case.name} replica {replica} state {key!r}")
+    for replica in range(eq.REPLICAS):
+        plain = case.ensemble_query(baseline, replica)
+        configured = case.ensemble_query(routed, replica)
+        if case.returns_sample:
+            eq.assert_samples_equal(plain, configured,
+                                    f"{case.name} replica {replica}")
+        else:
+            np.testing.assert_array_equal(
+                np.asarray(plain), np.asarray(configured),
+                err_msg=f"{case.name} replica {replica} query")
+
+
+def test_countmin_ensemble_bitwise_matches_standalone(stream) -> None:
+    """The new CountMinEnsemble is bitwise equal to per-instance CountMin."""
+    seeds = list(range(6))
+    ensemble = build_ensemble(
+        [CountMin(eq.N, buckets=16, rows=5, seed=s) for s in seeds],
+        ExecutionConfig(backend="numpy"))
+    assert isinstance(ensemble, CountMinEnsemble)
+    solos = [CountMin(eq.N, buckets=16, rows=5, seed=s) for s in seeds]
+    ensemble.update_stream(stream)
+    for solo in solos:
+        solo.update_stream(stream)
+    tables = ensemble._host_table()
+    for member, solo in enumerate(solos):
+        np.testing.assert_array_equal(tables[member], solo._table)
+        np.testing.assert_array_equal(ensemble.estimate_all_member(member),
+                                      solo.estimate_all())
+        for index in (0, 1, eq.N - 1):
+            assert ensemble.estimate_member(member, index) \
+                == solo.estimate(index)
+
+
+def test_numpy_backend_identity_and_pickle() -> None:
+    """Numpy backend transfers are identity; pickling resolves the cache."""
+    backend = get_backend("numpy")
+    assert isinstance(backend, NumpyBackend)
+    array = np.arange(5, dtype=float)
+    assert backend.from_numpy(array) is array
+    assert backend.to_numpy(array) is array
+    assert pickle.loads(pickle.dumps(backend)) is backend
+    assert "numpy" in available_backends()
+
+
+def test_torch_backend_unavailable_raises_remedial_error() -> None:
+    try:
+        import torch  # noqa: F401
+    except ImportError:
+        with pytest.raises(BackendUnavailableError, match="pip install torch"):
+            get_backend("torch")
+    else:
+        pytest.skip("torch installed; unavailability path not exercisable")
+
+
+# ---------------------------------------------------------------------------
+# Torch CPU: statistical equivalence of estimates
+# ---------------------------------------------------------------------------
+
+
+def test_torch_countsketch_statistical_equivalence(stream) -> None:
+    _torch_backend()
+    seeds = list(range(eq.REPLICAS))
+    reference = build_ensemble(
+        [CountSketch(eq.N, 16, 5, seed=s) for s in seeds])
+    torch_ens = build_ensemble(
+        [CountSketch(eq.N, 16, 5, seed=s) for s in seeds], TORCH_CPU)
+    reference.update_stream(stream)
+    torch_ens.update_stream(stream)
+    ref_est = reference.estimate_all_members()
+    tor_est = torch_ens.estimate_all_members()
+    np.testing.assert_allclose(tor_est, ref_est, rtol=1e-9, atol=1e-9)
+    # Distribution-level check: the normalised absolute-estimate profiles
+    # (what an L_p sampler built on this sketch would sample from) agree
+    # to far below any statistical tolerance.
+    for member in seeds:
+        ref_profile = np.abs(ref_est[member])
+        tor_profile = np.abs(tor_est[member])
+        ref_profile = ref_profile / ref_profile.sum()
+        tor_profile = tor_profile / tor_profile.sum()
+        tvd = 0.5 * np.abs(ref_profile - tor_profile).sum()
+        assert tvd < 1e-9, f"member {member} profile TVD {tvd}"
+
+
+def test_torch_ams_statistical_equivalence(stream) -> None:
+    _torch_backend()
+    seeds = list(range(eq.REPLICAS))
+    reference = build_ensemble(
+        [AMSSketch(eq.N, width=8, depth=3, seed=s) for s in seeds])
+    torch_ens = build_ensemble(
+        [AMSSketch(eq.N, width=8, depth=3, seed=s) for s in seeds], TORCH_CPU)
+    reference.update_stream(stream)
+    torch_ens.update_stream(stream)
+    for member in seeds:
+        ref_f2 = reference.estimate_f2_member(member)
+        tor_f2 = torch_ens.estimate_f2_member(member)
+        np.testing.assert_allclose(tor_f2, ref_f2, rtol=1e-9)
+
+
+def test_torch_countmin_point_estimates(stream) -> None:
+    _torch_backend()
+    seeds = list(range(6))
+    reference = build_ensemble(
+        [CountMin(eq.N, buckets=16, rows=5, seed=s) for s in seeds])
+    torch_ens = build_ensemble(
+        [CountMin(eq.N, buckets=16, rows=5, seed=s) for s in seeds],
+        TORCH_CPU)
+    reference.update_stream(stream)
+    torch_ens.update_stream(stream)
+    for member in seeds:
+        np.testing.assert_allclose(torch_ens.estimate_all_member(member),
+                                   reference.estimate_all_member(member),
+                                   rtol=1e-9, atol=1e-9)
+
+
+def test_torch_ensembles_pickle_and_merge(stream) -> None:
+    """Torch-backed ensembles survive the snapshot/merge protocols."""
+    _torch_backend()
+    seeds = list(range(4))
+    ensemble = build_ensemble(
+        [CountSketch(eq.N, 16, 5, seed=s) for s in seeds], TORCH_CPU)
+    ensemble.update_stream(stream)
+    clone = pickle.loads(pickle.dumps(ensemble))
+    np.testing.assert_allclose(clone.estimate_all_members(),
+                               ensemble.estimate_all_members(),
+                               rtol=0, atol=0)
+    merged = pickle.loads(pickle.dumps(ensemble)).merge(clone)
+    np.testing.assert_allclose(merged.estimate_all_members(),
+                               2.0 * np.asarray(ensemble.estimate_all_members()),
+                               rtol=1e-12)

@@ -1,0 +1,194 @@
+"""ExecutionConfig: env precedence, validation, and deprecated aliases.
+
+The precedence contract (module docstring of
+:mod:`repro.utils.execution_config`) is ``explicit argument >
+environment > default``, and the deprecated per-call kwargs warn exactly
+once per *call site* — not once per internal fan-out call — which this
+suite pins with ``pytest.warns`` plus an explicit warning count.
+"""
+
+from __future__ import annotations
+
+import pickle
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.samplers.l0_sampler import PerfectL0Sampler
+from repro.sketch.countsketch import CountSketch
+from repro.streams.generators import stream_from_vector
+from repro.utils.backend import NumpyBackend
+from repro.utils.execution_config import (
+    BACKEND_DEVICE_ENV,
+    BACKEND_ENV,
+    ExecutionConfig,
+    TABLE_MODE_ENV,
+    reset_deprecation_registry,
+)
+from repro.utils.sharding import (
+    ingest_sharded,
+    replica_sharded_ensemble,
+    sharded_ensemble_samples,
+)
+from repro.utils.ensemble import build_ensemble
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warning_registry():
+    reset_deprecation_registry()
+    yield
+    reset_deprecation_registry()
+
+
+@pytest.fixture()
+def stream():
+    return stream_from_vector(np.array([5.0, -2.0, 0.0, 7.0, 1.0]), seed=3)
+
+
+def _sketches(count=4, seed0=0):
+    return [CountSketch(5, 8, 3, seed=seed0 + s) for s in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# Construction, validation, env precedence
+# ---------------------------------------------------------------------------
+
+
+def test_defaults_are_numpy_serial() -> None:
+    config = ExecutionConfig()
+    assert config.backend == "numpy"
+    assert config.execution == "serial"
+    assert config.table_mode is None
+    assert isinstance(config.resolve_backend(), NumpyBackend)
+
+
+def test_invalid_execution_and_table_mode_rejected() -> None:
+    with pytest.raises(InvalidParameterError, match="execution"):
+        ExecutionConfig(execution="warp-drive")
+    with pytest.raises(InvalidParameterError, match="table_mode"):
+        ExecutionConfig(table_mode="imaginary")
+
+
+def test_from_env_reads_all_variables() -> None:
+    env = {
+        BACKEND_ENV: "numpy",
+        BACKEND_DEVICE_ENV: "cpu",
+        TABLE_MODE_ENV: "blocked",
+        "REPRO_DISTRIBUTED_WORKERS": "127.0.0.1:9001, 127.0.0.1:9002",
+        "REPRO_CLUSTER_SECRET": "hunter2",
+    }
+    config = ExecutionConfig.from_env(env)
+    assert config.backend == "numpy"
+    assert config.device == "cpu"
+    assert config.table_mode == "blocked"
+    assert config.workers == ("127.0.0.1:9001", "127.0.0.1:9002")
+    assert config.cluster_secret == "hunter2"
+
+
+def test_from_env_explicit_overrides_beat_environment() -> None:
+    env = {BACKEND_ENV: "torch", TABLE_MODE_ENV: "blocked"}
+    config = ExecutionConfig.from_env(env, backend="numpy",
+                                      table_mode="cached")
+    assert config.backend == "numpy"
+    assert config.table_mode == "cached"
+
+
+def test_from_env_empty_environment_is_all_defaults() -> None:
+    assert ExecutionConfig.from_env({}) == ExecutionConfig()
+
+
+def test_config_is_frozen_hashable_picklable() -> None:
+    config = ExecutionConfig(table_mode="blocked", num_shards=3)
+    with pytest.raises(Exception):
+        config.backend = "torch"  # type: ignore[misc]
+    assert pickle.loads(pickle.dumps(config)) == config
+    assert hash(config) == hash(config.replace())
+    assert config.replace(num_shards=5).num_shards == 5
+
+
+def test_cluster_secret_hidden_from_repr() -> None:
+    config = ExecutionConfig(cluster_secret="hunter2")
+    assert "hunter2" not in repr(config)
+
+
+def test_apply_defaults_installs_table_mode() -> None:
+    from repro.utils.table_cache import default_table_mode, set_default_table_mode
+    previous = default_table_mode()
+    try:
+        ExecutionConfig(table_mode="private").apply_defaults()
+        assert default_table_mode() == "private"
+    finally:
+        set_default_table_mode(previous)
+
+
+def test_table_mode_scope_applies_and_restores() -> None:
+    from repro.utils.table_cache import default_table_mode
+    previous = default_table_mode()
+    with ExecutionConfig(table_mode="blocked").table_mode_scope():
+        assert default_table_mode() == "blocked"
+    assert default_table_mode() == previous
+    with ExecutionConfig().table_mode_scope():  # None → nullcontext
+        assert default_table_mode() == previous
+
+
+# ---------------------------------------------------------------------------
+# Config threading and deprecated aliases
+# ---------------------------------------------------------------------------
+
+
+def test_config_drives_sharding_without_warnings(stream) -> None:
+    config = ExecutionConfig(num_shards=2, execution="serial")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        ensemble = replica_sharded_ensemble(_sketches(), stream, config=config)
+        ingest_sharded([build_ensemble(_sketches())], [stream], config=config)
+    baseline = build_ensemble(_sketches())
+    baseline.update_stream(stream)
+    np.testing.assert_array_equal(ensemble._table, baseline._table)
+
+
+def test_legacy_kwarg_wins_over_config_and_warns(stream) -> None:
+    config = ExecutionConfig(num_shards=1)
+    with pytest.warns(DeprecationWarning, match="num_shards"):
+        sharded = replica_sharded_ensemble(_sketches(), stream,
+                                           config=config, num_shards=3)
+    baseline = build_ensemble(_sketches())
+    baseline.update_stream(stream)
+    np.testing.assert_array_equal(sharded._table, baseline._table)
+
+
+@pytest.mark.filterwarnings("error::DeprecationWarning")
+def test_deprecated_kwarg_warns_exactly_once_per_call_site(stream) -> None:
+    """The fan-out (shards × draws) must not multiply the warning.
+
+    ``filterwarnings("error")`` outside the recording block proves no
+    stray warning escapes anywhere else in the pipeline; the recording
+    block shows the loop of 5 identical call-site invocations produced
+    exactly one warning.
+    """
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        for _ in range(5):
+            samples = sharded_ensemble_samples(
+                lambda s: PerfectL0Sampler(5, sparsity=4, seed=s),
+                range(4), stream, num_shards=2)
+        assert len(samples) == 4
+    deprecations = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1
+    assert "num_shards" in str(deprecations[0].message)
+
+
+def test_distinct_call_sites_each_warn_once(stream) -> None:
+    ensembles = [build_ensemble(_sketches())]
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        ingest_sharded(ensembles, [stream], execution="serial")   # site A
+        ingest_sharded(ensembles, [stream], execution="serial")   # site B
+        for _ in range(3):
+            ingest_sharded(ensembles, [stream], execution="serial")  # site C
+    deprecations = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 3
